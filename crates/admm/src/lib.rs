@@ -1,0 +1,36 @@
+//! Scaled-form ADMM optimization substrate.
+//!
+//! The fault sneaking attack (DAC'19) splits its objective
+//! `min_δ D(δ) + G(θ+δ)` with an auxiliary variable `z = δ` and alternates:
+//!
+//! 1. **z-step** — the proximal operator of `D` ([`prox`]): hard
+//!    thresholding for `ℓ0`, block soft thresholding for `ℓ2`;
+//! 2. **δ-step** — a problem-specific minimization (the attack linearizes
+//!    `G`, eq. 22 of the paper);
+//! 3. **dual update** — `s ← s + z − δ`.
+//!
+//! This crate provides the proximal operators, the generic driver
+//! ([`solver::AdmmDriver`]) with primal/dual residual tracking, and
+//! penalty adaptation policies ([`penalty`]). The driver is validated on
+//! convex problems with checkable optimality conditions (lasso, sparse
+//! recovery) in the test suite, independently of the attack.
+//!
+//! # Examples
+//!
+//! ```
+//! use fsa_admm::prox::hard_threshold;
+//!
+//! // prox of λ‖·‖₀ at v with penalty ρ keeps v_i iff v_i² > 2λ/ρ.
+//! let mut z = [0.0f32; 3];
+//! hard_threshold(&[0.1, -3.0, 0.5], 1.0, 2.0, &mut z);
+//! assert_eq!(z, [0.0, -3.0, 0.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod penalty;
+pub mod prox;
+pub mod solver;
+
+pub use penalty::RhoPolicy;
+pub use solver::{AdmmConfig, AdmmDriver, AdmmProblem, AdmmResult, IterStats};

@@ -1,0 +1,73 @@
+//! Penalty (ρ) adaptation policies.
+
+/// How the ADMM penalty parameter evolves across iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RhoPolicy {
+    /// Keep ρ fixed (the paper's setting; linearized ADMM convergence
+    /// analyses assume a constant penalty).
+    Fixed,
+    /// Residual balancing (Boyd et al. §3.4.1): grow ρ when the primal
+    /// residual dominates, shrink when the dual residual dominates.
+    ResidualBalance {
+        /// Imbalance factor triggering adaptation (typical: 10).
+        mu: f32,
+        /// Multiplicative ρ step (typical: 2).
+        tau: f32,
+    },
+}
+
+impl Default for RhoPolicy {
+    fn default() -> Self {
+        RhoPolicy::Fixed
+    }
+}
+
+impl RhoPolicy {
+    /// Returns the new ρ given current residuals.
+    ///
+    /// When ρ changes under the scaled dual formulation the driver must
+    /// rescale `s` by `rho_old / rho_new`; [`crate::solver::AdmmDriver`]
+    /// does this.
+    pub fn update(&self, rho: f32, primal_residual: f32, dual_residual: f32) -> f32 {
+        match *self {
+            RhoPolicy::Fixed => rho,
+            RhoPolicy::ResidualBalance { mu, tau } => {
+                if primal_residual > mu * dual_residual {
+                    rho * tau
+                } else if dual_residual > mu * primal_residual {
+                    rho / tau
+                } else {
+                    rho
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_never_changes() {
+        assert_eq!(RhoPolicy::Fixed.update(1.5, 100.0, 0.001), 1.5);
+    }
+
+    #[test]
+    fn balance_increases_on_primal_dominance() {
+        let p = RhoPolicy::ResidualBalance { mu: 10.0, tau: 2.0 };
+        assert_eq!(p.update(1.0, 100.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn balance_decreases_on_dual_dominance() {
+        let p = RhoPolicy::ResidualBalance { mu: 10.0, tau: 2.0 };
+        assert_eq!(p.update(1.0, 1.0, 100.0), 0.5);
+    }
+
+    #[test]
+    fn balance_holds_when_balanced() {
+        let p = RhoPolicy::ResidualBalance { mu: 10.0, tau: 2.0 };
+        assert_eq!(p.update(1.0, 5.0, 4.0), 1.0);
+    }
+}

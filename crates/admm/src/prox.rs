@@ -1,0 +1,234 @@
+//! Proximal operators.
+//!
+//! `prox_{λf/ρ}(v) = argmin_z λ·f(z) + (ρ/2)‖z − v‖²` for the penalty
+//! functions the attack (and its diagnostics) need. Closed forms follow
+//! Parikh & Boyd, *Proximal Algorithms* (2014) — reference [34] of the
+//! paper.
+
+/// Proximal operator of `λ‖·‖₀`: elementwise **hard thresholding**.
+///
+/// Keeps `v_i` iff `v_i² > 2λ/ρ`, else zero (paper eq. 16 with `λ = 1`).
+///
+/// # Panics
+///
+/// Panics if `out.len() != v.len()` or `rho <= 0`.
+pub fn hard_threshold(v: &[f32], lambda: f32, rho: f32, out: &mut [f32]) {
+    assert_eq!(v.len(), out.len(), "prox output length mismatch");
+    assert!(rho > 0.0, "rho must be positive");
+    let cut = 2.0 * lambda / rho;
+    for (o, &x) in out.iter_mut().zip(v) {
+        *o = if x * x > cut { x } else { 0.0 };
+    }
+}
+
+/// Proximal operator of `λ‖·‖₁`: elementwise **soft thresholding**
+/// (shrink toward zero by `λ/ρ`).
+///
+/// # Panics
+///
+/// Panics if `out.len() != v.len()` or `rho <= 0`.
+pub fn soft_threshold(v: &[f32], lambda: f32, rho: f32, out: &mut [f32]) {
+    assert_eq!(v.len(), out.len(), "prox output length mismatch");
+    assert!(rho > 0.0, "rho must be positive");
+    let t = lambda / rho;
+    for (o, &x) in out.iter_mut().zip(v) {
+        *o = if x > t {
+            x - t
+        } else if x < -t {
+            x + t
+        } else {
+            0.0
+        };
+    }
+}
+
+/// Proximal operator of `λ‖·‖₂` (the norm, **not** squared): **block soft
+/// thresholding** — shrinks the whole vector toward the origin
+/// (paper eq. 18 with `λ = 1`).
+///
+/// # Panics
+///
+/// Panics if `out.len() != v.len()` or `rho <= 0`.
+pub fn block_soft_threshold(v: &[f32], lambda: f32, rho: f32, out: &mut [f32]) {
+    assert_eq!(v.len(), out.len(), "prox output length mismatch");
+    assert!(rho > 0.0, "rho must be positive");
+    let norm = fsa_tensor::norms::l2(v);
+    let t = lambda / rho;
+    if norm <= t || norm == 0.0 {
+        out.fill(0.0);
+    } else {
+        let scale = 1.0 - t / norm;
+        for (o, &x) in out.iter_mut().zip(v) {
+            *o = scale * x;
+        }
+    }
+}
+
+/// Proximal operator of `(λ/2)‖·‖₂²` (squared `ℓ2`): uniform shrinkage
+/// `v·ρ/(ρ+λ)`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != v.len()` or `rho <= 0`.
+pub fn squared_l2(v: &[f32], lambda: f32, rho: f32, out: &mut [f32]) {
+    assert_eq!(v.len(), out.len(), "prox output length mismatch");
+    assert!(rho > 0.0, "rho must be positive");
+    let scale = rho / (rho + lambda);
+    for (o, &x) in out.iter_mut().zip(v) {
+        *o = scale * x;
+    }
+}
+
+/// Projection onto the `ℓ∞` box `[-bound, bound]` (prox of its indicator).
+///
+/// # Panics
+///
+/// Panics if `out.len() != v.len()` or `bound < 0`.
+pub fn project_box(v: &[f32], bound: f32, out: &mut [f32]) {
+    assert_eq!(v.len(), out.len(), "projection output length mismatch");
+    assert!(bound >= 0.0, "box bound must be non-negative");
+    for (o, &x) in out.iter_mut().zip(v) {
+        *o = x.clamp(-bound, bound);
+    }
+}
+
+/// The penalty value `λ·f(z)` for each supported norm, used by tests and
+/// objective reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PenaltyKind {
+    /// `λ‖z‖₀` (count of non-zeros).
+    L0,
+    /// `λ‖z‖₁`.
+    L1,
+    /// `λ‖z‖₂` (unsquared).
+    L2,
+}
+
+impl PenaltyKind {
+    /// Evaluates `λ·f(z)`.
+    pub fn eval(&self, z: &[f32], lambda: f32) -> f32 {
+        match self {
+            PenaltyKind::L0 => lambda * fsa_tensor::norms::l0(z, 0.0) as f32,
+            PenaltyKind::L1 => lambda * fsa_tensor::norms::l1(z),
+            PenaltyKind::L2 => lambda * fsa_tensor::norms::l2(z),
+        }
+    }
+
+    /// Applies the corresponding proximal operator.
+    pub fn prox(&self, v: &[f32], lambda: f32, rho: f32, out: &mut [f32]) {
+        match self {
+            PenaltyKind::L0 => hard_threshold(v, lambda, rho, out),
+            PenaltyKind::L1 => soft_threshold(v, lambda, rho, out),
+            PenaltyKind::L2 => block_soft_threshold(v, lambda, rho, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hard_threshold_boundary() {
+        // cut = 2λ/ρ = 1.0 → |v| > 1 kept.
+        let v = [0.99, 1.01, -1.01, -0.99, 0.0];
+        let mut z = [0.0; 5];
+        hard_threshold(&v, 0.5, 1.0, &mut z);
+        assert_eq!(z, [0.0, 1.01, -1.01, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn soft_threshold_shrinks() {
+        let v = [2.0, -2.0, 0.3, -0.3];
+        let mut z = [0.0; 4];
+        soft_threshold(&v, 1.0, 2.0, &mut z); // t = 0.5
+        assert_eq!(z, [1.5, -1.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn block_soft_threshold_matches_paper_eq18() {
+        // ‖v‖ = 5, ρ = 1, λ = 1 → scale = 1 − 1/5 = 0.8.
+        let v = [3.0, 4.0];
+        let mut z = [0.0; 2];
+        block_soft_threshold(&v, 1.0, 1.0, &mut z);
+        assert!((z[0] - 2.4).abs() < 1e-6 && (z[1] - 3.2).abs() < 1e-6);
+
+        // ‖v‖ < 1/ρ → zero.
+        let v = [0.3, 0.4];
+        block_soft_threshold(&v, 1.0, 1.0, &mut z);
+        assert_eq!(z, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn squared_l2_is_uniform_shrink() {
+        let v = [2.0, -4.0];
+        let mut z = [0.0; 2];
+        squared_l2(&v, 1.0, 3.0, &mut z);
+        assert_eq!(z, [1.5, -3.0]);
+    }
+
+    #[test]
+    fn project_box_clamps() {
+        let v = [-5.0, 0.2, 5.0];
+        let mut z = [0.0; 3];
+        project_box(&v, 1.0, &mut z);
+        assert_eq!(z, [-1.0, 0.2, 1.0]);
+    }
+
+    /// The variational property defining a prox: the returned point must
+    /// achieve an objective no worse than any probe point.
+    fn prox_objective(kind: PenaltyKind, z: &[f32], v: &[f32], lambda: f32, rho: f32) -> f64 {
+        let pen = kind.eval(z, lambda) as f64;
+        let quad: f64 = z
+            .iter()
+            .zip(v)
+            .map(|(&a, &b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum();
+        pen + 0.5 * rho as f64 * quad
+    }
+
+    proptest! {
+        #[test]
+        fn prox_minimizes_its_objective(
+            v in proptest::collection::vec(-3.0f32..3.0, 1..12),
+            probe in proptest::collection::vec(-3.0f32..3.0, 12),
+            lambda in 0.1f32..2.0,
+            rho in 0.2f32..5.0,
+        ) {
+            for kind in [PenaltyKind::L0, PenaltyKind::L1, PenaltyKind::L2] {
+                let mut z = vec![0.0; v.len()];
+                kind.prox(&v, lambda, rho, &mut z);
+                let best = prox_objective(kind, &z, &v, lambda, rho);
+                // Probe candidates: random point, v itself, zero.
+                let cand: Vec<f32> = probe.iter().take(v.len()).copied().collect();
+                for c in [cand, v.clone(), vec![0.0; v.len()]] {
+                    let other = prox_objective(kind, &c, &v, lambda, rho);
+                    prop_assert!(best <= other + 1e-3, "{kind:?}: {best} > {other}");
+                }
+            }
+        }
+
+        #[test]
+        fn prox_is_shrinking(
+            v in proptest::collection::vec(-3.0f32..3.0, 1..12),
+            lambda in 0.1f32..2.0,
+            rho in 0.2f32..5.0,
+        ) {
+            // Every supported prox maps each coordinate no farther from 0
+            // than the input (nonexpansive toward the origin).
+            for kind in [PenaltyKind::L0, PenaltyKind::L1, PenaltyKind::L2] {
+                let mut z = vec![0.0; v.len()];
+                kind.prox(&v, lambda, rho, &mut z);
+                for (zi, vi) in z.iter().zip(&v) {
+                    prop_assert!(zi.abs() <= vi.abs() + 1e-6);
+                    // Sign is preserved or zeroed.
+                    prop_assert!(zi * vi >= 0.0);
+                }
+            }
+        }
+    }
+}

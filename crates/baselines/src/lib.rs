@@ -1,0 +1,26 @@
+//! Baseline fault injection attacks from Liu et al.,
+//! *"Fault injection attack on deep neural network"* (ICCAD 2017) —
+//! reference [16] of the fault sneaking attack paper, reimplemented for
+//! the §5.4 comparison.
+//!
+//! Two schemes:
+//!
+//! * [`sba`] — **Single Bias Attack**: bump one output-layer bias until
+//!   the victim classifies a chosen input as the target. One modified
+//!   parameter, but indiscriminate collateral damage and no way to serve
+//!   conflicting targets for multiple images (paper Table 2's bias rows
+//!   demonstrate the limitation).
+//! * [`gda`] — **Gradient Descent Attack**: gradient descent on the
+//!   selected parameters to satisfy the designated misclassifications,
+//!   followed by *modification compression* (iteratively zero the
+//!   smallest elements while the attack still succeeds). Unlike the fault
+//!   sneaking attack there is no keep-set constraint, so model accuracy
+//!   degrades more — the effect quantified in the paper's §5.4.
+
+#![warn(missing_docs)]
+
+pub mod gda;
+pub mod sba;
+
+pub use gda::{GdaAttack, GdaConfig, GdaResult};
+pub use sba::{SbaAttack, SbaResult};

@@ -1,0 +1,183 @@
+//! Single Bias Attack (SBA).
+//!
+//! Liu et al. observe that the bias of an output neuron shifts that
+//! class's logit for *every* input; raising `b_t` far enough makes the
+//! victim call a chosen input `t`. The modification is a single
+//! parameter, but the shift applies globally (hence the accuracy
+//! collapse the fault sneaking attack avoids), and two images with
+//! different targets need two conflicting global shifts — SBA cannot
+//! serve them simultaneously.
+
+use fsa_nn::head::FcHead;
+use fsa_nn::loss::argmax_slice;
+use fsa_tensor::Tensor;
+
+/// Configuration of the single bias attack.
+#[derive(Debug, Clone)]
+pub struct SbaAttack {
+    /// Extra logit margin added beyond the minimum needed shift.
+    pub margin: f32,
+}
+
+impl Default for SbaAttack {
+    fn default() -> Self {
+        Self { margin: 0.5 }
+    }
+}
+
+/// Result of a single bias attack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SbaResult {
+    /// Index of the modified bias (the target class).
+    pub bias_index: usize,
+    /// Amount added to that bias.
+    pub shift: f32,
+    /// Whether all requested faults are satisfied after the shift.
+    pub success: bool,
+}
+
+impl SbaAttack {
+    /// Attacks a single image: raise `b_target` until `features` is
+    /// classified as `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is not a single row matching the head input
+    /// or `target` is out of range.
+    pub fn run_single(&self, head: &FcHead, features: &Tensor, target: usize) -> (FcHead, SbaResult) {
+        assert_eq!(features.shape()[0], 1, "run_single expects one image");
+        assert!(target < head.classes(), "target {target} out of range");
+        let logits = head.forward(features);
+        let row = logits.row(0);
+        let best = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let shift = (best - row[target] + self.margin).max(0.0);
+
+        let mut attacked = head.clone();
+        let last = attacked.num_layers() - 1;
+        attacked.layer_mut(last).bias_mut().as_mut_slice()[target] += shift;
+        let success = argmax_slice(attacked.forward(features).row(0)) == target;
+        (attacked, SbaResult { bias_index: target, shift, success })
+    }
+
+    /// Attempts multiple faults by applying one shift per distinct target
+    /// class (the natural multi-image extension of SBA).
+    ///
+    /// Returns the modified head and one result per image. With
+    /// conflicting targets the shifts race each other and later, larger
+    /// shifts override earlier ones — the limitation the fault sneaking
+    /// paper highlights (its Table 2 shows bias-only modification failing
+    /// for S ≥ 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features.shape()[0] != targets.len()` or any target is
+    /// out of range.
+    pub fn run_multi(&self, head: &FcHead, features: &Tensor, targets: &[usize]) -> (FcHead, Vec<SbaResult>) {
+        assert_eq!(features.shape()[0], targets.len(), "features/targets mismatch");
+        let mut attacked = head.clone();
+        let last = attacked.num_layers() - 1;
+        // One pass per image: shift its target's bias just enough *under
+        // the current (already shifted) parameters*.
+        let mut shifts = vec![0.0f32; attacked.classes()];
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < attacked.classes(), "target {t} out of range");
+            let img = one_row(features, i);
+            let logits = attacked.forward(&img);
+            let row = logits.row(0);
+            let best = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let shift = (best - row[t] + self.margin).max(0.0);
+            attacked.layer_mut(last).bias_mut().as_mut_slice()[t] += shift;
+            shifts[t] += shift;
+        }
+        // Judge every image under the final parameters.
+        let results: Vec<SbaResult> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let img = one_row(features, i);
+                let pred = argmax_slice(attacked.forward(&img).row(0));
+                SbaResult { bias_index: t, shift: shifts[t], success: pred == t }
+            })
+            .collect();
+        (attacked, results)
+    }
+}
+
+fn one_row(features: &Tensor, i: usize) -> Tensor {
+    let d = features.shape()[1];
+    Tensor::from_vec(features.row(i).to_vec(), &[1, d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsa_tensor::Prng;
+
+    fn head() -> FcHead {
+        let mut rng = Prng::new(31);
+        FcHead::from_dims(&[6, 8, 4], &mut rng)
+    }
+
+    #[test]
+    fn single_fault_lands_with_one_parameter() {
+        let mut rng = Prng::new(32);
+        let h = head();
+        let x = Tensor::randn(&[1, 6], 1.0, &mut rng);
+        let pred = h.predict(&x)[0];
+        let target = (pred + 1) % 4;
+        let (attacked, result) = SbaAttack::default().run_single(&h, &x, target);
+        assert!(result.success);
+        assert!(result.shift > 0.0);
+        assert_eq!(attacked.predict(&x)[0], target);
+        // Exactly one parameter differs.
+        let mut diff = 0;
+        for l in 0..h.num_layers() {
+            let a = h.layer_flat_params(l);
+            let b = attacked.layer_flat_params(l);
+            diff += a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        }
+        assert_eq!(diff, 1);
+    }
+
+    #[test]
+    fn already_target_needs_no_shift_beyond_margin() {
+        let mut rng = Prng::new(33);
+        let h = head();
+        let x = Tensor::randn(&[1, 6], 1.0, &mut rng);
+        let pred = h.predict(&x)[0];
+        let (_, result) = SbaAttack { margin: 0.0 }.run_single(&h, &x, pred);
+        assert_eq!(result.shift, 0.0);
+        assert!(result.success);
+    }
+
+    #[test]
+    fn conflicting_targets_degrade_multi_image_sba() {
+        // Many images, each demanding a *different* target class: the
+        // later shifts dominate the logits globally, so early faults get
+        // stomped. This mirrors the paper's Table 2 bias-only failures.
+        let mut rng = Prng::new(34);
+        let h = head();
+        let n = 8;
+        let x = Tensor::randn(&[n, 6], 1.0, &mut rng);
+        let preds = h.predict(&x);
+        let targets: Vec<usize> = preds.iter().enumerate().map(|(i, &p)| (p + 1 + (i % 3)) % 4).collect();
+        let (_, results) = SbaAttack::default().run_multi(&h, &x, &targets);
+        let wins = results.iter().filter(|r| r.success).count();
+        assert!(wins < n, "conflicting multi-target SBA should not fully succeed");
+    }
+
+    #[test]
+    fn sba_collateral_is_global() {
+        // A large shift drags unrelated inputs toward the target class.
+        let mut rng = Prng::new(35);
+        let h = head();
+        let x = Tensor::randn(&[1, 6], 1.0, &mut rng);
+        let pred = h.predict(&x)[0];
+        let target = (pred + 1) % 4;
+        let (attacked, _) = SbaAttack { margin: 50.0 }.run_single(&h, &x, target);
+        let others = Tensor::randn(&[64, 6], 1.0, &mut rng);
+        let after = attacked.predict(&others);
+        let to_target = after.iter().filter(|&&p| p == target).count();
+        assert!(to_target > 48, "{to_target}/64 should collapse to the target class");
+    }
+}

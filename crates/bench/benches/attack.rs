@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the attack itself: head passes, one ADMM
+//! iteration's work, and a small end-to-end run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fsa_attack::objective::evaluate_hinge;
+use fsa_attack::{AttackConfig, AttackSpec, FaultSneakingAttack, ParamSelection};
+use fsa_nn::head::FcHead;
+use fsa_tensor::{Prng, Tensor};
+use std::hint::black_box;
+
+/// Paper-scale head (1024→200→200→10) and a last-layer working batch.
+fn paper_head() -> (FcHead, Tensor, Vec<usize>) {
+    let mut rng = Prng::new(11);
+    let head = FcHead::new_random(1024, 200, 200, 10, &mut rng);
+    let features = Tensor::randn(&[100, 1024], 1.0, &mut rng);
+    let labels = head.predict(&features);
+    (head, features, labels)
+}
+
+fn bench_head_passes(c: &mut Criterion) {
+    let (head, features, _) = paper_head();
+    let start = head.num_layers() - 1;
+    let acts = head.activations_before(start, &features);
+    c.bench_function("head_forward_full_100x1024", |bench| {
+        bench.iter(|| black_box(head.forward(black_box(&features))))
+    });
+    c.bench_function("head_forward_truncated_100", |bench| {
+        bench.iter(|| black_box(head.forward_from(start, black_box(&acts))))
+    });
+    let mut rng = Prng::new(12);
+    let g = Tensor::randn(&[100, 10], 1.0, &mut rng);
+    c.bench_function("head_logit_backward_truncated_100", |bench| {
+        bench.iter(|| black_box(head.logit_backward(start, black_box(&acts), black_box(&g))))
+    });
+}
+
+fn bench_hinge(c: &mut Criterion) {
+    let (head, features, labels) = paper_head();
+    let targets = vec![(labels[0] + 1) % 10];
+    let spec = AttackSpec::new(features.clone(), labels, targets);
+    let logits = head.forward(&features);
+    c.bench_function("hinge_eval_100_images", |bench| {
+        bench.iter(|| black_box(evaluate_hinge(black_box(&spec), black_box(&logits), 1.0)))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let (head, features, labels) = paper_head();
+    let targets = vec![(labels[0] + 1) % 10];
+    let spec = AttackSpec::new(features, labels, targets).with_weights(10.0, 1.0);
+    let sel = ParamSelection::last_layer(&head);
+    let cfg = AttackConfig { iterations: 50, refine: None, ..AttackConfig::default() };
+    c.bench_function("attack_50iters_S1_R100_last_layer", |bench| {
+        bench.iter(|| {
+            let attack = FaultSneakingAttack::new(&head, sel.clone(), cfg.clone());
+            black_box(attack.run(black_box(&spec)))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_head_passes, bench_hinge, bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,306 @@
+//! The shared experiment pipeline: datasets → features → trained head,
+//! cached on disk.
+//!
+//! The attack only ever modifies FC-head parameters (as in the paper's
+//! Sec. 5.1), so the conv stack acts as a fixed feature map; features are
+//! extracted once per dataset and reused by every table/figure binary.
+//! See `DESIGN.md` §4 for the substitution rationale.
+
+use fsa_attack::AttackSpec;
+use fsa_data::dataset::{Dataset, Synthesizer};
+use fsa_data::{SynthDigits, SynthObjects};
+use fsa_nn::cw::{CwConfig, CwModel};
+use fsa_nn::head::FcHead;
+use fsa_nn::head_train::{train_head, HeadTrainConfig};
+use fsa_nn::trainer::gather_rows;
+use fsa_tensor::io::{read_file, write_file, DecodeError, Decoder, Encoder};
+use fsa_tensor::{Prng, Tensor};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Which victim dataset/model pair to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kind {
+    /// MNIST-like synthetic digits (high-accuracy victim, ≈99.5%).
+    Digits,
+    /// CIFAR-like synthetic objects (moderate-accuracy victim, ≈80%).
+    Objects,
+}
+
+impl Kind {
+    /// Short name used in file paths and table headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Kind::Digits => "digits",
+            Kind::Objects => "objects",
+        }
+    }
+
+    /// The paper dataset this stands in for.
+    pub fn stands_for(&self) -> &'static str {
+        match self {
+            Kind::Digits => "MNIST",
+            Kind::Objects => "CIFAR-10",
+        }
+    }
+
+    fn cw_config(&self) -> CwConfig {
+        match self {
+            Kind::Digits => CwConfig::mnist(),
+            Kind::Objects => CwConfig::cifar(),
+        }
+    }
+
+    fn synthesizer(&self) -> Box<dyn Synthesizer> {
+        match self {
+            Kind::Digits => Box::new(SynthDigits::default()),
+            Kind::Objects => Box::new(SynthObjects::default()),
+        }
+    }
+}
+
+/// Sizes of the artifact splits.
+const TRAIN_N: usize = 4000;
+const TEST_N: usize = 2000;
+const POOL_N: usize = 1500;
+/// Master seed for artifact construction.
+const SEED: u64 = 0xDAC1_9;
+/// Artifact format version (bump to invalidate caches).
+const VERSION: u32 = 3;
+
+/// A victim model with cached features for the test set and the attack
+/// pool.
+#[derive(Debug)]
+pub struct Artifacts {
+    /// Which dataset pair this is.
+    pub kind: Kind,
+    /// The trained victim (random frozen conv stack + trained FC head).
+    pub model: CwModel,
+    /// `[TEST_N, feature_dim]` conv features of the held-out test set.
+    pub test_features: Tensor,
+    /// Test labels.
+    pub test_labels: Vec<usize>,
+    /// `[POOL_N, feature_dim]` conv features of the attack pool — the
+    /// images the adversary works with (disjoint from train and test).
+    pub pool_features: Tensor,
+    /// Pool labels.
+    pub pool_labels: Vec<usize>,
+    /// Pool indices the victim classifies correctly (the paper implicitly
+    /// attacks correctly-classified images).
+    pub pool_correct: Vec<usize>,
+    /// Victim test accuracy (the paper's "original model" accuracy row).
+    pub baseline_accuracy: f32,
+    /// Lazily cached truncated test activations per start layer.
+    test_acts: Mutex<HashMap<usize, Tensor>>,
+}
+
+impl Artifacts {
+    /// Loads cached artifacts or builds (and caches) them.
+    ///
+    /// # Panics
+    ///
+    /// Panics on I/O failure or if the victim fails to train to a sane
+    /// accuracy — both indicate a broken environment rather than a
+    /// recoverable condition for the experiment binaries.
+    pub fn load_or_build(kind: Kind) -> Artifacts {
+        let path = artifact_path(kind);
+        if let Ok(bytes) = read_file(&path) {
+            match Self::decode(kind, &bytes) {
+                Ok(a) => return a,
+                Err(e) => eprintln!("[artifacts] cache {} invalid ({e}); rebuilding", path.display()),
+            }
+        }
+        let mut built = Self::build(kind);
+        let mut enc = Encoder::new();
+        built.encode(&mut enc);
+        write_file(&path, &enc.into_bytes()).expect("failed to write artifact cache");
+        built
+    }
+
+    /// Builds artifacts from scratch (synthesize → extract → train).
+    pub fn build(kind: Kind) -> Artifacts {
+        let t0 = Instant::now();
+        eprintln!("[artifacts] building {} victim (first run only)...", kind.name());
+        let gen = kind.synthesizer();
+        let mut rng = Prng::new(SEED);
+        let (train, test) = gen.train_test(TRAIN_N, TEST_N, SEED);
+        let pool: Dataset = gen.generate(POOL_N, SEED ^ 0x706f_6f6c);
+
+        let mut model = CwModel::new_random(kind.cw_config(), &mut rng);
+        let train_features = extract_features(&model, &train.images);
+        let test_features = extract_features(&model, &test.images);
+        let pool_features = extract_features(&model, &pool.images);
+
+        let cfg = HeadTrainConfig { epochs: 18, batch_size: 64, lr: 1e-3, verbose: false };
+        let mut head = model.head.clone();
+        train_head(&mut head, &train_features, &train.labels, &cfg, &mut rng);
+        model.head = head;
+
+        let baseline_accuracy = model.head.accuracy(&test_features, &test.labels);
+        assert!(
+            baseline_accuracy > 0.5,
+            "victim failed to train ({} accuracy {baseline_accuracy})",
+            kind.name()
+        );
+        let preds = model.head.predict(&pool_features);
+        let pool_correct: Vec<usize> =
+            (0..POOL_N).filter(|&i| preds[i] == pool.labels[i]).collect();
+        eprintln!(
+            "[artifacts] {} ready in {:.1}s: test acc {:.4}, pool {} usable",
+            kind.name(),
+            t0.elapsed().as_secs_f64(),
+            baseline_accuracy,
+            pool_correct.len()
+        );
+
+        Artifacts {
+            kind,
+            model,
+            test_features,
+            test_labels: test.labels,
+            pool_features,
+            pool_labels: pool.labels,
+            pool_correct,
+            baseline_accuracy,
+            test_acts: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The trained victim head.
+    pub fn head(&self) -> &FcHead {
+        &self.model.head
+    }
+
+    /// Builds an attack spec: `r` correctly-classified pool images, the
+    /// first `s` with random wrong target labels. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool has fewer than `r` usable images or `s > r`.
+    pub fn make_spec(&self, s: usize, r: usize, seed: u64) -> AttackSpec {
+        assert!(s <= r, "S = {s} must not exceed R = {r}");
+        assert!(
+            r <= self.pool_correct.len(),
+            "R = {r} exceeds usable pool of {}",
+            self.pool_correct.len()
+        );
+        let mut rng = Prng::new(seed ^ 0xA77A);
+        let chosen = rng.choose_distinct(self.pool_correct.len(), r);
+        let d = self.pool_features.shape()[1];
+        let mut features = Tensor::zeros(&[r, d]);
+        let mut labels = Vec::with_capacity(r);
+        for (row, &ci) in chosen.iter().enumerate() {
+            let i = self.pool_correct[ci];
+            features.row_mut(row).copy_from_slice(self.pool_features.row(i));
+            labels.push(self.pool_labels[i]);
+        }
+        let classes = self.model.config.classes;
+        let targets: Vec<usize> = labels[..s]
+            .iter()
+            .map(|&l| {
+                let mut t = rng.below(classes - 1);
+                if t >= l {
+                    t += 1;
+                }
+                t
+            })
+            .collect();
+        AttackSpec::new(features, labels, targets)
+    }
+
+    /// Test-set activations truncated to head layer `start` (cached).
+    pub fn test_acts(&self, start: usize) -> Tensor {
+        let mut cache = self.test_acts.lock();
+        cache
+            .entry(start)
+            .or_insert_with(|| self.model.head.activations_before(start, &self.test_features))
+            .clone()
+    }
+
+    /// Test accuracy of a (possibly modified) head sharing this victim's
+    /// earlier layers up to `start`.
+    pub fn test_accuracy(&self, head: &FcHead, start: usize) -> f32 {
+        let acts = self.test_acts(start);
+        fsa_attack::eval::accuracy_from(head, start, &acts, &self.test_labels)
+    }
+
+    fn encode(&mut self, enc: &mut Encoder) {
+        enc.put_u32(VERSION);
+        enc.put_str(self.kind.name());
+        self.model.encode(enc);
+        enc.put_tensor(&self.test_features);
+        enc.put_u32_slice(&self.test_labels.iter().map(|&l| l as u32).collect::<Vec<_>>());
+        enc.put_tensor(&self.pool_features);
+        enc.put_u32_slice(&self.pool_labels.iter().map(|&l| l as u32).collect::<Vec<_>>());
+        enc.put_f32(self.baseline_accuracy);
+    }
+
+    fn decode(kind: Kind, bytes: &[u8]) -> Result<Artifacts, DecodeError> {
+        let mut dec = Decoder::new(bytes);
+        let version = dec.read_u32()?;
+        if version != VERSION {
+            return Err(DecodeError::new(format!("artifact version {version} != {VERSION}")));
+        }
+        let name = dec.read_str()?;
+        if name != kind.name() {
+            return Err(DecodeError::new(format!("artifact kind {name} != {}", kind.name())));
+        }
+        let model = CwModel::decode(kind.cw_config(), &mut dec)?;
+        let test_features = dec.read_tensor()?;
+        let test_labels: Vec<usize> = dec.read_u32_vec()?.into_iter().map(|l| l as usize).collect();
+        let pool_features = dec.read_tensor()?;
+        let pool_labels: Vec<usize> = dec.read_u32_vec()?.into_iter().map(|l| l as usize).collect();
+        let baseline_accuracy = dec.read_f32()?;
+        let preds = model.head.predict(&pool_features);
+        let pool_correct: Vec<usize> =
+            (0..pool_labels.len()).filter(|&i| preds[i] == pool_labels[i]).collect();
+        Ok(Artifacts {
+            kind,
+            model,
+            test_features,
+            test_labels,
+            pool_features,
+            pool_labels,
+            pool_correct,
+            baseline_accuracy,
+            test_acts: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+/// Streams images through the conv stack in chunks.
+pub fn extract_features(model: &CwModel, images: &Tensor) -> Tensor {
+    let n = images.shape()[0];
+    let mut out = Tensor::zeros(&[n, model.config.feature_dim()]);
+    let idx: Vec<usize> = (0..n).collect();
+    let mut row = 0;
+    for c in idx.chunks(32) {
+        let batch = gather_rows(images, c);
+        let f = model.extract_features(&batch);
+        for r in 0..c.len() {
+            out.row_mut(row).copy_from_slice(f.row(r));
+            row += 1;
+        }
+    }
+    out
+}
+
+/// Path of the on-disk cache for `kind`.
+pub fn artifact_path(kind: Kind) -> PathBuf {
+    workspace_root().join("artifacts").join(format!("{}.bin", kind.name()))
+}
+
+/// Best-effort workspace root (works from any crate's test/bench CWD).
+fn workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("no current dir");
+    loop {
+        if dir.join("Cargo.toml").exists() && dir.join("crates").exists() {
+            return dir;
+        }
+        if !dir.pop() {
+            return std::env::current_dir().expect("no current dir");
+        }
+    }
+}

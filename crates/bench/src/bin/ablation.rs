@@ -1,0 +1,63 @@
+//! **Ablation** — the two engineering choices this reproduction adds on
+//! top of the paper's eqs. 10–22 (documented in EXPERIMENTS.md):
+//!
+//! * hinge margin κ (paper: 0; ours: 1) — hardens faults against the
+//!   `ℓ0` z-step's rounding;
+//! * support-restricted refinement — repairs marginal faults without
+//!   growing `ℓ0`.
+//!
+//! Run on a moderately hard configuration (S=8, R=200, digits) where the
+//! differences show.
+
+use fsa_attack::refine::RefineConfig;
+use fsa_attack::{AttackConfig, ParamSelection};
+use fsa_bench::exp::{experiment_config, run_mean};
+use fsa_bench::report::{pct, print_table};
+use fsa_bench::{row, Artifacts, Kind};
+
+fn main() {
+    let art = Artifacts::load_or_build(Kind::Digits);
+    let sel = ParamSelection::last_layer(art.head());
+    let (s, r) = (8usize, 200usize);
+
+    let variants: Vec<(&str, AttackConfig)> = vec![
+        ("full (κ=1, refine)", experiment_config()),
+        ("no refine", AttackConfig { refine: None, ..experiment_config() }),
+        ("κ=0 (paper-literal hinge)", AttackConfig { kappa: 0.0, ..experiment_config() }),
+        (
+            "κ=0, no refine",
+            AttackConfig { kappa: 0.0, refine: None, ..experiment_config() },
+        ),
+        (
+            "long refine (200 steps)",
+            AttackConfig {
+                refine: Some(RefineConfig { iterations: 200, step: None }),
+                ..experiment_config()
+            },
+        ),
+        ("rho=1", AttackConfig { rho: 1.0, ..experiment_config() }),
+        ("rho=25", AttackConfig { rho: 25.0, ..experiment_config() }),
+        ("150 iterations", AttackConfig { iterations: 150, ..experiment_config() }),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, cfg) in &variants {
+        let m = run_mean(&art, &sel, s, r, 3, cfg);
+        rows.push(row![
+            name,
+            format!("{:.0}", m.l0),
+            format!("{:.2}", m.l2),
+            pct(m.success_rate as f32),
+            pct(m.unchanged_rate as f32),
+            pct(m.test_accuracy as f32)
+        ]);
+    }
+    print_table(
+        &format!("Ablation at S={s}, R={r} (digits victim, last FC layer, 3 seeds)"),
+        &row!["variant", "l0", "l2", "fault success", "keep rate", "test acc"],
+        &rows,
+    );
+    println!("\nReading: κ=1 + refinement buy fault success at slightly higher l0; ρ trades");
+    println!("sparsity against success; the paper's κ=0 hinge alone leaves marginal faults");
+    println!("vulnerable to the z-step's rounding.");
+}

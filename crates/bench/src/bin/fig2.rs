@@ -1,0 +1,36 @@
+//! **Figure 2** — `ℓ0` norm of modifications in the last FC layer vs
+//! `R`, one series per `S` (CIFAR-like victim). Same sweep as Figure 1.
+
+use fsa_attack::ParamSelection;
+use fsa_bench::exp::{experiment_config, run_mean};
+use fsa_bench::report::print_table;
+use fsa_bench::{row, Artifacts, Kind};
+
+fn main() {
+    let art = Artifacts::load_or_build(Kind::Objects);
+    let sel = ParamSelection::last_layer(art.head());
+    let cfg = experiment_config();
+    let ss = [1usize, 2, 4, 8, 16];
+    let rs = [50usize, 100, 200, 500, 1000];
+
+    let mut rows = Vec::new();
+    for &s in &ss {
+        let mut cells = vec![format!("S={s}")];
+        for &r in &rs {
+            let m = run_mean(&art, &sel, s, r.max(s), 2, &cfg);
+            cells.push(format!("{:.0}", m.l0));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        &format!(
+            "Figure 2: l0 of last-FC-layer modifications vs R — {} ({})",
+            art.kind.name(),
+            art.kind.stands_for()
+        ),
+        &row!["", "R=50", "R=100", "R=200", "R=500", "R=1000"],
+        &rows,
+    );
+    println!("\nShape checks: l0 grows with S; the CIFAR-like victim (weaker model) needs");
+    println!("comparable or fewer modifications per fault than digits at small S.");
+}

@@ -1,0 +1,50 @@
+//! **Table 1** — `ℓ0` norm of parameter modifications per fully connected
+//! layer (MNIST-like victim).
+//!
+//! Paper's shape claims: (a) more modifications as `S = R` grows;
+//! (b) the *last* FC layer needs the fewest modifications because it most
+//! directly influences the logits — the reason all later experiments
+//! modify only that layer.
+
+use fsa_attack::{ParamKind, ParamSelection};
+use fsa_bench::exp::{experiment_config, run_mean};
+use fsa_bench::report::print_table;
+use fsa_bench::{row, Artifacts, Kind};
+
+fn main() {
+    let art = Artifacts::load_or_build(Kind::Digits);
+    let head = art.head();
+    let cfg = experiment_config();
+    let configs = [(1usize, 1usize), (4, 4), (16, 16)];
+    let paper: [[u32; 3]; 3] = [
+        [14016, 40649, 120_597], // paper row: first FC layer
+        [5390, 14086, 34069],    // second FC layer
+        [222, 682, 1755],        // last FC layer
+    ];
+
+    let mut rows = Vec::new();
+    for layer in 0..head.num_layers() {
+        let sel = ParamSelection::layer(layer, ParamKind::Both);
+        let total = sel.dim(head);
+        let mut cells = vec![layer_name(layer).to_string(), total.to_string()];
+        for (ci, &(s, r)) in configs.iter().enumerate() {
+            let m = run_mean(&art, &sel, s, r, 3, &cfg);
+            cells.push(format!("{:.0} (paper {})", m.l0, paper[layer][ci]));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        "Table 1: l0 of modifications per FC layer (digits / MNIST)",
+        &row!["layer", "params", "S=1,R=1", "S=4,R=4", "S=16,R=16"],
+        &rows,
+    );
+    println!("\nShape checks: l0 grows with S=R; last layer needs the fewest modifications.");
+}
+
+fn layer_name(layer: usize) -> &'static str {
+    match layer {
+        0 => "first FC",
+        1 => "second FC",
+        _ => "last FC",
+    }
+}

@@ -1,0 +1,44 @@
+//! **Table 2** — modifying only weights vs only biases of the last FC
+//! layer (MNIST-like victim).
+//!
+//! Paper's shape claims: bias-only modification needs very few parameters
+//! (the 2 output-layer biases involved per fault) but fails outright for
+//! `S ≥ 4` with conflicting targets; weights-only always succeeds.
+
+use fsa_attack::{ParamKind, ParamSelection};
+use fsa_bench::exp::{bias_experiment_config, experiment_config, run_mean};
+use fsa_bench::report::{pct, print_table};
+use fsa_bench::{row, Artifacts, Kind};
+
+fn main() {
+    let art = Artifacts::load_or_build(Kind::Digits);
+    let head = art.head();
+    let last = head.num_layers() - 1;
+    let configs = [(1usize, 1usize), (2, 2), (4, 4), (8, 8)];
+    let paper_w = ["236", "458", "715", "1644"];
+    let paper_b = ["2", "4", "- (0%)", "- (0%)"];
+
+    let mut rows = Vec::new();
+    for (kind, name, cfg, paper) in [
+        (ParamKind::Weights, "weights", experiment_config(), &paper_w),
+        (ParamKind::Bias, "bias", bias_experiment_config(), &paper_b),
+    ] {
+        let sel = ParamSelection::layer(last, kind);
+        let mut l0_cells = vec![format!("l0 ({name})")];
+        let mut sr_cells = vec![format!("success ({name})")];
+        for (ci, &(s, r)) in configs.iter().enumerate() {
+            let m = run_mean(&art, &sel, s, r, 3, &cfg);
+            l0_cells.push(format!("{:.0} (paper {})", m.l0, paper[ci]));
+            sr_cells.push(pct(m.success_rate as f32));
+        }
+        rows.push(l0_cells);
+        rows.push(sr_cells);
+    }
+    print_table(
+        "Table 2: weights-only vs bias-only modification of the last FC layer (digits / MNIST)",
+        &row!["metric", "S=1,R=1", "S=2,R=2", "S=4,R=4", "S=8,R=8"],
+        &rows,
+    );
+    println!("\nShape checks: bias-only uses far fewer params but its success collapses as S grows");
+    println!("with conflicting targets (the paper's SBA limitation); weights-only stays at 100%.");
+}

@@ -1,0 +1,31 @@
+//! Experiment harness for the fault sneaking attack reproduction.
+//!
+//! One binary per paper table/figure lives in `src/bin/`; they share the
+//! [`artifacts`] pipeline (synthesize data → extract conv features → train
+//! the FC head → cache everything on disk) and the [`report`] table
+//! printers. Criterion micro-benchmarks live in `benches/`.
+//!
+//! Run, from the workspace root:
+//!
+//! ```text
+//! cargo run --release -p fsa-bench --bin table1
+//! cargo run --release -p fsa-bench --bin table2
+//! cargo run --release -p fsa-bench --bin table3
+//! cargo run --release -p fsa-bench --bin table4
+//! cargo run --release -p fsa-bench --bin fig1
+//! cargo run --release -p fsa-bench --bin fig2
+//! cargo run --release -p fsa-bench --bin fig3
+//! cargo run --release -p fsa-bench --bin baseline_cmp
+//! cargo run --release -p fsa-bench --bin fault_plan
+//! ```
+//!
+//! The first run builds `artifacts/{digits,objects}.bin` (a couple of
+//! minutes); later runs load them in milliseconds.
+
+#![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod exp;
+pub mod report;
+
+pub use artifacts::{Artifacts, Kind};

@@ -1,0 +1,182 @@
+//! The misclassification objective `G` and its logit-space gradient.
+//!
+//! Per image `i` the paper uses the C&W-style logit hinge (eqs. 3, 5, 6):
+//!
+//! ```text
+//! g_i = c_i · max( max_{j≠t} Z_j − Z_t , 0 )
+//! ```
+//!
+//! with `t = t_i` (target) for the `S` attack images and `t = l_i`
+//! (original label) for the keep images. When the hinge is active its
+//! gradient in logit space is `+c_i` at the runner-up class `j*` and
+//! `−c_i` at the enforced class `t`; this matrix feeds
+//! [`fsa_nn::head::FcHead::logit_backward`] to produce parameter-space
+//! gradients.
+
+use crate::spec::AttackSpec;
+use fsa_tensor::Tensor;
+
+/// Hinge value and logit-gradient of the full objective at given logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HingeEval {
+    /// `Σ_i g_i` (weighted).
+    pub total: f32,
+    /// Per-image hinge values (weighted).
+    pub per_image: Vec<f32>,
+    /// Upstream gradient matrix `[R, classes]` for the head backward pass.
+    pub logit_grad: Tensor,
+    /// Number of images whose hinge is active (objective unsatisfied).
+    pub active: usize,
+}
+
+/// Evaluates the hinge objective and its logit gradient.
+///
+/// `kappa ≥ 0` adds a confidence margin: an image only counts as satisfied
+/// once its enforced logit beats the runner-up by `kappa` (the paper uses
+/// `kappa = 0`; a small positive margin hardens the faults against the
+/// thresholding in the z-step).
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[R, classes]` for the spec.
+pub fn evaluate_hinge(spec: &AttackSpec, logits: &Tensor, kappa: f32) -> HingeEval {
+    let r = spec.r();
+    assert_eq!(logits.ndim(), 2, "logits must be [R, classes]");
+    assert_eq!(logits.shape()[0], r, "logits rows must equal R");
+    let classes = logits.shape()[1];
+
+    let mut grad = Tensor::zeros(&[r, classes]);
+    let mut per_image = Vec::with_capacity(r);
+    let mut total = 0.0f64;
+    let mut active = 0usize;
+
+    for i in 0..r {
+        let t = spec.enforced_label(i);
+        assert!(t < classes, "enforced label {t} out of range");
+        let row = logits.row(i);
+        // Runner-up: the largest logit excluding the enforced class.
+        let mut j_star = usize::MAX;
+        let mut best = f32::NEG_INFINITY;
+        for (j, &z) in row.iter().enumerate() {
+            if j != t && z > best {
+                best = z;
+                j_star = j;
+            }
+        }
+        let margin = best - row[t] + kappa;
+        let c = spec.weight(i);
+        if margin > 0.0 {
+            active += 1;
+            let g = c * margin;
+            per_image.push(g);
+            total += g as f64;
+            let grow = grad.row_mut(i);
+            grow[j_star] += c;
+            grow[t] -= c;
+        } else {
+            per_image.push(0.0);
+        }
+    }
+
+    HingeEval { total: total as f32, per_image, logit_grad: grad, active }
+}
+
+/// Counts how many of the first `S` images are classified as their targets
+/// and how many of the rest keep their labels, from raw logits.
+///
+/// Returns `(s_hits, keep_hits)`.
+pub fn count_satisfied(spec: &AttackSpec, logits: &Tensor) -> (usize, usize) {
+    let mut s_hits = 0;
+    let mut keep_hits = 0;
+    for i in 0..spec.r() {
+        let pred = fsa_nn::loss::argmax_slice(logits.row(i));
+        if i < spec.s() {
+            if pred == spec.targets[i] {
+                s_hits += 1;
+            }
+        } else if pred == spec.labels[i] {
+            keep_hits += 1;
+        }
+    }
+    (s_hits, keep_hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec2() -> AttackSpec {
+        // R = 2, S = 1: image 0 must become class 2; image 1 stays class 0.
+        AttackSpec::new(Tensor::zeros(&[2, 3]), vec![1, 0], vec![2])
+    }
+
+    #[test]
+    fn satisfied_images_have_zero_hinge_and_grad() {
+        let spec = spec2();
+        // Image 0 already classified 2, image 1 already 0.
+        let logits = Tensor::from_vec(vec![0.0, 1.0, 5.0, 9.0, 2.0, 1.0], &[2, 3]);
+        let eval = evaluate_hinge(&spec, &logits, 0.0);
+        assert_eq!(eval.total, 0.0);
+        assert_eq!(eval.active, 0);
+        assert!(eval.logit_grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn violated_image_gets_signed_gradient() {
+        let spec = spec2();
+        // Image 0: class 1 logit dominates (4.0), target 2 at 1.0 → active.
+        let logits = Tensor::from_vec(vec![0.0, 4.0, 1.0, 9.0, 2.0, 1.0], &[2, 3]);
+        let eval = evaluate_hinge(&spec, &logits, 0.0);
+        assert_eq!(eval.active, 1);
+        assert!((eval.per_image[0] - 3.0).abs() < 1e-6);
+        let g = eval.logit_grad.row(0);
+        assert_eq!(g, &[0.0, 1.0, -1.0]);
+        assert_eq!(eval.logit_grad.row(1), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn weights_scale_gradient() {
+        let spec = spec2().with_weights(5.0, 0.5);
+        let logits = Tensor::from_vec(vec![0.0, 4.0, 1.0, 2.0, 9.0, 1.0], &[2, 3]);
+        // Image 0 violated (weight 5), image 1 violated: pred 1 ≠ 0 (weight 0.5).
+        let eval = evaluate_hinge(&spec, &logits, 0.0);
+        assert_eq!(eval.logit_grad.row(0), &[0.0, 5.0, -5.0]);
+        assert_eq!(eval.logit_grad.row(1), &[-0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn kappa_demands_margin() {
+        let spec = spec2();
+        // Image 0 satisfied by 0.5 — but kappa = 1 makes it active.
+        let logits = Tensor::from_vec(vec![0.0, 1.0, 1.5, 9.0, 0.0, 0.0], &[2, 3]);
+        assert_eq!(evaluate_hinge(&spec, &logits, 0.0).active, 0);
+        assert_eq!(evaluate_hinge(&spec, &logits, 1.0).active, 1);
+    }
+
+    #[test]
+    fn count_satisfied_partitions() {
+        let spec = spec2();
+        let logits = Tensor::from_vec(vec![0.0, 1.0, 5.0, 1.0, 9.0, 0.0], &[2, 3]);
+        // Image 0: pred 2 == target ✓; image 1: pred 1 ≠ label 0 ✗.
+        assert_eq!(count_satisfied(&spec, &logits), (1, 0));
+    }
+
+    #[test]
+    fn hinge_gradient_matches_finite_difference() {
+        let spec = spec2().with_weights(2.0, 3.0);
+        let logits = Tensor::from_vec(vec![0.3, 0.9, 0.1, 0.2, 0.8, 0.4], &[2, 3]);
+        let eval = evaluate_hinge(&spec, &logits, 0.0);
+        let eps = 1e-3;
+        for idx in 0..logits.numel() {
+            let mut p = logits.clone();
+            p.as_mut_slice()[idx] += eps;
+            let mut m = logits.clone();
+            m.as_mut_slice()[idx] -= eps;
+            let fp = evaluate_hinge(&spec, &p, 0.0).total;
+            let fm = evaluate_hinge(&spec, &m, 0.0).total;
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = eval.logit_grad.as_slice()[idx];
+            assert!((num - ana).abs() < 1e-2, "idx {idx}: {num} vs {ana}");
+        }
+    }
+}

@@ -1,0 +1,508 @@
+//! The ADMM attack loop (paper Sec. 4).
+
+use crate::eval;
+use crate::objective::{count_satisfied, evaluate_hinge};
+use crate::refine::{refine_on_support, RefineConfig};
+use crate::selection::ParamSelection;
+use crate::spec::AttackSpec;
+use fsa_admm::prox::{block_soft_threshold, hard_threshold};
+use fsa_admm::solver::{AdmmConfig, AdmmDriver, AdmmProblem, IterStats};
+use fsa_admm::RhoPolicy;
+use fsa_nn::head::FcHead;
+use fsa_tensor::norms;
+
+/// Which measurement `D(δ)` the attack minimizes (paper eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Norm {
+    /// `‖δ‖₀` — number of modified parameters (hardware cost).
+    L0,
+    /// `‖δ‖₂` — magnitude of the modification.
+    L2,
+}
+
+/// How the δ-step's Bregman stiffness (`αR` in paper eq. 21-22) is set.
+///
+/// A δ-step along an image's own hinge gradient `gᵢ` moves that image's
+/// margin by `cᵢ·‖gᵢ‖² / (αR + ρ)` per iteration. Stability therefore
+/// wants `αR` proportional to the *gradient leverage* `‖gᵢ‖²` of the
+/// selected parameters — `≈ 2(‖a‖²+1)` for a full last-layer selection
+/// but only `2` for bias-only — so the default measures it on the batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Stiffness {
+    /// `αR = multiplier × c_max × mean‖gᵢ‖² / 2`, measured from the
+    /// spec's initial per-image hinge gradients (recommended; 2.0 ≈
+    /// one-logit margin movement per iteration).
+    Auto(f32),
+    /// Fixed `αR` product.
+    Fixed(f32),
+}
+
+impl Stiffness {
+    /// Resolves the stiffness for a batch with mean squared per-image
+    /// hinge-gradient norm `mean_grad_sq` and maximum per-image weight
+    /// `c_max`.
+    pub fn resolve(&self, mean_grad_sq: f32, c_max: f32) -> f32 {
+        match *self {
+            Stiffness::Auto(m) => (0.5 * m * mean_grad_sq * c_max.max(f32::EPSILON)).max(1.0),
+            Stiffness::Fixed(v) => v.max(1.0),
+        }
+    }
+}
+
+/// Hyperparameters of the fault sneaking attack.
+#[derive(Debug, Clone)]
+pub struct AttackConfig {
+    /// Norm minimized as `D(δ)`.
+    pub norm: Norm,
+    /// ADMM penalty ρ.
+    pub rho: f32,
+    /// Bregman stiffness policy (`α_paper = stiffness / R`).
+    pub stiffness: Stiffness,
+    /// Weight λ on `D(δ)` relative to the misclassification terms. The
+    /// paper fixes λ = 1 and scales the `c_i`; exposing λ is the same
+    /// degree of freedom with better-conditioned defaults.
+    pub lambda: f32,
+    /// Maximum ADMM iterations.
+    pub iterations: usize,
+    /// Confidence margin κ on the logit hinge (0 reproduces eq. 3
+    /// exactly; a positive margin hardens faults against the z-step's
+    /// thresholding).
+    pub kappa: f32,
+    /// Optional support-restricted repair pass after ADMM.
+    pub refine: Option<RefineConfig>,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        Self {
+            norm: Norm::L0,
+            rho: 5.0,
+            stiffness: Stiffness::Auto(2.0),
+            lambda: 0.001,
+            iterations: 400,
+            kappa: 1.0,
+            refine: Some(RefineConfig::default()),
+        }
+    }
+}
+
+impl AttackConfig {
+    /// Default configuration for the `ℓ2` attack.
+    pub fn l2() -> Self {
+        Self { norm: Norm::L2, ..Default::default() }
+    }
+}
+
+/// Outcome of one attack run.
+#[derive(Debug, Clone)]
+pub struct AttackResult {
+    /// The parameter modification (the structured ADMM variable `z`,
+    /// exactly sparse under `ℓ0`), over the selection's flat layout.
+    pub delta: Vec<f32>,
+    /// `‖δ‖₀` (exact zero count — the z-step produces true zeros).
+    pub l0: usize,
+    /// `‖δ‖₂`.
+    pub l2: f32,
+    /// How many of the `S` designated faults landed.
+    pub s_success: usize,
+    /// `S`.
+    pub s_total: usize,
+    /// How many keep-set images retained their labels.
+    pub keep_unchanged: usize,
+    /// `R − S`.
+    pub keep_total: usize,
+    /// Total hinge objective per ADMM iteration (diagnostic).
+    pub objective_history: Vec<f32>,
+    /// ADMM residual history.
+    pub admm_history: Vec<IterStats>,
+    /// Whether the ADMM residual tolerances were met.
+    pub converged: bool,
+}
+
+impl AttackResult {
+    /// Fraction of the `S` faults successfully injected (1 if `S = 0`).
+    pub fn success_rate(&self) -> f32 {
+        if self.s_total == 0 {
+            1.0
+        } else {
+            self.s_success as f32 / self.s_total as f32
+        }
+    }
+
+    /// Fraction of keep-set images whose labels survived (1 if empty).
+    pub fn unchanged_rate(&self) -> f32 {
+        if self.keep_total == 0 {
+            1.0
+        } else {
+            self.keep_unchanged as f32 / self.keep_total as f32
+        }
+    }
+}
+
+/// The fault sneaking attack: a configured solver bound to a victim head
+/// and a parameter selection.
+///
+/// The victim head is cloned; running the attack never mutates the
+/// caller's model. Apply the returned `δ` with [`eval::apply_delta`].
+#[derive(Debug, Clone)]
+pub struct FaultSneakingAttack {
+    head: FcHead,
+    selection: ParamSelection,
+    config: AttackConfig,
+    theta0: Vec<f32>,
+}
+
+impl FaultSneakingAttack {
+    /// Binds the attack to a victim head and parameter selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selection names layers outside the head.
+    pub fn new(head: &FcHead, selection: ParamSelection, config: AttackConfig) -> Self {
+        selection.validate(head);
+        let theta0 = selection.gather(head);
+        Self { head: head.clone(), selection, config, theta0 }
+    }
+
+    /// The original (unmodified) selected parameters `θ_sel`.
+    pub fn theta0(&self) -> &[f32] {
+        &self.theta0
+    }
+
+    /// The bound selection.
+    pub fn selection(&self) -> &ParamSelection {
+        &self.selection
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+
+    /// Runs the attack for `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's feature width does not match the head input,
+    /// or any label/target is out of class range.
+    pub fn run(&self, spec: &AttackSpec) -> AttackResult {
+        assert_eq!(
+            spec.features.shape()[1],
+            self.head.in_features(),
+            "spec features must match head input width"
+        );
+        let start = self.selection.start_layer();
+        let acts = self.head.activations_before(start, &spec.features);
+        let dim = self.selection.dim(&self.head);
+        let c_max = spec.c_attack.max(spec.c_keep);
+        let leverage = estimate_leverage(&self.head, &self.selection, start, &acts, spec);
+        let stiffness = self.config.stiffness.resolve(leverage, c_max);
+
+        let mut problem = Problem {
+            head: self.head.clone(),
+            selection: &self.selection,
+            spec,
+            acts: &acts,
+            start,
+            theta0: &self.theta0,
+            cfg: &self.config,
+            stiffness,
+            objective_history: Vec::with_capacity(self.config.iterations),
+            scratch: vec![0.0; dim],
+        };
+
+        let driver = AdmmDriver::new(AdmmConfig {
+            rho: self.config.rho,
+            max_iterations: self.config.iterations,
+            primal_tol: 1e-6,
+            dual_tol: 1e-6,
+            rho_policy: RhoPolicy::Fixed,
+        });
+        let admm = driver.run(&mut problem, &vec![0.0; dim]);
+        let objective_history = std::mem::take(&mut problem.objective_history);
+
+        // The structured variable z is the attack's answer: it is exactly
+        // sparse under ℓ0 (hard-thresholded) and exactly shrunk under ℓ2.
+        let mut delta = admm.z.clone();
+
+        if let Some(refine_cfg) = &self.config.refine {
+            let mut head = self.head.clone();
+            refine_on_support(
+                &mut head,
+                &self.selection,
+                &self.theta0,
+                spec,
+                &acts,
+                self.config.kappa,
+                stiffness,
+                refine_cfg,
+                &mut delta,
+            );
+        }
+
+        // Final evaluation with θ + δ applied.
+        let mut attacked = self.head.clone();
+        eval::apply_delta(&mut attacked, &self.selection, &self.theta0, &delta);
+        let logits = attacked.forward_from(start, &acts);
+        let (s_hits, keep_hits) = count_satisfied(spec, &logits);
+
+        AttackResult {
+            l0: norms::l0(&delta, 0.0),
+            l2: norms::l2(&delta),
+            delta,
+            s_success: s_hits,
+            s_total: spec.s(),
+            keep_unchanged: keep_hits,
+            keep_total: spec.r() - spec.s(),
+            objective_history,
+            admm_history: admm.history,
+            converged: admm.converged,
+        }
+    }
+}
+
+/// Mean squared norm of the per-image unit-weight hinge gradient over the
+/// selected parameters, sampled on up to 32 images — the curvature proxy
+/// behind [`Stiffness::Auto`].
+fn estimate_leverage(
+    head: &FcHead,
+    selection: &ParamSelection,
+    start: usize,
+    acts: &fsa_tensor::Tensor,
+    spec: &AttackSpec,
+) -> f32 {
+    let r = spec.r();
+    let sample = r.min(32);
+    if sample == 0 {
+        return 1.0;
+    }
+    let classes = head.classes();
+    let d = acts.shape()[1];
+    let logits = head.forward_from(start, acts);
+    let mut total = 0.0f64;
+    for i in 0..sample {
+        let t = spec.enforced_label(i);
+        // Runner-up under the unmodified model.
+        let row = logits.row(i);
+        let mut j_star = if t == 0 { 1 } else { 0 };
+        for (j, &z) in row.iter().enumerate() {
+            if j != t && z > row[j_star] {
+                j_star = j;
+            }
+        }
+        let mut g = fsa_tensor::Tensor::zeros(&[1, classes]);
+        g.row_mut(0)[j_star] = 1.0;
+        g.row_mut(0)[t] = -1.0;
+        let one = fsa_tensor::Tensor::from_vec(acts.row(i).to_vec(), &[1, d]);
+        let grads = head.logit_backward(start, &one, &g);
+        let flat = selection.gather_grads(&grads, start);
+        total += flat.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>();
+    }
+    (total / sample as f64) as f32
+}
+
+/// Adapter implementing the generic ADMM interface for the attack.
+struct Problem<'a> {
+    head: FcHead,
+    selection: &'a ParamSelection,
+    spec: &'a AttackSpec,
+    acts: &'a fsa_tensor::Tensor,
+    start: usize,
+    theta0: &'a [f32],
+    cfg: &'a AttackConfig,
+    stiffness: f32,
+    objective_history: Vec<f32>,
+    scratch: Vec<f32>,
+}
+
+impl AdmmProblem for Problem<'_> {
+    fn dim(&self) -> usize {
+        self.theta0.len()
+    }
+
+    fn prox_step(&mut self, v: &[f32], rho: f32, out: &mut [f32]) {
+        match self.cfg.norm {
+            Norm::L0 => hard_threshold(v, self.cfg.lambda, rho, out),
+            Norm::L2 => block_soft_threshold(v, self.cfg.lambda, rho, out),
+        }
+    }
+
+    fn delta_step(&mut self, z_new: &[f32], s: &[f32], rho: f32, delta: &mut [f32]) {
+        // θ + δᵏ into the workspace head.
+        for (w, (&t, &d)) in self.scratch.iter_mut().zip(self.theta0.iter().zip(delta.iter())) {
+            *w = t + d;
+        }
+        let scratch = std::mem::take(&mut self.scratch);
+        self.selection.scatter(&mut self.head, &scratch);
+        self.scratch = scratch;
+
+        // Σᵢ ∇gᵢ(θ + δᵏ) over the selected parameters.
+        let logits = self.head.forward_from(self.start, self.acts);
+        let hinge = evaluate_hinge(self.spec, &logits, self.cfg.kappa);
+        self.objective_history.push(hinge.total);
+        let grad_flat: Vec<f32> = if hinge.active == 0 {
+            vec![0.0; delta.len()]
+        } else {
+            let grads = self.head.logit_backward(self.start, self.acts, &hinge.logit_grad);
+            self.selection.gather_grads(&grads, self.start)
+        };
+
+        // Eq. 22: δ ← [ρ(z + s) + αRδ − Σ∇g] / (αR + ρ), with the αR
+        // product resolved once per run (see `Stiffness`).
+        let stiffness = self.stiffness;
+        let denom = stiffness + rho;
+        for i in 0..delta.len() {
+            delta[i] = (rho * (z_new[i] + s[i]) + stiffness * delta[i] - grad_flat[i]) / denom;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selection::ParamKind;
+    use fsa_nn::head_train::{train_head, HeadTrainConfig};
+    use fsa_tensor::{Prng, Tensor};
+
+    /// A small but genuinely trained head over clustered features: class k
+    /// concentrates on coordinates `j ≡ k (mod 3)`.
+    fn trained_head(rng: &mut Prng) -> (FcHead, Tensor, Vec<usize>) {
+        let n = 90;
+        let d = 12;
+        let classes = 3;
+        let mut x = Tensor::zeros(&[n, d]);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % classes;
+            labels.push(class);
+            for j in 0..d {
+                let center = if j % classes == class { 2.0 } else { 0.0 };
+                x.row_mut(i)[j] = rng.normal(center, 0.3);
+            }
+        }
+        let mut head = FcHead::from_dims(&[d, 16, 16, classes], rng);
+        let cfg = HeadTrainConfig { epochs: 30, batch_size: 16, lr: 5e-3, verbose: false };
+        train_head(&mut head, &x, &labels, &cfg, rng);
+        assert!(head.accuracy(&x, &labels) > 0.95, "test fixture head failed to train");
+        (head, x, labels)
+    }
+
+    fn make_spec(head: &FcHead, x: &Tensor, labels: &[usize], s: usize, r: usize) -> AttackSpec {
+        // Use correctly-classified images only, targets = next class.
+        let preds = head.predict(x);
+        let good: Vec<usize> = (0..labels.len()).filter(|&i| preds[i] == labels[i]).collect();
+        assert!(good.len() >= r);
+        let mut feats = Tensor::zeros(&[r, x.shape()[1]]);
+        let mut lab = Vec::with_capacity(r);
+        for (row, &i) in good[..r].iter().enumerate() {
+            feats.row_mut(row).copy_from_slice(x.row(i));
+            lab.push(labels[i]);
+        }
+        let targets: Vec<usize> = lab[..s].iter().map(|&l| (l + 1) % 3).collect();
+        AttackSpec::new(feats, lab, targets)
+    }
+
+    #[test]
+    fn l0_attack_injects_fault_and_stays_stealthy() {
+        let mut rng = Prng::new(77);
+        let (head, x, labels) = trained_head(&mut rng);
+        let spec = make_spec(&head, &x, &labels, 1, 8);
+        let attack = FaultSneakingAttack::new(
+            &head,
+            ParamSelection::last_layer(&head),
+            AttackConfig::default(),
+        );
+        let result = attack.run(&spec);
+        assert_eq!(result.s_success, 1, "fault not injected: {result:?}");
+        assert!(result.unchanged_rate() >= 0.85, "stealth lost: {result:?}");
+        assert!(result.l0 > 0 && result.l0 < result.delta.len(), "l0 = {}", result.l0);
+    }
+
+    #[test]
+    fn l2_attack_trades_sparsity_for_magnitude() {
+        let mut rng = Prng::new(78);
+        let (head, x, labels) = trained_head(&mut rng);
+        let spec = make_spec(&head, &x, &labels, 1, 8);
+        let sel = ParamSelection::last_layer(&head);
+
+        let l0_result =
+            FaultSneakingAttack::new(&head, sel.clone(), AttackConfig::default()).run(&spec);
+        let l2_result = FaultSneakingAttack::new(&head, sel, AttackConfig::l2()).run(&spec);
+
+        assert_eq!(l2_result.s_success, 1, "l2 attack failed: {l2_result:?}");
+        // Table 3 shape: the ℓ0 attack touches fewer parameters; the ℓ2
+        // attack achieves smaller Euclidean magnitude.
+        assert!(
+            l0_result.l0 <= l2_result.l0,
+            "l0 attack sparser: {} vs {}",
+            l0_result.l0,
+            l2_result.l0
+        );
+        assert!(
+            l2_result.l2 <= l0_result.l2 * 1.05,
+            "l2 attack smaller: {} vs {}",
+            l2_result.l2,
+            l0_result.l2
+        );
+    }
+
+    #[test]
+    fn zero_s_keeps_model_intact() {
+        let mut rng = Prng::new(79);
+        let (head, x, labels) = trained_head(&mut rng);
+        let spec = make_spec(&head, &x, &labels, 0, 6);
+        let attack = FaultSneakingAttack::new(
+            &head,
+            ParamSelection::last_layer(&head),
+            AttackConfig::default(),
+        );
+        let result = attack.run(&spec);
+        // Nothing to change: δ should be (exactly) zero and stealth perfect.
+        assert_eq!(result.l0, 0, "S = 0 should not modify anything");
+        assert_eq!(result.keep_unchanged, 6);
+    }
+
+    #[test]
+    fn bias_only_selection_restricts_support() {
+        let mut rng = Prng::new(80);
+        let (head, x, labels) = trained_head(&mut rng);
+        // Bias coordinates get O(c) gradients (no activation leverage), so
+        // the ratchet toward the needed logit shift climbs slowly: give the
+        // attack weight and iterations, as the Table 2 bias rows do.
+        let spec = make_spec(&head, &x, &labels, 1, 4).with_weights(5.0, 1.0);
+        let sel = ParamSelection::layer(head.num_layers() - 1, ParamKind::Bias);
+        let cfg = AttackConfig { iterations: 1200, ..AttackConfig::default() };
+        let attack = FaultSneakingAttack::new(&head, sel, cfg);
+        let result = attack.run(&spec);
+        assert_eq!(result.delta.len(), 3, "bias δ spans 3 classes");
+        assert_eq!(result.s_success, 1, "single bias fault should land");
+    }
+
+    #[test]
+    fn objective_history_decreases_overall() {
+        let mut rng = Prng::new(81);
+        let (head, x, labels) = trained_head(&mut rng);
+        let spec = make_spec(&head, &x, &labels, 2, 10);
+        let attack = FaultSneakingAttack::new(
+            &head,
+            ParamSelection::last_layer(&head),
+            AttackConfig::default(),
+        );
+        let result = attack.run(&spec);
+        let hist = &result.objective_history;
+        assert!(hist.len() > 5);
+        let head_mean: f32 = hist[..3].iter().sum::<f32>() / 3.0;
+        let tail_mean: f32 = hist[hist.len() - 3..].iter().sum::<f32>() / 3.0;
+        assert!(tail_mean <= head_mean, "objective did not decrease: {head_mean} -> {tail_mean}");
+    }
+
+    #[test]
+    fn earlier_layer_selection_works() {
+        let mut rng = Prng::new(82);
+        let (head, x, labels) = trained_head(&mut rng);
+        let spec = make_spec(&head, &x, &labels, 1, 6);
+        let sel = ParamSelection::layer(0, ParamKind::Both);
+        let result = FaultSneakingAttack::new(&head, sel, AttackConfig::default()).run(&spec);
+        assert_eq!(result.s_success, 1, "first-layer attack failed: {result:?}");
+    }
+}

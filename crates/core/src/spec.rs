@@ -1,0 +1,127 @@
+//! The attack's input specification.
+
+use fsa_tensor::Tensor;
+
+/// What the adversary wants: `R` working images, the first `S` of which
+/// must flip to designated target labels while the rest keep their labels.
+///
+/// `features` are the **head inputs** (conv features) of the `R` images —
+/// the conv stack is never modified, so the attack never needs pixels.
+#[derive(Debug, Clone)]
+pub struct AttackSpec {
+    /// `[R, head_input_dim]` head-input features.
+    pub features: Tensor,
+    /// Reference labels for all `R` images (the model's original,
+    /// correct classifications to be preserved for images `S..R`).
+    pub labels: Vec<usize>,
+    /// Target labels for the first `S` images.
+    pub targets: Vec<usize>,
+    /// Weight `c_i` on the `S` misclassification terms (paper eq. 5).
+    pub c_attack: f32,
+    /// Weight `c_i` on the `R − S` keep terms (paper eq. 6).
+    pub c_keep: f32,
+}
+
+impl AttackSpec {
+    /// Creates a spec with unit `c` weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() > labels.len()`, the feature row count
+    /// differs from `labels.len()`, or any target equals the image's
+    /// current label (such a "fault" is a no-op and almost certainly a
+    /// caller bug).
+    pub fn new(features: Tensor, labels: Vec<usize>, targets: Vec<usize>) -> Self {
+        assert_eq!(features.ndim(), 2, "features must be [R, d]");
+        assert_eq!(features.shape()[0], labels.len(), "features/labels mismatch");
+        assert!(
+            targets.len() <= labels.len(),
+            "S = {} exceeds R = {}",
+            targets.len(),
+            labels.len()
+        );
+        for (i, (&t, &l)) in targets.iter().zip(&labels).enumerate() {
+            assert_ne!(t, l, "target for image {i} equals its current label {l}");
+        }
+        Self { features, labels, targets, c_attack: 1.0, c_keep: 1.0 }
+    }
+
+    /// Sets the misclassification/keep weights.
+    pub fn with_weights(mut self, c_attack: f32, c_keep: f32) -> Self {
+        self.c_attack = c_attack;
+        self.c_keep = c_keep;
+        self
+    }
+
+    /// Number of designated faults `S`.
+    pub fn s(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Working-set size `R`.
+    pub fn r(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The label the attack wants image `i` to have: its target for
+    /// `i < S`, its original label otherwise.
+    pub fn enforced_label(&self, i: usize) -> usize {
+        if i < self.targets.len() {
+            self.targets[i]
+        } else {
+            self.labels[i]
+        }
+    }
+
+    /// The weight `c_i` for image `i`.
+    pub fn weight(&self, i: usize) -> f32 {
+        if i < self.targets.len() {
+            self.c_attack
+        } else {
+            self.c_keep
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> AttackSpec {
+        AttackSpec::new(Tensor::zeros(&[3, 4]), vec![0, 1, 2], vec![5])
+    }
+
+    #[test]
+    fn s_and_r() {
+        let s = spec();
+        assert_eq!(s.s(), 1);
+        assert_eq!(s.r(), 3);
+    }
+
+    #[test]
+    fn enforced_labels_switch_at_s() {
+        let s = spec();
+        assert_eq!(s.enforced_label(0), 5);
+        assert_eq!(s.enforced_label(1), 1);
+        assert_eq!(s.enforced_label(2), 2);
+    }
+
+    #[test]
+    fn weights_follow_partition() {
+        let s = spec().with_weights(3.0, 0.5);
+        assert_eq!(s.weight(0), 3.0);
+        assert_eq!(s.weight(2), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "equals its current label")]
+    fn self_target_rejected() {
+        AttackSpec::new(Tensor::zeros(&[2, 4]), vec![0, 1], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds R")]
+    fn s_cannot_exceed_r() {
+        AttackSpec::new(Tensor::zeros(&[1, 4]), vec![0], vec![1, 2]);
+    }
+}

@@ -1,0 +1,238 @@
+//! Labeled image collections.
+
+use fsa_nn::conv::VolumeDims;
+use fsa_tensor::io::{DecodeError, Decoder, Encoder};
+use fsa_tensor::{Prng, Tensor};
+
+/// A labeled set of images stored as a `[n, channels·height·width]` tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Flattened images, one row per sample, values in `[0, 1]`.
+    pub images: Tensor,
+    /// Class label per sample.
+    pub labels: Vec<usize>,
+    /// Interpretation of each row as a volume.
+    pub dims: VolumeDims,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows/labels disagree, the row width differs from
+    /// `dims.features()`, or any label is out of range.
+    pub fn new(images: Tensor, labels: Vec<usize>, dims: VolumeDims, classes: usize) -> Self {
+        assert_eq!(images.ndim(), 2, "images must be [n, features]");
+        assert_eq!(images.shape()[0], labels.len(), "images/labels length mismatch");
+        assert_eq!(
+            images.shape()[1],
+            dims.features(),
+            "row width {} does not match dims {:?}",
+            images.shape()[1],
+            dims
+        );
+        assert!(
+            labels.iter().all(|&l| l < classes),
+            "labels must be < {classes}"
+        );
+        Self { images, labels, dims, classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Image `i` as a slice.
+    pub fn image(&self, i: usize) -> &[f32] {
+        self.images.row(i)
+    }
+
+    /// Copies out the samples at `idx` as a new dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, idx: &[usize]) -> Dataset {
+        let mut images = Tensor::zeros(&[idx.len(), self.dims.features()]);
+        let mut labels = Vec::with_capacity(idx.len());
+        for (r, &i) in idx.iter().enumerate() {
+            images.row_mut(r).copy_from_slice(self.images.row(i));
+            labels.push(self.labels[i]);
+        }
+        Dataset::new(images, labels, self.dims, self.classes)
+    }
+
+    /// Takes the first `n` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn take(&self, n: usize) -> Dataset {
+        assert!(n <= self.len(), "take({n}) exceeds {} samples", self.len());
+        let idx: Vec<usize> = (0..n).collect();
+        self.subset(&idx)
+    }
+
+    /// Draws `n` distinct samples uniformly at random.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn sample(&self, n: usize, rng: &mut Prng) -> Dataset {
+        let idx = rng.choose_distinct(self.len(), n);
+        self.subset(&idx)
+    }
+
+    /// Samples a target label per sample, uniformly among labels different
+    /// from the true one — the attack's "any target labels" setting.
+    pub fn random_targets(&self, rng: &mut Prng) -> Vec<usize> {
+        self.labels
+            .iter()
+            .map(|&l| {
+                let mut t = rng.below(self.classes - 1);
+                if t >= l {
+                    t += 1;
+                }
+                t
+            })
+            .collect()
+    }
+
+    /// Serializes the dataset.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.dims.channels as u32);
+        enc.put_u32(self.dims.height as u32);
+        enc.put_u32(self.dims.width as u32);
+        enc.put_u32(self.classes as u32);
+        enc.put_u32_slice(&self.labels.iter().map(|&l| l as u32).collect::<Vec<_>>());
+        enc.put_tensor(&self.images);
+    }
+
+    /// Deserializes a dataset written by [`Dataset::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed input.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let c = dec.read_u32()? as usize;
+        let h = dec.read_u32()? as usize;
+        let w = dec.read_u32()? as usize;
+        let classes = dec.read_u32()? as usize;
+        let labels: Vec<usize> = dec.read_u32_vec()?.into_iter().map(|l| l as usize).collect();
+        let images = dec.read_tensor()?;
+        let dims = VolumeDims::new(c, h, w);
+        if images.ndim() != 2
+            || images.shape()[0] != labels.len()
+            || images.shape()[1] != dims.features()
+            || labels.iter().any(|&l| l >= classes)
+        {
+            return Err(DecodeError::new("inconsistent dataset record"));
+        }
+        Ok(Dataset { images, labels, dims, classes })
+    }
+}
+
+/// A generator of labeled synthetic samples.
+pub trait Synthesizer {
+    /// Image dimensions produced.
+    fn dims(&self) -> VolumeDims;
+
+    /// Number of classes.
+    fn classes(&self) -> usize;
+
+    /// Renders one sample of class `label` into `out`
+    /// (`dims().features()` long).
+    fn render(&self, label: usize, out: &mut [f32], rng: &mut Prng);
+
+    /// Generates `n` samples with uniformly shuffled class labels.
+    fn generate(&self, n: usize, seed: u64) -> Dataset {
+        let dims = self.dims();
+        let classes = self.classes();
+        let mut rng = Prng::new(seed);
+        let mut images = Tensor::zeros(&[n, dims.features()]);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            // Balanced classes with shuffled positions.
+            labels.push(i % classes);
+        }
+        rng.shuffle(&mut labels);
+        for i in 0..n {
+            self.render(labels[i], images.row_mut(i), &mut rng);
+        }
+        Dataset::new(images, labels, dims, classes)
+    }
+
+    /// Generates disjoint train/test splits from one seed.
+    fn train_test(&self, n_train: usize, n_test: usize, seed: u64) -> (Dataset, Dataset) {
+        (
+            self.generate(n_train, seed ^ 0x7261_696e),
+            self.generate(n_test, seed ^ 0x7465_7374),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let images = Tensor::from_vec((0..12).map(|v| v as f32 / 12.0).collect(), &[3, 4]);
+        Dataset::new(images, vec![0, 1, 0], VolumeDims::new(1, 2, 2), 2)
+    }
+
+    #[test]
+    fn subset_copies_rows_and_labels() {
+        let d = toy();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.labels, vec![0, 0]);
+        assert_eq!(s.image(0), d.image(2));
+        assert_eq!(s.image(1), d.image(0));
+    }
+
+    #[test]
+    fn random_targets_never_equal_true_label() {
+        let d = toy();
+        let mut rng = Prng::new(5);
+        for _ in 0..50 {
+            let t = d.random_targets(&mut rng);
+            for (ti, li) in t.iter().zip(&d.labels) {
+                assert_ne!(ti, li);
+                assert!(*ti < d.classes);
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let d = toy();
+        let mut enc = Encoder::new();
+        d.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let back = Dataset::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn new_validates_lengths() {
+        let images = Tensor::zeros(&[3, 4]);
+        Dataset::new(images, vec![0, 1], VolumeDims::new(1, 2, 2), 2);
+    }
+
+    #[test]
+    fn sample_draws_distinct() {
+        let d = toy();
+        let mut rng = Prng::new(1);
+        let s = d.sample(3, &mut rng);
+        assert_eq!(s.len(), 3);
+    }
+}

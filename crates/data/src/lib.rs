@@ -1,0 +1,41 @@
+//! Seeded synthetic image datasets for the fault sneaking attack
+//! reproduction.
+//!
+//! The paper evaluates on MNIST and CIFAR-10. Neither dataset can be
+//! redistributed or downloaded in this offline environment, so this crate
+//! provides *procedural* stand-ins with the same tensor shapes and — by
+//! construction — the same accuracy regimes the paper's analysis hinges on:
+//!
+//! * [`digits`] — `SynthDigits`, 28×28×1 seven-segment-style digit glyphs
+//!   with affine jitter and noise. Easily separable: the victim model
+//!   reaches ≈99% test accuracy, standing in for MNIST's 99.5%.
+//! * [`objects`] — `SynthObjects`, 32×32×3 procedural class textures with
+//!   a tunable *pattern-swap* rate that caps the Bayes accuracy near the
+//!   paper's 79.5% CIFAR-10 regime.
+//!
+//! The attack itself never inspects pixels — it operates on the logits of a
+//! trained model — so what matters is the existence of a high-accuracy
+//! victim (MNIST-like) and a moderate-accuracy victim (CIFAR-like), which
+//! Table 4 and Fig. 3 of the paper contrast. See `DESIGN.md` §4.
+//!
+//! # Examples
+//!
+//! ```
+//! use fsa_data::digits::SynthDigits;
+//! use fsa_data::dataset::Synthesizer;
+//!
+//! let train = SynthDigits::default().generate(128, 42);
+//! assert_eq!(train.len(), 128);
+//! assert_eq!(train.images.shape(), &[128, 784]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod digits;
+pub mod objects;
+pub mod raster;
+
+pub use dataset::Dataset;
+pub use digits::SynthDigits;
+pub use objects::SynthObjects;

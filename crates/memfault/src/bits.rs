@@ -1,0 +1,85 @@
+//! IEEE-754 bit views and flip arithmetic.
+
+/// The bit positions (0 = LSB) that differ between two `f32` values.
+pub fn differing_bits(old: f32, new: f32) -> Vec<u8> {
+    let x = old.to_bits() ^ new.to_bits();
+    (0..32).filter(|&b| x & (1 << b) != 0).collect()
+}
+
+/// Hamming distance between the bit patterns of two `f32` values.
+pub fn hamming(old: f32, new: f32) -> u32 {
+    (old.to_bits() ^ new.to_bits()).count_ones()
+}
+
+/// Applies a set of bit flips to a value.
+pub fn flip_bits(value: f32, bit_positions: &[u8]) -> f32 {
+    let mut bits = value.to_bits();
+    for &b in bit_positions {
+        debug_assert!(b < 32, "bit position {b} out of range");
+        bits ^= 1 << b;
+    }
+    f32::from_bits(bits)
+}
+
+/// Returns `true` if flipping `bit` in `value` sets it (0→1) rather than
+/// clears it — rowhammer cells have a preferred flip direction.
+pub fn flip_sets_bit(value: f32, bit: u8) -> bool {
+    value.to_bits() & (1 << bit) == 0
+}
+
+/// Total bit flips needed to turn `old` into `new`, elementwise.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn total_flips(old: &[f32], new: &[f32]) -> u64 {
+    assert_eq!(old.len(), new.len(), "length mismatch");
+    old.iter().zip(new).map(|(&a, &b)| hamming(a, b) as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_values_need_no_flips() {
+        assert_eq!(hamming(1.5, 1.5), 0);
+        assert!(differing_bits(0.25, 0.25).is_empty());
+    }
+
+    #[test]
+    fn sign_flip_is_one_bit() {
+        assert_eq!(hamming(1.0, -1.0), 1);
+        assert_eq!(differing_bits(1.0, -1.0), vec![31]);
+    }
+
+    #[test]
+    fn flip_direction_detection() {
+        // 1.0f32 = 0x3F800000: bit 31 clear, bit 30 clear, bit 29 set...
+        assert!(flip_sets_bit(1.0, 31));
+        assert!(!flip_sets_bit(-1.0, 31));
+    }
+
+    proptest! {
+        #[test]
+        fn flip_roundtrip(a in proptest::num::f32::ANY, b in proptest::num::f32::ANY) {
+            // Applying the differing bits of (a, b) to a yields b's bits.
+            let bits = differing_bits(a, b);
+            let got = flip_bits(a, &bits);
+            prop_assert_eq!(got.to_bits(), b.to_bits());
+        }
+
+        #[test]
+        fn hamming_matches_bit_list(a in proptest::num::f32::ANY, b in proptest::num::f32::ANY) {
+            prop_assert_eq!(hamming(a, b) as usize, differing_bits(a, b).len());
+        }
+
+        #[test]
+        fn double_flip_is_identity(v in proptest::num::f32::ANY, bit in 0u8..32) {
+            let once = flip_bits(v, &[bit]);
+            let twice = flip_bits(once, &[bit]);
+            prop_assert_eq!(twice.to_bits(), v.to_bits());
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! DRAM geometry and parameter address mapping.
+
+/// Geometry of the simulated DRAM device holding the victim's parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramGeometry {
+    /// Number of banks.
+    pub banks: usize,
+    /// Rows per bank.
+    pub rows_per_bank: usize,
+    /// Bytes per row.
+    pub row_bytes: usize,
+}
+
+impl Default for DramGeometry {
+    fn default() -> Self {
+        // A modest DDR4-like chip slice: 8 banks × 32768 rows × 8 KiB.
+        Self { banks: 8, rows_per_bank: 32_768, row_bytes: 8192 }
+    }
+}
+
+impl DramGeometry {
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.banks * self.rows_per_bank * self.row_bytes
+    }
+
+    /// `f32` parameters per row.
+    pub fn params_per_row(&self) -> usize {
+        self.row_bytes / 4
+    }
+}
+
+/// Physical location of one `f32` parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamAddress {
+    /// Bank index.
+    pub bank: usize,
+    /// Row within the bank.
+    pub row: usize,
+    /// Byte offset of the word within the row.
+    pub byte: usize,
+}
+
+impl ParamAddress {
+    /// Identifier of the (bank, row) pair — rowhammer works at this
+    /// granularity.
+    pub fn row_id(&self) -> (usize, usize) {
+        (self.bank, self.row)
+    }
+}
+
+/// Maps a contiguous `f32` parameter buffer onto DRAM rows.
+///
+/// Rows are filled sequentially and striped across banks (row-interleaved
+/// mapping, the common open-page policy layout).
+#[derive(Debug, Clone)]
+pub struct ParamLayout {
+    geometry: DramGeometry,
+    base_byte: usize,
+    len: usize,
+}
+
+impl ParamLayout {
+    /// Lays out `len` parameters starting at byte address `base_byte`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer exceeds the device capacity or the base is
+    /// not 4-byte aligned.
+    pub fn new(geometry: DramGeometry, base_byte: usize, len: usize) -> Self {
+        assert_eq!(base_byte % 4, 0, "parameter base must be word aligned");
+        assert!(
+            base_byte + 4 * len <= geometry.capacity(),
+            "parameter buffer ({} bytes at {base_byte}) exceeds DRAM capacity {}",
+            4 * len,
+            geometry.capacity()
+        );
+        Self { geometry, base_byte, len }
+    }
+
+    /// Number of parameters laid out.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the layout is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The geometry this layout lives on.
+    pub fn geometry(&self) -> &DramGeometry {
+        &self.geometry
+    }
+
+    /// Physical address of parameter `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len`.
+    pub fn address(&self, index: usize) -> ParamAddress {
+        assert!(index < self.len, "parameter index {index} out of range {}", self.len);
+        let byte_addr = self.base_byte + 4 * index;
+        let global_row = byte_addr / self.geometry.row_bytes;
+        let bank = global_row % self.geometry.banks;
+        let row = global_row / self.geometry.banks;
+        ParamAddress { bank, row, byte: byte_addr % self.geometry.row_bytes }
+    }
+
+    /// Distinct `(bank, row)` pairs touched by the given parameter
+    /// indices.
+    pub fn rows_touched(&self, indices: &[usize]) -> Vec<(usize, usize)> {
+        let mut rows: Vec<(usize, usize)> = indices.iter().map(|&i| self.address(i).row_id()).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addresses_are_sequential_within_a_row() {
+        let layout = ParamLayout::new(DramGeometry::default(), 0, 4096);
+        let a0 = layout.address(0);
+        let a1 = layout.address(1);
+        assert_eq!(a0.row_id(), a1.row_id());
+        assert_eq!(a1.byte, a0.byte + 4);
+    }
+
+    #[test]
+    fn row_boundary_advances_bank() {
+        let g = DramGeometry { banks: 4, rows_per_bank: 16, row_bytes: 64 };
+        let layout = ParamLayout::new(g, 0, 64);
+        let last_in_row0 = layout.address(15); // 15*4 = 60 < 64
+        let first_in_row1 = layout.address(16); // 64 → global row 1 → bank 1
+        assert_eq!(last_in_row0.row_id(), (0, 0));
+        assert_eq!(first_in_row1.row_id(), (1, 0));
+    }
+
+    #[test]
+    fn rows_touched_dedupes() {
+        let g = DramGeometry { banks: 2, rows_per_bank: 8, row_bytes: 32 };
+        let layout = ParamLayout::new(g, 0, 32);
+        // Params 0..8 share row (0,0); 8..16 share (1,0).
+        let rows = layout.rows_touched(&[0, 1, 7, 8, 9]);
+        assert_eq!(rows, vec![(0, 0), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds DRAM capacity")]
+    fn capacity_is_enforced() {
+        let g = DramGeometry { banks: 1, rows_per_bank: 1, row_bytes: 64 };
+        let _ = ParamLayout::new(g, 0, 1000);
+    }
+
+    #[test]
+    fn sparse_l0_modifications_touch_few_rows() {
+        // The experiment-scale sanity check behind the paper's hardware
+        // motivation: 2010 params fit in ~1 row, so a sparse δ touches at
+        // most a couple of rows.
+        let layout = ParamLayout::new(DramGeometry::default(), 0, 2010);
+        let all: Vec<usize> = (0..2010).collect();
+        assert!(layout.rows_touched(&all).len() <= 2);
+    }
+}

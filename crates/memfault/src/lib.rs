@@ -1,0 +1,35 @@
+//! Simulated memory fault-injection substrate.
+//!
+//! The fault sneaking attack paper motivates minimizing `‖δ‖₀` with the
+//! *hardware cost* of realizing parameter modifications: laser fault
+//! injection flips precisely-targeted SRAM bits but pays a per-target
+//! tuning cost [18], while rowhammer flips DRAM bits only in vulnerable
+//! cells adjacent to aggressor rows, probabilistically, after many row
+//! activations [19]. Neither physical apparatus is available here, so this
+//! crate simulates both with published cost characteristics (see
+//! `DESIGN.md` §4):
+//!
+//! * [`bits`] — IEEE-754 views of parameters and flip arithmetic;
+//! * [`dram`] — a DRAM geometry and the address mapping of a parameter
+//!   buffer onto banks/rows;
+//! * [`laser`] — a precise per-bit injector with targeting-time costs;
+//! * [`rowhammer`] — a row-granular probabilistic injector over a seeded
+//!   vulnerable-cell population;
+//! * [`plan`] — compiling an attack `δ` into a concrete bit-flip plan and
+//!   costing it under both injectors.
+//!
+//! The end-to-end `fault_plan` experiment binary uses this to compare the
+//! hardware realizability of `ℓ0`- vs `ℓ2`-minimized modifications.
+
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod dram;
+pub mod laser;
+pub mod plan;
+pub mod rowhammer;
+
+pub use dram::{DramGeometry, ParamAddress};
+pub use laser::LaserInjector;
+pub use plan::{FaultPlan, WordChange};
+pub use rowhammer::{HammerOutcome, RowhammerInjector};

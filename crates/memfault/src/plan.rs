@@ -1,0 +1,166 @@
+//! Compiling an attack `δ` into a concrete bit-flip plan.
+
+use crate::bits::differing_bits;
+use crate::dram::ParamLayout;
+use crate::laser::{LaserCost, LaserInjector};
+use crate::rowhammer::{HammerOutcome, RowhammerInjector};
+
+/// One parameter word to rewrite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WordChange {
+    /// Index into the flat parameter buffer.
+    pub index: usize,
+    /// Original value.
+    pub old: f32,
+    /// Desired value.
+    pub new: f32,
+    /// Bit positions that differ (0 = LSB).
+    pub flipped_bits: Vec<u8>,
+}
+
+/// A compiled fault plan: every word the attack modifies, with bit-level
+/// detail and summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Word rewrites, ordered by parameter index.
+    pub changes: Vec<WordChange>,
+    /// Total bit flips across all words.
+    pub total_bit_flips: u64,
+}
+
+impl FaultPlan {
+    /// Compiles a plan from original parameters and a modification `δ`
+    /// (entries with `δ = 0` are untouched).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn compile(theta0: &[f32], delta: &[f32]) -> FaultPlan {
+        assert_eq!(theta0.len(), delta.len(), "theta0/delta length mismatch");
+        let mut changes = Vec::new();
+        let mut total = 0u64;
+        for (i, (&t, &d)) in theta0.iter().zip(delta).enumerate() {
+            if d == 0.0 {
+                continue;
+            }
+            let new = t + d;
+            let bits = differing_bits(t, new);
+            if bits.is_empty() {
+                continue; // modification too small to change the f32 at all
+            }
+            total += bits.len() as u64;
+            changes.push(WordChange { index: i, old: t, new, flipped_bits: bits });
+        }
+        FaultPlan { changes, total_bit_flips: total }
+    }
+
+    /// Number of modified words (`‖δ‖₀` at the hardware level).
+    pub fn words(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Mean bit flips per modified word.
+    pub fn bits_per_word(&self) -> f64 {
+        if self.changes.is_empty() {
+            0.0
+        } else {
+            self.total_bit_flips as f64 / self.changes.len() as f64
+        }
+    }
+
+    /// Distinct DRAM rows the plan touches under `layout`.
+    pub fn rows_touched(&self, layout: &ParamLayout) -> usize {
+        let idx: Vec<usize> = self.changes.iter().map(|c| c.index).collect();
+        layout.rows_touched(&idx).len()
+    }
+
+    /// Costs the plan under a laser injector.
+    pub fn laser_cost(&self, laser: &LaserInjector) -> LaserCost {
+        laser.cost(&self.changes)
+    }
+
+    /// Simulates the plan under rowhammer, mutating `params` with the
+    /// achieved flips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan addresses parameters outside the layout.
+    pub fn hammer(&self, injector: &RowhammerInjector, layout: &ParamLayout, params: &mut [f32]) -> HammerOutcome {
+        injector.apply(&self.changes, layout, params)
+    }
+
+    /// The `δ'` actually realized given post-injection parameters —
+    /// useful for re-evaluating attack success under hardware constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn realized_delta(theta0: &[f32], params_after: &[f32]) -> Vec<f32> {
+        assert_eq!(theta0.len(), params_after.len(), "length mismatch");
+        theta0.iter().zip(params_after).map(|(&t, &p)| p - t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dram::DramGeometry;
+
+    #[test]
+    fn compile_skips_zero_entries() {
+        let theta0 = [1.0f32, 2.0, 3.0, 4.0];
+        let delta = [0.0f32, 0.5, 0.0, -1.0];
+        let plan = FaultPlan::compile(&theta0, &delta);
+        assert_eq!(plan.words(), 2);
+        let idx: Vec<usize> = plan.changes.iter().map(|c| c.index).collect();
+        assert_eq!(idx, vec![1, 3]);
+        assert!(plan.total_bit_flips > 0);
+    }
+
+    #[test]
+    fn laser_realizes_plan_exactly() {
+        let theta0 = [1.0f32, -0.5, 0.25];
+        let delta = [0.125f32, 0.0, -1.5];
+        let plan = FaultPlan::compile(&theta0, &delta);
+        let mut params = theta0;
+        LaserInjector::default().apply(&plan.changes, &mut params);
+        assert_eq!(params[0], 1.125);
+        assert_eq!(params[1], -0.5);
+        assert_eq!(params[2], -1.25);
+        let realized = FaultPlan::realized_delta(&theta0, &params);
+        assert_eq!(realized[1], 0.0);
+        assert!((realized[0] - 0.125).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sub_ulp_modifications_are_dropped() {
+        // A δ too small to change the f32 representation is a no-op, and
+        // the plan must not pretend to flip bits for it.
+        let theta0 = [1.0e8f32];
+        let delta = [1.0e-8f32];
+        let plan = FaultPlan::compile(&theta0, &delta);
+        assert_eq!(plan.words(), 0);
+    }
+
+    #[test]
+    fn rows_touched_counts_layout_rows() {
+        let g = DramGeometry { banks: 2, rows_per_bank: 64, row_bytes: 64 };
+        let layout = ParamLayout::new(g, 0, 128);
+        let theta0 = vec![1.0f32; 128];
+        let mut delta = vec![0.0f32; 128];
+        delta[0] = 0.5; // row (0,0)
+        delta[1] = 0.5; // row (0,0)
+        delta[20] = 0.5; // second row
+        let plan = FaultPlan::compile(&theta0, &delta);
+        assert_eq!(plan.rows_touched(&layout), 2);
+    }
+
+    #[test]
+    fn bits_per_word_sane() {
+        let theta0 = [1.0f32, 1.0];
+        let delta = [f32::from_bits(1.0f32.to_bits() ^ 0b1) - 1.0, 0.0];
+        let plan = FaultPlan::compile(&theta0, &delta);
+        assert_eq!(plan.words(), 1);
+        assert_eq!(plan.bits_per_word(), 1.0);
+    }
+}

@@ -1,0 +1,341 @@
+//! 2-D convolution via im2col/col2im.
+//!
+//! Valid padding, stride 1, square kernels — exactly the configuration of
+//! the Carlini–Wagner architecture the paper evaluates (3×3 kernels).
+
+use crate::init;
+use crate::layer::{check_batch_input, Layer};
+use fsa_tensor::linalg::{gemm, gemm_nt, gemm_tn};
+use fsa_tensor::{Prng, Tensor};
+
+/// Spatial dimensions of an activation volume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VolumeDims {
+    /// Channel count.
+    pub channels: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Width in pixels.
+    pub width: usize,
+}
+
+impl VolumeDims {
+    /// Creates a volume description.
+    pub fn new(channels: usize, height: usize, width: usize) -> Self {
+        Self { channels, height, width }
+    }
+
+    /// Scalar features per sample.
+    pub fn features(&self) -> usize {
+        self.channels * self.height * self.width
+    }
+}
+
+/// Copies the `k×k` patches of one sample into column-major patch matrix
+/// `cols` of shape `[c·k·k, out_h·out_w]` (row-major storage).
+///
+/// `x` is one sample, `[c, h, w]` flattened row-major.
+pub fn im2col(x: &[f32], dims: VolumeDims, k: usize, cols: &mut [f32]) {
+    let (c, h, w) = (dims.channels, dims.height, dims.width);
+    let (oh, ow) = (h - k + 1, w - k + 1);
+    debug_assert_eq!(x.len(), dims.features());
+    debug_assert_eq!(cols.len(), c * k * k * oh * ow);
+    let p = oh * ow;
+    for ch in 0..c {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = ((ch * k + ki) * k + kj) * p;
+                for oi in 0..oh {
+                    // Source pixels x[ch, oi+ki, kj .. kj+ow] are contiguous.
+                    let src = (ch * h + oi + ki) * w + kj;
+                    let dst = row + oi * ow;
+                    cols[dst..dst + ow].copy_from_slice(&x[src..src + ow]);
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`im2col`]: scatters-adds patch-matrix gradients back to the
+/// input gradient of one sample.
+pub fn col2im(cols: &[f32], dims: VolumeDims, k: usize, dx: &mut [f32]) {
+    let (c, h, w) = (dims.channels, dims.height, dims.width);
+    let (oh, ow) = (h - k + 1, w - k + 1);
+    debug_assert_eq!(dx.len(), dims.features());
+    debug_assert_eq!(cols.len(), c * k * k * oh * ow);
+    let p = oh * ow;
+    for ch in 0..c {
+        for ki in 0..k {
+            for kj in 0..k {
+                let row = ((ch * k + ki) * k + kj) * p;
+                for oi in 0..oh {
+                    let dst = (ch * h + oi + ki) * w + kj;
+                    let src = row + oi * ow;
+                    for j in 0..ow {
+                        dx[dst + j] += cols[src + j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 2-D convolution layer (valid padding, stride 1).
+///
+/// Weights are stored `[out_channels, in_channels·k·k]`, bias
+/// `[out_channels]`; activations flow as `[batch, features]` slices of the
+/// flattened `[c, h, w]` volumes.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_dims: VolumeDims,
+    kernel: usize,
+    out_channels: usize,
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-initialized weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the input (`k > h` or `k > w`) or
+    /// any dimension is zero.
+    pub fn new_random(in_dims: VolumeDims, out_channels: usize, kernel: usize, rng: &mut Prng) -> Self {
+        assert!(kernel > 0 && out_channels > 0, "conv2d dimensions must be positive");
+        assert!(
+            kernel <= in_dims.height && kernel <= in_dims.width,
+            "kernel {kernel} does not fit input {}x{}",
+            in_dims.height,
+            in_dims.width
+        );
+        let fan_in = in_dims.channels * kernel * kernel;
+        let weight = init::he_normal(&[out_channels, fan_in], fan_in, rng);
+        let bias = Tensor::zeros(&[out_channels]);
+        Self {
+            in_dims,
+            kernel,
+            out_channels,
+            grad_weight: Tensor::zeros(&[out_channels, fan_in]),
+            grad_bias: Tensor::zeros(&[out_channels]),
+            weight,
+            bias,
+            cached_input: None,
+        }
+    }
+
+    /// Output volume dimensions.
+    pub fn out_dims(&self) -> VolumeDims {
+        VolumeDims::new(
+            self.out_channels,
+            self.in_dims.height - self.kernel + 1,
+            self.in_dims.width - self.kernel + 1,
+        )
+    }
+
+    /// Input volume dimensions.
+    pub fn in_dims(&self) -> VolumeDims {
+        self.in_dims
+    }
+
+    /// The weight matrix `[out_channels, in_channels·k·k]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable weight access (used by model deserialization).
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    fn forward_impl(&self, x: &Tensor) -> Tensor {
+        let batch = check_batch_input("conv2d", x, self.in_features());
+        let out = self.out_dims();
+        let (oh, ow) = (out.height, out.width);
+        let p = oh * ow;
+        let kk = self.in_dims.channels * self.kernel * self.kernel;
+        let mut cols = vec![0.0f32; kk * p];
+        let mut y = Tensor::zeros(&[batch, out.features()]);
+        for n in 0..batch {
+            im2col(x.row(n), self.in_dims, self.kernel, &mut cols);
+            let y_row = y.row_mut(n);
+            // y_n = W (oc×kk) · cols (kk×p)
+            gemm(self.out_channels, kk, p, self.weight.as_slice(), &cols, y_row, 1.0, 0.0);
+            for oc in 0..self.out_channels {
+                let b = self.bias.as_slice()[oc];
+                for v in &mut y_row[oc * p..(oc + 1) * p] {
+                    *v += b;
+                }
+            }
+        }
+        y
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn in_features(&self) -> usize {
+        self.in_dims.features()
+    }
+
+    fn out_features(&self) -> usize {
+        self.out_dims().features()
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let y = self.forward_impl(x);
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn forward_infer(&self, x: &Tensor) -> Tensor {
+        self.forward_impl(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("conv2d backward called before forward_train")
+            .clone();
+        let batch = x.shape()[0];
+        let out = self.out_dims();
+        let p = out.height * out.width;
+        let kk = self.in_dims.channels * self.kernel * self.kernel;
+        assert_eq!(grad_out.shape(), &[batch, out.features()], "conv2d backward shape mismatch");
+
+        let mut cols = vec![0.0f32; kk * p];
+        let mut dcols = vec![0.0f32; kk * p];
+        let mut dx = Tensor::zeros(&[batch, self.in_features()]);
+        for n in 0..batch {
+            let dy = grad_out.row(n); // [oc, p] flattened
+            // Recompute the patch matrix (cheaper than caching it per batch).
+            im2col(x.row(n), self.in_dims, self.kernel, &mut cols);
+            // dW += dY (oc×p) · colsᵀ (p×kk)
+            gemm_nt(self.out_channels, p, kk, dy, &cols, self.grad_weight.as_mut_slice(), 1.0, 1.0);
+            // db += row sums of dY
+            for oc in 0..self.out_channels {
+                let s: f32 = dy[oc * p..(oc + 1) * p].iter().sum();
+                self.grad_bias.as_mut_slice()[oc] += s;
+            }
+            // dcols = Wᵀ (kk×oc) · dY (oc×p)
+            gemm_tn(kk, self.out_channels, p, self.weight.as_slice(), dy, &mut dcols, 1.0, 0.0);
+            col2im(&dcols, self.in_dims, self.kernel, dx.row_mut(n));
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.map_inplace(|_| 0.0);
+        self.grad_bias.map_inplace(|_| 0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.numel() + self.bias.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn im2col_col2im_are_adjoint() {
+        // <im2col(x), c> == <x, col2im(c)> for all x, c — the defining
+        // property that makes the conv backward pass correct.
+        let dims = VolumeDims::new(2, 5, 4);
+        let k = 3;
+        let p = (dims.height - k + 1) * (dims.width - k + 1);
+        let cols_len = dims.channels * k * k * p;
+        let mut rng = Prng::new(7);
+        let x: Vec<f32> = (0..dims.features()).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let c: Vec<f32> = (0..cols_len).map(|_| rng.uniform(-1.0, 1.0)).collect();
+
+        let mut ix = vec![0.0; cols_len];
+        im2col(&x, dims, k, &mut ix);
+        let lhs: f64 = ix.iter().zip(&c).map(|(&a, &b)| a as f64 * b as f64).sum();
+
+        let mut cx = vec![0.0; dims.features()];
+        col2im(&c, dims, k, &mut cx);
+        let rhs: f64 = cx.iter().zip(&x).map(|(&a, &b)| a as f64 * b as f64).sum();
+
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn identity_kernel_convolution() {
+        // 1x1 kernel with weight 1 reproduces the input.
+        let dims = VolumeDims::new(1, 3, 3);
+        let mut rng = Prng::new(1);
+        let mut conv = Conv2d::new_random(dims, 1, 1, &mut rng);
+        conv.weight_mut().as_mut_slice()[0] = 1.0;
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 9]);
+        let y = conv.forward_infer(&x);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn hand_checked_3x3_convolution() {
+        let dims = VolumeDims::new(1, 3, 3);
+        let mut rng = Prng::new(2);
+        let mut conv = Conv2d::new_random(dims, 1, 3, &mut rng);
+        // All-ones kernel: output = sum of input.
+        for v in conv.weight_mut().as_mut_slice() {
+            *v = 1.0;
+        }
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 9]);
+        let y = conv.forward_infer(&x);
+        assert_eq!(y.shape(), &[1, 1]);
+        assert_eq!(y.as_slice()[0], 45.0);
+    }
+
+    #[test]
+    fn output_dims_match_cw_mnist_stack() {
+        // 28x28 -> conv3 -> 26 -> conv3 -> 24 (the first two C&W convs).
+        let mut rng = Prng::new(3);
+        let c1 = Conv2d::new_random(VolumeDims::new(1, 28, 28), 32, 3, &mut rng);
+        assert_eq!(c1.out_dims(), VolumeDims::new(32, 26, 26));
+        let c2 = Conv2d::new_random(c1.out_dims(), 32, 3, &mut rng);
+        assert_eq!(c2.out_dims(), VolumeDims::new(32, 24, 24));
+    }
+
+    #[test]
+    fn batch_forward_is_per_sample() {
+        let dims = VolumeDims::new(1, 4, 4);
+        let mut rng = Prng::new(4);
+        let conv = Conv2d::new_random(dims, 2, 3, &mut rng);
+        let a = Tensor::randn(&[1, 16], 1.0, &mut rng);
+        let b = Tensor::randn(&[1, 16], 1.0, &mut rng);
+        let mut both = Tensor::zeros(&[2, 16]);
+        both.row_mut(0).copy_from_slice(a.as_slice());
+        both.row_mut(1).copy_from_slice(b.as_slice());
+        let ya = conv.forward_infer(&a);
+        let yb = conv.forward_infer(&b);
+        let y = conv.forward_infer(&both);
+        assert_eq!(y.row(0), ya.as_slice());
+        assert_eq!(y.row(1), yb.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_kernel_rejected() {
+        let mut rng = Prng::new(5);
+        let _ = Conv2d::new_random(VolumeDims::new(1, 2, 2), 1, 3, &mut rng);
+    }
+}

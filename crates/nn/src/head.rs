@@ -1,0 +1,458 @@
+//! The fully connected classifier head perturbed by the attack.
+//!
+//! The paper's experiments modify the FC layers of a C&W-style CNN
+//! (Sec. 5.1): `1024 → 200 → 200 → 10` for MNIST. Because the conv stack is
+//! never modified, the attack only ever needs this head — and when it
+//! modifies a *suffix* of the head (e.g. only the last FC layer, the
+//! paper's main configuration), forward/backward can start at the first
+//! modified layer with cached activations. [`FcHead::forward_from`] and
+//! [`FcHead::logit_backward`] implement exactly that; this is an exact
+//! restructuring, not an approximation, and it is what makes the paper's
+//! `R = 1000` sweeps tractable on one CPU core.
+
+use crate::activation::Relu;
+use crate::linear::Linear;
+use crate::loss::argmax_slice;
+use fsa_tensor::io::{DecodeError, Decoder, Encoder};
+use fsa_tensor::linalg::{gemm, gemm_nt, gemm_tn};
+use fsa_tensor::{Prng, Tensor};
+
+/// A stack of fully connected layers with ReLU between them (none after the
+/// last layer, whose outputs are the logits `Z`).
+///
+/// # Examples
+///
+/// ```
+/// use fsa_nn::head::FcHead;
+/// use fsa_tensor::{Prng, Tensor};
+///
+/// let mut rng = Prng::new(0);
+/// // The paper's MNIST head: 1024 -> 200 -> 200 -> 10.
+/// let head = FcHead::new_random(1024, 200, 200, 10, &mut rng);
+/// assert_eq!(head.layer_param_count(0), 205_000);
+/// assert_eq!(head.layer_param_count(1), 40_200);
+/// assert_eq!(head.layer_param_count(2), 2_010);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FcHead {
+    layers: Vec<Linear>,
+}
+
+/// Per-layer `(weight gradient, bias gradient)` pairs returned by
+/// [`FcHead::logit_backward`], aligned so entry `i` corresponds to head
+/// layer `start + i`.
+pub type LayerGrads = Vec<(Tensor, Tensor)>;
+
+impl FcHead {
+    /// Creates the paper's three-FC-layer head with He initialization.
+    pub fn new_random(d_in: usize, h1: usize, h2: usize, classes: usize, rng: &mut Prng) -> Self {
+        Self::from_dims(&[d_in, h1, h2, classes], rng)
+    }
+
+    /// Creates a head from a chain of widths (`dims.len() - 1` layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn from_dims(dims: &[usize], rng: &mut Prng) -> Self {
+        assert!(dims.len() >= 2, "head needs at least one layer (two widths)");
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new_random(w[0], w[1], rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Creates a head from explicit layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths do not chain or the list is empty.
+    pub fn from_linears(layers: Vec<Linear>) -> Self {
+        assert!(!layers.is_empty(), "head needs at least one layer");
+        use crate::layer::Layer as _;
+        for pair in layers.windows(2) {
+            assert_eq!(
+                pair[0].out_features(),
+                pair[1].in_features(),
+                "head layer widths do not chain"
+            );
+        }
+        Self { layers }
+    }
+
+    /// Number of FC layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input feature width.
+    pub fn in_features(&self) -> usize {
+        use crate::layer::Layer as _;
+        self.layers[0].in_features()
+    }
+
+    /// Number of classes (logit width).
+    pub fn classes(&self) -> usize {
+        use crate::layer::Layer as _;
+        self.layers[self.layers.len() - 1].out_features()
+    }
+
+    /// Immutable access to layer `i`.
+    pub fn layer(&self, i: usize) -> &Linear {
+        &self.layers[i]
+    }
+
+    /// Mutable access to layer `i`.
+    pub fn layer_mut(&mut self, i: usize) -> &mut Linear {
+        &mut self.layers[i]
+    }
+
+    /// Parameter count of layer `i` (`in·out + out`).
+    pub fn layer_param_count(&self, i: usize) -> usize {
+        use crate::layer::Layer as _;
+        self.layers[i].param_count()
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        (0..self.num_layers()).map(|i| self.layer_param_count(i)).sum()
+    }
+
+    /// Full forward pass from input features to logits.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        self.forward_from(0, x)
+    }
+
+    /// Forward pass starting at layer `start`, where `acts` are the
+    /// *inputs* to that layer (i.e. the activations cached by
+    /// [`FcHead::activations_before`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of range or `acts` has the wrong width.
+    pub fn forward_from(&self, start: usize, acts: &Tensor) -> Tensor {
+        assert!(start < self.layers.len(), "start layer {start} out of range");
+        let mut h = acts.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate().skip(start) {
+            h = linear_forward(layer, &h);
+            if i < last {
+                Relu::apply_slice(h.as_mut_slice());
+            }
+        }
+        h
+    }
+
+    /// Computes the inputs to layer `start` for a batch of head inputs
+    /// (applying all earlier layers and their ReLUs).
+    ///
+    /// `activations_before(0, x)` is `x` itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of range.
+    pub fn activations_before(&self, start: usize, x: &Tensor) -> Tensor {
+        assert!(start < self.layers.len(), "start layer {start} out of range");
+        let mut h = x.clone();
+        for layer in self.layers.iter().take(start) {
+            h = linear_forward(layer, &h);
+            // Every layer strictly before a valid `start` is followed by a
+            // ReLU (only the final layer lacks one, and start <= last).
+            Relu::apply_slice(h.as_mut_slice());
+        }
+        h
+    }
+
+    /// Predicted class per sample.
+    pub fn predict(&self, x: &Tensor) -> Vec<usize> {
+        let logits = self.forward(x);
+        (0..logits.shape()[0]).map(|r| argmax_slice(logits.row(r))).collect()
+    }
+
+    /// Classification accuracy against `labels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the batch size.
+    pub fn accuracy(&self, x: &Tensor, labels: &[usize]) -> f32 {
+        let preds = self.predict(x);
+        assert_eq!(preds.len(), labels.len(), "labels/batch mismatch");
+        if preds.is_empty() {
+            return 0.0;
+        }
+        let hits = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        hits as f32 / preds.len() as f32
+    }
+
+    /// Gradient of `Σ_rows ⟨g_row, Z_row⟩` with respect to the parameters
+    /// of layers `start..`, where `Z = forward_from(start, acts)`.
+    ///
+    /// `g` is a `[batch, classes]` matrix of upstream logit gradients; for
+    /// the paper's hinge objective each active row holds `+1` at the
+    /// runner-up class and `−1` at the enforced class, scaled by `c_i`
+    /// (inactive rows are zero).
+    ///
+    /// Returns one `(dW, db)` pair per layer in `start..`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches or `start` out of range.
+    pub fn logit_backward(&self, start: usize, acts: &Tensor, g: &Tensor) -> LayerGrads {
+        use crate::layer::Layer as _;
+        assert!(start < self.layers.len(), "start layer {start} out of range");
+        let batch = acts.shape()[0];
+        assert_eq!(
+            g.shape(),
+            &[batch, self.classes()],
+            "upstream gradient must be [batch, classes]"
+        );
+
+        // Forward from `start`, keeping pre-activations for ReLU masks and
+        // post-activations as layer inputs.
+        let last = self.layers.len() - 1;
+        let mut inputs: Vec<Tensor> = Vec::new(); // input to layer start+i
+        let mut preacts: Vec<Tensor> = Vec::new(); // z of layer start+i
+        let mut h = acts.clone();
+        for (i, layer) in self.layers.iter().enumerate().skip(start) {
+            inputs.push(h.clone());
+            let z = linear_forward(layer, &h);
+            preacts.push(z.clone());
+            h = z;
+            if i < last {
+                Relu::apply_slice(h.as_mut_slice());
+            }
+        }
+
+        // Backward.
+        let mut grads: Vec<(Tensor, Tensor)> = Vec::with_capacity(self.layers.len() - start);
+        let mut dz = g.clone();
+        for rel in (0..self.layers.len() - start).rev() {
+            let abs = start + rel;
+            let layer = &self.layers[abs];
+            let (o, i) = (layer.out_features(), layer.in_features());
+            let x = &inputs[rel];
+            // dW = dZᵀ (o×N) · X (N×i)
+            let mut dw = Tensor::zeros(&[o, i]);
+            gemm_tn(o, batch, i, dz.as_slice(), x.as_slice(), dw.as_mut_slice(), 1.0, 0.0);
+            // db = column sums of dZ
+            let mut db = Tensor::zeros(&[o]);
+            for r in 0..batch {
+                for (b, &v) in db.as_mut_slice().iter_mut().zip(dz.row(r)) {
+                    *b += v;
+                }
+            }
+            grads.push((dw, db));
+            if rel > 0 {
+                // dX = dZ (N×o) · W (o×i), then mask by previous ReLU.
+                let mut dx = Tensor::zeros(&[batch, i]);
+                gemm(
+                    batch,
+                    o,
+                    i,
+                    dz.as_slice(),
+                    layer.weight().as_slice(),
+                    dx.as_mut_slice(),
+                    1.0,
+                    0.0,
+                );
+                let zprev = &preacts[rel - 1];
+                for r in 0..batch {
+                    Relu::mask_slice(dx.row_mut(r), zprev.row(r));
+                }
+                dz = dx;
+            }
+        }
+        grads.reverse();
+        grads
+    }
+
+    /// Flattened parameters of layer `i`: weights row-major, then bias.
+    pub fn layer_flat_params(&self, i: usize) -> Vec<f32> {
+        let layer = &self.layers[i];
+        let mut out = Vec::with_capacity(self.layer_param_count(i));
+        out.extend_from_slice(layer.weight().as_slice());
+        out.extend_from_slice(layer.bias().as_slice());
+        out
+    }
+
+    /// Overwrites layer `i`'s parameters from a flat slice (weights
+    /// row-major, then bias) — the attack applies `θ + δ` through this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice length differs from the layer's parameter count.
+    pub fn set_layer_flat_params(&mut self, i: usize, flat: &[f32]) {
+        let count = self.layer_param_count(i);
+        assert_eq!(flat.len(), count, "layer {i} expects {count} params, got {}", flat.len());
+        let layer = &mut self.layers[i];
+        let w = layer.weight_mut().numel();
+        layer.weight_mut().as_mut_slice().copy_from_slice(&flat[..w]);
+        layer.bias_mut().as_mut_slice().copy_from_slice(&flat[w..]);
+    }
+
+    /// Serializes all layer parameters.
+    pub fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.layers.len() as u64);
+        for layer in &self.layers {
+            enc.put_tensor(layer.weight());
+            enc.put_tensor(layer.bias());
+        }
+    }
+
+    /// Deserializes a head written by [`FcHead::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on malformed input.
+    pub fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let n = dec.read_u64()? as usize;
+        if n == 0 || n > 64 {
+            return Err(DecodeError::new(format!("absurd head layer count {n}")));
+        }
+        let mut layers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let w = dec.read_tensor()?;
+            let b = dec.read_tensor()?;
+            if w.ndim() != 2 || b.numel() != w.shape()[0] {
+                return Err(DecodeError::new("head layer shapes inconsistent"));
+            }
+            layers.push(Linear::from_params(w, b));
+        }
+        Ok(Self::from_linears(layers))
+    }
+}
+
+/// Batch `y = x·Wᵀ + b` without mutating the layer (inference-only path
+/// used throughout the attack's inner loop).
+fn linear_forward(layer: &Linear, x: &Tensor) -> Tensor {
+    use crate::layer::Layer as _;
+    let batch = x.shape()[0];
+    let (o, i) = (layer.out_features(), layer.in_features());
+    assert_eq!(x.shape()[1], i, "head forward width mismatch: {} vs {}", x.shape()[1], i);
+    let mut y = Tensor::zeros(&[batch, o]);
+    gemm_nt(batch, i, o, x.as_slice(), layer.weight().as_slice(), y.as_mut_slice(), 1.0, 0.0);
+    for r in 0..batch {
+        let row = y.row_mut(r);
+        for (v, &b) in row.iter_mut().zip(layer.bias().as_slice()) {
+            *v += b;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::{max_rel_error, numerical_gradient};
+
+    fn small_head(rng: &mut Prng) -> FcHead {
+        FcHead::from_dims(&[6, 5, 4, 3], rng)
+    }
+
+    #[test]
+    fn paper_layer_param_counts() {
+        let mut rng = Prng::new(0);
+        let head = FcHead::new_random(1024, 200, 200, 10, &mut rng);
+        assert_eq!(head.layer_param_count(0), 205_000);
+        assert_eq!(head.layer_param_count(1), 40_200);
+        assert_eq!(head.layer_param_count(2), 2_010);
+        assert_eq!(head.param_count(), 247_210);
+    }
+
+    #[test]
+    fn forward_from_matches_full_forward() {
+        let mut rng = Prng::new(1);
+        let head = small_head(&mut rng);
+        let x = Tensor::randn(&[7, 6], 1.0, &mut rng);
+        let full = head.forward(&x);
+        for start in 0..head.num_layers() {
+            let acts = head.activations_before(start, &x);
+            let part = head.forward_from(start, &acts);
+            for (a, b) in full.as_slice().iter().zip(part.as_slice()) {
+                assert!((a - b).abs() < 1e-5, "start {start}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn logit_backward_matches_finite_difference_all_starts() {
+        let mut rng = Prng::new(2);
+        let head = small_head(&mut rng);
+        let x = Tensor::randn(&[3, 6], 1.0, &mut rng);
+        let g = Tensor::randn(&[3, 3], 1.0, &mut rng);
+
+        for start in 0..head.num_layers() {
+            let acts = head.activations_before(start, &x);
+            let grads = head.logit_backward(start, &acts, &g);
+            assert_eq!(grads.len(), head.num_layers() - start);
+
+            for (rel, (dw, db)) in grads.iter().enumerate() {
+                let li = start + rel;
+                // Numeric gradient wrt layer li's flat params of
+                // f = sum(g ⊙ logits).
+                let flat = head.layer_flat_params(li);
+                let mut probe_head = head.clone();
+                let objective = |params: &[f32]| -> f32 {
+                    probe_head.set_layer_flat_params(li, params);
+                    let z = probe_head.forward_from(start, &acts);
+                    z.as_slice()
+                        .iter()
+                        .zip(g.as_slice())
+                        .map(|(&zv, &gv)| zv * gv)
+                        .sum()
+                };
+                let numeric = numerical_gradient(objective, &flat, 1e-2);
+                let mut analytic = Vec::with_capacity(flat.len());
+                analytic.extend_from_slice(dw.as_slice());
+                analytic.extend_from_slice(db.as_slice());
+                let err = max_rel_error(&numeric, &analytic);
+                assert!(err < 2e-2, "start {start} layer {li}: rel error {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_params_roundtrip() {
+        let mut rng = Prng::new(3);
+        let mut head = small_head(&mut rng);
+        let orig = head.layer_flat_params(1);
+        let mut modified = orig.clone();
+        modified[0] += 1.0;
+        let last = modified.len() - 1;
+        modified[last] -= 2.0;
+        head.set_layer_flat_params(1, &modified);
+        assert_eq!(head.layer_flat_params(1), modified);
+    }
+
+    #[test]
+    fn encode_decode_preserves_behaviour() {
+        let mut rng = Prng::new(4);
+        let head = small_head(&mut rng);
+        let x = Tensor::randn(&[2, 6], 1.0, &mut rng);
+        let before = head.forward(&x);
+
+        let mut enc = Encoder::new();
+        head.encode(&mut enc);
+        let bytes = enc.into_bytes();
+        let restored = FcHead::decode(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(restored.forward(&x), before);
+    }
+
+    #[test]
+    fn predict_and_accuracy() {
+        let mut rng = Prng::new(5);
+        let head = small_head(&mut rng);
+        let x = Tensor::randn(&[10, 6], 1.0, &mut rng);
+        let preds = head.predict(&x);
+        assert_eq!(head.accuracy(&x, &preds), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn forward_from_validates_start() {
+        let mut rng = Prng::new(6);
+        let head = small_head(&mut rng);
+        let _ = head.forward_from(3, &Tensor::zeros(&[1, 3]));
+    }
+}

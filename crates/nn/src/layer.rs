@@ -1,0 +1,102 @@
+//! The [`Layer`] trait and batch conventions.
+//!
+//! Activations flow through the network as rank-2 tensors `[batch,
+//! features]`; spatial layers (conv, pool) carry their own `(channels,
+//! height, width)` interpretation of the feature axis and validate it at
+//! runtime. This keeps the container generic while the kernels stay on
+//! contiguous slices.
+
+use fsa_tensor::Tensor;
+
+/// A differentiable network layer.
+///
+/// Implementations own their parameters *and* the caches needed for the
+/// backward pass; `forward_train` must be called before `backward`.
+pub trait Layer: std::fmt::Debug {
+    /// Short human-readable layer kind (e.g. `"linear"`, `"conv2d"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of scalar inputs per sample this layer expects.
+    fn in_features(&self) -> usize;
+
+    /// Number of scalar outputs per sample this layer produces.
+    fn out_features(&self) -> usize;
+
+    /// Forward pass that records whatever the backward pass needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[batch, in_features]`.
+    fn forward_train(&mut self, x: &Tensor) -> Tensor;
+
+    /// Forward pass without caching (inference/feature extraction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not `[batch, in_features]`.
+    fn forward_infer(&self, x: &Tensor) -> Tensor;
+
+    /// Backward pass: consumes `d(out)`, accumulates parameter gradients
+    /// internally, and returns `d(in)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `forward_train` or with a gradient whose
+    /// shape does not match the cached forward batch.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits `(parameter, gradient)` pairs in a fixed order.
+    ///
+    /// Stateless layers simply don't call `f`.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor));
+
+    /// Clears accumulated parameter gradients.
+    fn zero_grads(&mut self);
+
+    /// Total number of scalar parameters.
+    fn param_count(&self) -> usize;
+}
+
+/// Validates that `x` is a `[batch, features]` activation for this layer.
+///
+/// Returns the batch size.
+///
+/// # Panics
+///
+/// Panics with a descriptive message on rank/width mismatch.
+pub fn check_batch_input(layer: &str, x: &Tensor, expected_features: usize) -> usize {
+    assert_eq!(x.ndim(), 2, "{layer}: expected [batch, features] input, got {:?}", x.shape());
+    assert_eq!(
+        x.shape()[1],
+        expected_features,
+        "{layer}: expected {} features per sample, got {}",
+        expected_features,
+        x.shape()[1]
+    );
+    x.shape()[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_batch_input_accepts_and_returns_batch() {
+        let x = Tensor::zeros(&[5, 7]);
+        assert_eq!(check_batch_input("t", &x, 7), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 3 features")]
+    fn check_batch_input_rejects_width() {
+        let x = Tensor::zeros(&[5, 7]);
+        check_batch_input("t", &x, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected [batch, features]")]
+    fn check_batch_input_rejects_rank() {
+        let x = Tensor::zeros(&[5]);
+        check_batch_input("t", &x, 5);
+    }
+}

@@ -1,0 +1,51 @@
+//! Neural-network substrate with manual analytic gradients.
+//!
+//! The fault sneaking attack (DAC'19) perturbs the parameters of a trained
+//! CNN. This crate builds that CNN from scratch — no deep-learning crates:
+//!
+//! * [`layer`] — the [`Layer`](layer::Layer) trait and batch conventions;
+//! * [`linear`], [`conv`], [`pool`], [`activation`] — layers with hand
+//!   derived backward passes (`Conv2d` uses im2col/col2im);
+//! * [`loss`] — fused softmax + cross-entropy;
+//! * [`network`] — a sequential container with save/load;
+//! * [`optimizer`], [`trainer`] — SGD(+momentum)/Adam and a training loop;
+//! * [`gradcheck`] — finite-difference verification used by the test suite;
+//! * [`head`] — [`FcHead`](head::FcHead), the three-FC-layer classifier head
+//!   the attack modifies, with *truncated* forward/backward from any layer
+//!   (exact, and the key to running R=1000 experiments on one CPU core);
+//! * [`cw`] — builders for the Carlini–Wagner architecture used by the
+//!   paper (4 conv + 2 maxpool + FC 200/200/10).
+//!
+//! # Examples
+//!
+//! ```
+//! use fsa_nn::head::FcHead;
+//! use fsa_tensor::{Prng, Tensor};
+//!
+//! let mut rng = Prng::new(0);
+//! let head = FcHead::new_random(8, 16, 16, 4, &mut rng);
+//! let features = Tensor::randn(&[2, 8], 1.0, &mut rng);
+//! let logits = head.forward(&features);
+//! assert_eq!(logits.shape(), &[2, 4]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod conv;
+pub mod cw;
+pub mod gradcheck;
+pub mod head;
+pub mod head_train;
+pub mod init;
+pub mod layer;
+pub mod linear;
+pub mod loss;
+pub mod network;
+pub mod optimizer;
+pub mod pool;
+pub mod trainer;
+
+pub use head::FcHead;
+pub use layer::Layer;
+pub use network::Network;

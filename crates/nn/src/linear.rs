@@ -1,0 +1,259 @@
+//! Fully connected (dense) layer.
+
+use crate::init;
+use crate::layer::{check_batch_input, Layer};
+use fsa_tensor::linalg::{gemm, gemm_nt, gemm_tn};
+use fsa_tensor::{Prng, Tensor};
+
+/// A fully connected layer computing `y = x·Wᵀ + b`.
+///
+/// The weight is stored row-major as `[out_features, in_features]` and the
+/// bias as `[out_features]` — the layout the paper's Table 1 counts
+/// parameters over (`in·out + out`; e.g. the last MNIST FC layer has
+/// `200·10 + 10 = 2010` parameters).
+///
+/// # Examples
+///
+/// ```
+/// use fsa_nn::linear::Linear;
+/// use fsa_nn::layer::Layer;
+/// use fsa_tensor::{Prng, Tensor};
+///
+/// let mut rng = Prng::new(1);
+/// let fc = Linear::new_random(3, 2, &mut rng);
+/// let y = fc.forward_infer(&Tensor::zeros(&[4, 3]));
+/// assert_eq!(y.shape(), &[4, 2]);
+/// assert_eq!(fc.param_count(), 3 * 2 + 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Tensor,
+    bias: Tensor,
+    grad_weight: Tensor,
+    grad_bias: Tensor,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer with He-initialized weights and zero bias.
+    pub fn new_random(in_features: usize, out_features: usize, rng: &mut Prng) -> Self {
+        Self::from_params(
+            init::he_normal(&[out_features, in_features], in_features, rng),
+            Tensor::zeros(&[out_features]),
+        )
+    }
+
+    /// Creates a layer from explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight` is not rank-2 or `bias` length differs from the
+    /// weight's output dimension.
+    pub fn from_params(weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weight.ndim(), 2, "weight must be [out, in], got {:?}", weight.shape());
+        assert_eq!(
+            bias.numel(),
+            weight.shape()[0],
+            "bias length {} does not match out_features {}",
+            bias.numel(),
+            weight.shape()[0]
+        );
+        let (o, i) = (weight.shape()[0], weight.shape()[1]);
+        Self {
+            weight,
+            bias,
+            grad_weight: Tensor::zeros(&[o, i]),
+            grad_bias: Tensor::zeros(&[o]),
+            cached_input: None,
+        }
+    }
+
+    /// The weight matrix `[out, in]`.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Mutable access to the weight matrix.
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight
+    }
+
+    /// The bias vector `[out]`.
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Mutable access to the bias vector.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
+    /// Accumulated weight gradient.
+    pub fn grad_weight(&self) -> &Tensor {
+        &self.grad_weight
+    }
+
+    /// Accumulated bias gradient.
+    pub fn grad_bias(&self) -> &Tensor {
+        &self.grad_bias
+    }
+
+    fn forward_impl(&self, x: &Tensor) -> Tensor {
+        let batch = check_batch_input("linear", x, self.in_features());
+        let (o, i) = (self.out_features(), self.in_features());
+        let mut y = Tensor::zeros(&[batch, o]);
+        // y = x (N×i) · Wᵀ (i×o): W stored o×i so use the NT kernel.
+        gemm_nt(batch, i, o, x.as_slice(), self.weight.as_slice(), y.as_mut_slice(), 1.0, 0.0);
+        for r in 0..batch {
+            let row = y.row_mut(r);
+            for (v, &b) in row.iter_mut().zip(self.bias.as_slice()) {
+                *v += b;
+            }
+        }
+        y
+    }
+}
+
+impl Layer for Linear {
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+
+    fn in_features(&self) -> usize {
+        self.weight.shape()[1]
+    }
+
+    fn out_features(&self) -> usize {
+        self.weight.shape()[0]
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let y = self.forward_impl(x);
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn forward_infer(&self, x: &Tensor) -> Tensor {
+        self.forward_impl(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("linear backward called before forward_train");
+        let batch = x.shape()[0];
+        let (o, i) = (self.out_features(), self.in_features());
+        assert_eq!(grad_out.shape(), &[batch, o], "linear backward shape mismatch");
+
+        // dW += dYᵀ (o×N) · X (N×i)
+        gemm_tn(
+            o,
+            batch,
+            i,
+            grad_out.as_slice(),
+            x.as_slice(),
+            self.grad_weight.as_mut_slice(),
+            1.0,
+            1.0,
+        );
+        // db += column sums of dY
+        for r in 0..batch {
+            let row = grad_out.row(r);
+            for (g, &v) in self.grad_bias.as_mut_slice().iter_mut().zip(row) {
+                *g += v;
+            }
+        }
+        // dX = dY (N×o) · W (o×i)
+        let mut dx = Tensor::zeros(&[batch, i]);
+        gemm(
+            batch,
+            o,
+            i,
+            grad_out.as_slice(),
+            self.weight.as_slice(),
+            dx.as_mut_slice(),
+            1.0,
+            0.0,
+        );
+        dx
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_weight.map_inplace(|_| 0.0);
+        self.grad_bias.map_inplace(|_| 0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.numel() + self.bias.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Linear {
+        // W = [[1, 2], [3, 4], [5, 6]] (3 out, 2 in), b = [0.5, -0.5, 1.0]
+        Linear::from_params(
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]),
+            Tensor::from_vec(vec![0.5, -0.5, 1.0], &[3]),
+        )
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let fc = tiny();
+        let x = Tensor::from_vec(vec![1.0, 1.0, 2.0, -1.0], &[2, 2]);
+        let y = fc.forward_infer(&x);
+        // sample 0: [1+2, 3+4, 5+6] + b = [3.5, 6.5, 12.0]
+        // sample 1: [2-2, 6-4, 10-6] + b = [0.5, 1.5, 5.0]
+        assert_eq!(y.as_slice(), &[3.5, 6.5, 12.0, 0.5, 1.5, 5.0]);
+    }
+
+    #[test]
+    fn backward_shapes_and_values() {
+        let mut fc = tiny();
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        let _ = fc.forward_train(&x);
+        let dy = Tensor::from_vec(vec![1.0, 0.0, -1.0], &[1, 3]);
+        let dx = fc.backward(&dy);
+        // dX = dY · W = 1*[1,2] + 0*[3,4] - 1*[5,6] = [-4, -4]
+        assert_eq!(dx.as_slice(), &[-4.0, -4.0]);
+        // dW = dYᵀ·X: row0 = [1,2], row1 = [0,0], row2 = [-1,-2]
+        assert_eq!(fc.grad_weight().as_slice(), &[1.0, 2.0, 0.0, 0.0, -1.0, -2.0]);
+        assert_eq!(fc.grad_bias().as_slice(), &[1.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_until_zeroed() {
+        let mut fc = tiny();
+        let x = Tensor::from_vec(vec![1.0, 0.0], &[1, 2]);
+        for _ in 0..2 {
+            let _ = fc.forward_train(&x);
+            let _ = fc.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0], &[1, 3]));
+        }
+        assert_eq!(fc.grad_bias().as_slice(), &[2.0, 2.0, 2.0]);
+        fc.zero_grads();
+        assert_eq!(fc.grad_bias().as_slice(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn param_count_matches_paper_last_layer() {
+        let mut rng = Prng::new(0);
+        let fc = Linear::new_random(200, 10, &mut rng);
+        assert_eq!(fc.param_count(), 2010);
+    }
+
+    #[test]
+    #[should_panic(expected = "before forward_train")]
+    fn backward_requires_forward() {
+        let mut fc = tiny();
+        let _ = fc.backward(&Tensor::zeros(&[1, 3]));
+    }
+}

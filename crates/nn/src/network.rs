@@ -1,0 +1,271 @@
+//! Sequential network container.
+
+use crate::layer::Layer;
+use crate::loss::argmax_slice;
+use fsa_tensor::io::{Decoder, DecodeError, Encoder};
+use fsa_tensor::Tensor;
+
+/// A feed-forward stack of [`Layer`]s applied in order.
+///
+/// Consecutive layers must agree on feature widths; this is validated as
+/// layers are appended so misconfigured architectures fail at construction,
+/// not mid-training.
+#[derive(Debug, Default)]
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer's input width does not match the previous
+    /// layer's output width.
+    pub fn push(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        if let Some(prev) = self.layers.last() {
+            assert_eq!(
+                prev.out_features(),
+                layer.in_features(),
+                "layer {} ({}) expects {} features but previous layer ({}) produces {}",
+                self.layers.len(),
+                layer.name(),
+                layer.in_features(),
+                prev.name(),
+                prev.out_features()
+            );
+        }
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` if the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to layer `i`.
+    pub fn layer(&self, i: usize) -> &dyn Layer {
+        self.layers[i].as_ref()
+    }
+
+    /// Input feature width (0 for an empty network).
+    pub fn in_features(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.in_features())
+    }
+
+    /// Output feature width (0 for an empty network).
+    pub fn out_features(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.out_features())
+    }
+
+    /// Forward pass with gradient caches (training).
+    pub fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward_train(&h);
+        }
+        h
+    }
+
+    /// Forward pass without caches (inference).
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward_infer(&h);
+        }
+        h
+    }
+
+    /// Backward pass; returns the gradient with respect to the input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Visits every `(parameter, gradient)` pair in layer order.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Predicted class per sample (argmax of the logits).
+    pub fn predict(&self, x: &Tensor) -> Vec<usize> {
+        let logits = self.forward_infer(x);
+        (0..logits.shape()[0]).map(|r| argmax_slice(logits.row(r))).collect()
+    }
+
+    /// Serializes all parameters (in visit order) into `enc`.
+    pub fn encode_params(&mut self, enc: &mut Encoder) {
+        let mut params: Vec<Tensor> = Vec::new();
+        self.visit_params(&mut |p, _| params.push(p.clone()));
+        enc.put_u64(params.len() as u64);
+        for p in &params {
+            enc.put_tensor(p);
+        }
+    }
+
+    /// Restores parameters written by [`Network::encode_params`] into an
+    /// identically-constructed network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the stream is malformed or the parameter
+    /// shapes do not match this architecture.
+    pub fn decode_params(&mut self, dec: &mut Decoder<'_>) -> Result<(), DecodeError> {
+        let n = dec.read_u64()? as usize;
+        let mut incoming = Vec::with_capacity(n);
+        for _ in 0..n {
+            incoming.push(dec.read_tensor()?);
+        }
+        let mut idx = 0usize;
+        let mut err: Option<DecodeError> = None;
+        self.visit_params(&mut |p, _| {
+            if err.is_some() {
+                return;
+            }
+            match incoming.get(idx) {
+                Some(t) if t.shape() == p.shape() => {
+                    p.as_mut_slice().copy_from_slice(t.as_slice());
+                }
+                Some(t) => {
+                    err = Some(DecodeError::new(format!(
+                        "parameter {idx} shape mismatch: file {:?} vs model {:?}",
+                        t.shape(),
+                        p.shape()
+                    )));
+                }
+                None => {
+                    err = Some(DecodeError::new(format!(
+                        "file has {n} parameters but model has more (at index {idx})"
+                    )));
+                }
+            }
+            idx += 1;
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        if idx != n {
+            return Err(DecodeError::new(format!(
+                "file has {n} parameters but model consumed {idx}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::linear::Linear;
+    use fsa_tensor::Prng;
+
+    fn small_net(rng: &mut Prng) -> Network {
+        let mut net = Network::new();
+        net.push(Box::new(Linear::new_random(4, 8, rng)));
+        net.push(Box::new(Relu::new(8)));
+        net.push(Box::new(Linear::new_random(8, 3, rng)));
+        net
+    }
+
+    #[test]
+    fn widths_are_validated() {
+        let mut rng = Prng::new(1);
+        let net = small_net(&mut rng);
+        assert_eq!(net.in_features(), 4);
+        assert_eq!(net.out_features(), 3);
+        assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 3 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn mismatched_widths_rejected() {
+        let mut rng = Prng::new(2);
+        let mut net = Network::new();
+        net.push(Box::new(Linear::new_random(4, 8, &mut rng)));
+        net.push(Box::new(Linear::new_random(9, 3, &mut rng)));
+    }
+
+    #[test]
+    fn train_and_infer_forward_agree() {
+        let mut rng = Prng::new(3);
+        let mut net = small_net(&mut rng);
+        let x = Tensor::randn(&[5, 4], 1.0, &mut rng);
+        let a = net.forward_train(&x);
+        let b = net.forward_infer(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn predict_returns_argmax() {
+        let mut rng = Prng::new(4);
+        let net = small_net(&mut rng);
+        let x = Tensor::randn(&[6, 4], 1.0, &mut rng);
+        let logits = net.forward_infer(&x);
+        let preds = net.predict(&x);
+        for (r, &p) in preds.iter().enumerate() {
+            let row = logits.row(r);
+            assert!(row.iter().all(|&v| v <= row[p]));
+        }
+    }
+
+    #[test]
+    fn params_roundtrip_through_encoder() {
+        let mut rng = Prng::new(5);
+        let mut net = small_net(&mut rng);
+        let x = Tensor::randn(&[2, 4], 1.0, &mut rng);
+        let before = net.forward_infer(&x);
+
+        let mut enc = Encoder::new();
+        net.encode_params(&mut enc);
+        let bytes = enc.into_bytes();
+
+        // A freshly initialized net with the same shapes but other values.
+        let mut rng2 = Prng::new(999);
+        let mut net2 = small_net(&mut rng2);
+        assert_ne!(net2.forward_infer(&x), before);
+        net2.decode_params(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(net2.forward_infer(&x), before);
+    }
+
+    #[test]
+    fn decode_rejects_shape_mismatch() {
+        let mut rng = Prng::new(6);
+        let mut net = small_net(&mut rng);
+        let mut enc = Encoder::new();
+        net.encode_params(&mut enc);
+        let bytes = enc.into_bytes();
+
+        let mut other = Network::new();
+        other.push(Box::new(Linear::new_random(4, 9, &mut rng)));
+        assert!(other.decode_params(&mut Decoder::new(&bytes)).is_err());
+    }
+}

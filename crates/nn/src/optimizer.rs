@@ -1,0 +1,194 @@
+//! First-order optimizers for training the victim models.
+
+use crate::network::Network;
+use fsa_tensor::Tensor;
+
+/// A gradient-based parameter update rule.
+pub trait Optimizer: std::fmt::Debug {
+    /// Applies one update step using the gradients currently accumulated in
+    /// `net`, then leaves the gradients untouched (call
+    /// [`Network::zero_grads`] before the next accumulation).
+    fn step(&mut self, net: &mut Network);
+}
+
+/// Stochastic gradient descent with classical momentum.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr` and momentum coefficient
+    /// `momentum` (0 disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut Network) {
+        let mut idx = 0usize;
+        let (lr, mu) = (self.lr, self.momentum);
+        let velocity = &mut self.velocity;
+        net.visit_params(&mut |p, g| {
+            if velocity.len() <= idx {
+                velocity.push(Tensor::zeros(p.shape()));
+            }
+            let v = &mut velocity[idx];
+            debug_assert_eq!(v.shape(), p.shape());
+            for ((vv, &gv), pv) in v
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.as_slice())
+                .zip(p.as_mut_slice().iter_mut())
+            {
+                *vv = mu * *vv - lr * gv;
+                *pv += *vv;
+            }
+            idx += 1;
+        });
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard defaults `β₁=0.9, β₂=0.999, ε=1e-8`.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut Network) {
+        self.t += 1;
+        let (lr, b1, b2, eps, t) = (self.lr, self.beta1, self.beta2, self.eps, self.t);
+        let bc1 = 1.0 - b1.powi(t as i32);
+        let bc2 = 1.0 - b2.powi(t as i32);
+        let mut idx = 0usize;
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        net.visit_params(&mut |p, g| {
+            if ms.len() <= idx {
+                ms.push(Tensor::zeros(p.shape()));
+                vs.push(Tensor::zeros(p.shape()));
+            }
+            let m = ms[idx].as_mut_slice();
+            let v = vs[idx].as_mut_slice();
+            for (((mv, vv), &gv), pv) in m
+                .iter_mut()
+                .zip(v.iter_mut())
+                .zip(g.as_slice())
+                .zip(p.as_mut_slice().iter_mut())
+            {
+                *mv = b1 * *mv + (1.0 - b1) * gv;
+                *vv = b2 * *vv + (1.0 - b2) * gv * gv;
+                let mhat = *mv / bc1;
+                let vhat = *vv / bc2;
+                *pv -= lr * mhat / (vhat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::loss::softmax_cross_entropy;
+    use fsa_tensor::Prng;
+
+    /// One linear layer trained to map two fixed points to two classes.
+    fn training_loss_decreases(opt: &mut dyn Optimizer) -> (f32, f32) {
+        let mut rng = Prng::new(42);
+        let mut net = Network::new();
+        net.push(Box::new(Linear::new_random(2, 2, &mut rng)));
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let labels = [0usize, 1];
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            let logits = net.forward_train(&x);
+            let (loss, dlogits) = softmax_cross_entropy(&logits, &labels);
+            net.zero_grads();
+            let _ = net.backward(&dlogits);
+            opt.step(&mut net);
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        (first.unwrap(), last)
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let (first, last) = training_loss_decreases(&mut Sgd::new(0.5, 0.0));
+        assert!(last < 0.3 * first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn sgd_momentum_reduces_loss() {
+        let (first, last) = training_loss_decreases(&mut Sgd::new(0.2, 0.9));
+        assert!(last < 0.3 * first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn adam_reduces_loss() {
+        let (first, last) = training_loss_decreases(&mut Adam::new(0.05));
+        assert!(last < 0.3 * first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn sgd_step_is_descent_direction() {
+        // With zero momentum, p_new = p - lr * g exactly.
+        let mut rng = Prng::new(1);
+        let mut net = Network::new();
+        net.push(Box::new(Linear::new_random(3, 2, &mut rng)));
+        let x = Tensor::randn(&[4, 3], 1.0, &mut rng);
+        let logits = net.forward_train(&x);
+        let (_, d) = softmax_cross_entropy(&logits, &[0, 1, 0, 1]);
+        net.zero_grads();
+        let _ = net.backward(&d);
+
+        let mut before = Vec::new();
+        let mut grads = Vec::new();
+        net.visit_params(&mut |p, g| {
+            before.push(p.clone());
+            grads.push(g.clone());
+        });
+        Sgd::new(0.1, 0.0).step(&mut net);
+        let mut idx = 0;
+        net.visit_params(&mut |p, _| {
+            for ((&pa, &pb), &gv) in p
+                .as_slice()
+                .iter()
+                .zip(before[idx].as_slice())
+                .zip(grads[idx].as_slice())
+            {
+                assert!((pa - (pb - 0.1 * gv)).abs() < 1e-6);
+            }
+            idx += 1;
+        });
+    }
+}

@@ -1,0 +1,193 @@
+//! Max pooling.
+
+use crate::conv::VolumeDims;
+use crate::layer::{check_batch_input, Layer};
+use fsa_tensor::Tensor;
+
+/// Non-overlapping 2-D max pooling (window = stride).
+///
+/// Trailing rows/columns that do not fill a window are dropped (floor
+/// semantics), matching the C&W architecture's `2×2` pools on even inputs.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    in_dims: VolumeDims,
+    window: usize,
+    /// Flat input index of each output's argmax, per cached batch sample.
+    cached_argmax: Option<Vec<Vec<u32>>>,
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is zero or larger than the input.
+    pub fn new(in_dims: VolumeDims, window: usize) -> Self {
+        assert!(window > 0, "pool window must be positive");
+        assert!(
+            window <= in_dims.height && window <= in_dims.width,
+            "pool window {window} does not fit input {}x{}",
+            in_dims.height,
+            in_dims.width
+        );
+        Self { in_dims, window, cached_argmax: None }
+    }
+
+    /// Output volume dimensions.
+    pub fn out_dims(&self) -> VolumeDims {
+        VolumeDims::new(
+            self.in_dims.channels,
+            self.in_dims.height / self.window,
+            self.in_dims.width / self.window,
+        )
+    }
+
+    fn pool_sample(&self, x: &[f32], y: &mut [f32], argmax: Option<&mut Vec<u32>>) {
+        let (c, h, w) = (self.in_dims.channels, self.in_dims.height, self.in_dims.width);
+        let out = self.out_dims();
+        let (oh, ow) = (out.height, out.width);
+        let k = self.window;
+        let mut arg_store = argmax;
+        for ch in 0..c {
+            for oi in 0..oh {
+                for oj in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0u32;
+                    for di in 0..k {
+                        let row = (ch * h + oi * k + di) * w + oj * k;
+                        for dj in 0..k {
+                            let v = x[row + dj];
+                            if v > best {
+                                best = v;
+                                best_idx = (row + dj) as u32;
+                            }
+                        }
+                    }
+                    y[(ch * oh + oi) * ow + oj] = best;
+                    if let Some(store) = arg_store.as_deref_mut() {
+                        store.push(best_idx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn in_features(&self) -> usize {
+        self.in_dims.features()
+    }
+
+    fn out_features(&self) -> usize {
+        self.out_dims().features()
+    }
+
+    fn forward_train(&mut self, x: &Tensor) -> Tensor {
+        let batch = check_batch_input("maxpool2d", x, self.in_features());
+        let mut y = Tensor::zeros(&[batch, self.out_features()]);
+        let mut args = Vec::with_capacity(batch);
+        for n in 0..batch {
+            let mut arg = Vec::with_capacity(self.out_features());
+            self.pool_sample(x.row(n), y.row_mut(n), Some(&mut arg));
+            args.push(arg);
+        }
+        self.cached_argmax = Some(args);
+        y
+    }
+
+    fn forward_infer(&self, x: &Tensor) -> Tensor {
+        let batch = check_batch_input("maxpool2d", x, self.in_features());
+        let mut y = Tensor::zeros(&[batch, self.out_features()]);
+        for n in 0..batch {
+            self.pool_sample(x.row(n), y.row_mut(n), None);
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let args = self
+            .cached_argmax
+            .as_ref()
+            .expect("maxpool2d backward called before forward_train");
+        let batch = args.len();
+        assert_eq!(
+            grad_out.shape(),
+            &[batch, self.out_features()],
+            "maxpool2d backward shape mismatch"
+        );
+        let mut dx = Tensor::zeros(&[batch, self.in_features()]);
+        for n in 0..batch {
+            let dy = grad_out.row(n);
+            let dxr = dx.row_mut(n);
+            for (o, &src) in args[n].iter().enumerate() {
+                dxr[src as usize] += dy[o];
+            }
+        }
+        dx
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor, &mut Tensor)) {}
+
+    fn zero_grads(&mut self) {}
+
+    fn param_count(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_2x2_blocks() {
+        let mut p = MaxPool2d::new(VolumeDims::new(1, 4, 4), 2);
+        #[rustfmt::skip]
+        let x = Tensor::from_vec(vec![
+            1.0, 2.0,   3.0, 4.0,
+            5.0, 6.0,   7.0, 8.0,
+
+            9.0, 10.0, 11.0, 12.0,
+            13.0, 14.0, 15.0, 16.0,
+        ], &[1, 16]);
+        let y = p.forward_train(&x);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax() {
+        let mut p = MaxPool2d::new(VolumeDims::new(1, 2, 2), 2);
+        let x = Tensor::from_vec(vec![0.0, 9.0, 1.0, 2.0], &[1, 4]);
+        let _ = p.forward_train(&x);
+        let dx = p.backward(&Tensor::from_vec(vec![3.0], &[1, 1]));
+        assert_eq!(dx.as_slice(), &[0.0, 3.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn odd_sizes_floor() {
+        let p = MaxPool2d::new(VolumeDims::new(2, 5, 5), 2);
+        assert_eq!(p.out_dims(), VolumeDims::new(2, 2, 2));
+    }
+
+    #[test]
+    fn channels_are_independent() {
+        let mut p = MaxPool2d::new(VolumeDims::new(2, 2, 2), 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0], &[1, 8]);
+        let y = p.forward_train(&x);
+        assert_eq!(y.as_slice(), &[4.0, -1.0]);
+    }
+
+    #[test]
+    fn infer_matches_train_path() {
+        let mut rng = fsa_tensor::Prng::new(6);
+        let x = Tensor::randn(&[3, 36], 1.0, &mut rng);
+        let mut p = MaxPool2d::new(VolumeDims::new(1, 6, 6), 3);
+        let a = p.forward_train(&x);
+        let b = p.forward_infer(&x);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! Dense `f32` tensor substrate for the fault sneaking attack reproduction.
+//!
+//! This crate provides the numerical foundation used by every other crate in
+//! the workspace: a contiguous row-major [`Tensor`], cache-blocked matrix
+//! kernels ([`linalg`]), vector norms ([`norms`]) including the `ℓ0`
+//! pseudo-norm the paper minimizes, a deterministic random number generator
+//! ([`Prng`]) and a compact binary serialization format ([`io`]).
+//!
+//! The workspace deliberately avoids heavyweight deep-learning crates; all
+//! gradients in `fsa-nn` are computed analytically on top of these kernels.
+//!
+//! # Examples
+//!
+//! ```
+//! use fsa_tensor::{Tensor, Prng};
+//!
+//! let mut rng = Prng::new(42);
+//! let a = Tensor::randn(&[4, 3], 1.0, &mut rng);
+//! let b = Tensor::randn(&[3, 2], 1.0, &mut rng);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.shape(), &[4, 2]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod io;
+pub mod linalg;
+pub mod norms;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use rng::Prng;
+pub use shape::Shape;
+pub use tensor::Tensor;

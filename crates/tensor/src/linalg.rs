@@ -1,0 +1,306 @@
+//! Matrix kernels: GEMM (all transpose combinations used by backprop),
+//! GEMV, and rank-1 updates.
+//!
+//! These are plain-slice kernels; `Tensor` methods wrap them. The GEMM is a
+//! cache-blocked ikj loop — no SIMD intrinsics, but enough (≈ a few GFLOP/s)
+//! for one-time convolutional feature extraction and FC-head training on a
+//! single CPU core, which is all this reproduction needs.
+
+/// Tile edge (elements) for the blocked GEMM kernels; sized so one A-tile,
+/// one B-tile and one C-tile fit comfortably in L1/L2.
+const BLOCK: usize = 64;
+
+/// `C = alpha * A·B + beta * C` where `A` is `m×k`, `B` is `k×n`,
+/// `C` is `m×n`, all row-major.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its dimensions imply.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], alpha: f32, beta: f32) {
+    assert!(a.len() >= m * k, "A too short: {} < {}", a.len(), m * k);
+    assert!(b.len() >= k * n, "B too short: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
+    scale_output(c, m * n, beta);
+    // Blocked ikj: the inner loop is a contiguous saxpy over a row of B/C.
+    for ib in (0..m).step_by(BLOCK) {
+        let ie = (ib + BLOCK).min(m);
+        for kb in (0..k).step_by(BLOCK) {
+            let ke = (kb + BLOCK).min(k);
+            for i in ib..ie {
+                let c_row = &mut c[i * n..i * n + n];
+                for p in kb..ke {
+                    let aip = alpha * a[i * k + p];
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..p * n + n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += aip * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `C = alpha * Aᵀ·B + beta * C` where `A` is `k×m` (so `Aᵀ` is `m×k`),
+/// `B` is `k×n`, `C` is `m×n`.
+///
+/// Used for weight gradients: `dW = dYᵀ·X` patterns.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its dimensions imply.
+pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], alpha: f32, beta: f32) {
+    assert!(a.len() >= k * m, "A too short: {} < {}", a.len(), k * m);
+    assert!(b.len() >= k * n, "B too short: {} < {}", b.len(), k * n);
+    assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
+    scale_output(c, m * n, beta);
+    // A is k×m: element Aᵀ[i,p] = a[p*m + i]. Loop p outermost so both the
+    // A row and the B row are walked contiguously.
+    for p in 0..k {
+        let a_row = &a[p * m..p * m + m];
+        let b_row = &b[p * n..p * n + n];
+        for (i, &av) in a_row.iter().enumerate() {
+            let aip = alpha * av;
+            if aip == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..i * n + n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += aip * bv;
+            }
+        }
+    }
+}
+
+/// `C = alpha * A·Bᵀ + beta * C` where `A` is `m×k`, `B` is `n×k`
+/// (so `Bᵀ` is `k×n`), `C` is `m×n`.
+///
+/// Used for input gradients: `dX = dY·W` patterns with row-major `W`.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its dimensions imply.
+pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32], alpha: f32, beta: f32) {
+    assert!(a.len() >= m * k, "A too short: {} < {}", a.len(), m * k);
+    assert!(b.len() >= n * k, "B too short: {} < {}", b.len(), n * k);
+    assert!(c.len() >= m * n, "C too short: {} < {}", c.len(), m * n);
+    scale_output(c, m * n, beta);
+    // C[i,j] = dot(A row i, B row j): both contiguous.
+    for i in 0..m {
+        let a_row = &a[i * k..i * k + k];
+        let c_row = &mut c[i * n..i * n + n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..j * k + k];
+            *cv += alpha * dot_slices(a_row, b_row);
+        }
+    }
+}
+
+/// `y = alpha * A·x + beta * y` where `A` is `m×n` row-major.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its dimensions imply.
+pub fn gemv(m: usize, n: usize, a: &[f32], x: &[f32], y: &mut [f32], alpha: f32, beta: f32) {
+    assert!(a.len() >= m * n, "A too short: {} < {}", a.len(), m * n);
+    assert!(x.len() >= n, "x too short: {} < {n}", x.len());
+    assert!(y.len() >= m, "y too short: {} < {m}", y.len());
+    for i in 0..m {
+        let acc = dot_slices(&a[i * n..i * n + n], &x[..n]);
+        y[i] = alpha * acc + beta * y[i];
+    }
+}
+
+/// Rank-1 update `A += alpha * x·yᵀ` where `A` is `m×n` row-major,
+/// `x` has length `m`, `y` has length `n`.
+///
+/// This is the core of the truncated-head gradient: the gradient of a logit
+/// difference with respect to a single FC layer's weights is an outer
+/// product of the upstream logit gradient and the layer input.
+///
+/// # Panics
+///
+/// Panics if any slice is shorter than its dimensions imply.
+pub fn ger(m: usize, n: usize, alpha: f32, x: &[f32], y: &[f32], a: &mut [f32]) {
+    assert!(x.len() >= m, "x too short: {} < {m}", x.len());
+    assert!(y.len() >= n, "y too short: {} < {n}", y.len());
+    assert!(a.len() >= m * n, "A too short: {} < {}", a.len(), m * n);
+    for i in 0..m {
+        let xv = alpha * x[i];
+        if xv == 0.0 {
+            continue;
+        }
+        let a_row = &mut a[i * n..i * n + n];
+        for (av, &yv) in a_row.iter_mut().zip(y.iter()) {
+            *av += xv * yv;
+        }
+    }
+}
+
+/// Plain dot product of two equal-length prefixes.
+fn dot_slices(a: &[f32], b: &[f32]) -> f32 {
+    // 4-way unrolled accumulation; the compiler vectorizes this reliably.
+    let n = a.len().min(b.len());
+    let mut acc0 = 0.0f32;
+    let mut acc1 = 0.0f32;
+    let mut acc2 = 0.0f32;
+    let mut acc3 = 0.0f32;
+    let chunks = n / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc0 += a[i] * b[i];
+        acc1 += a[i + 1] * b[i + 1];
+        acc2 += a[i + 2] * b[i + 2];
+        acc3 += a[i + 3] * b[i + 3];
+    }
+    let mut acc = acc0 + acc1 + acc2 + acc3;
+    for i in chunks * 4..n {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+fn scale_output(c: &mut [f32], len: usize, beta: f32) {
+    if beta == 0.0 {
+        c[..len].fill(0.0);
+    } else if beta != 1.0 {
+        for v in &mut c[..len] {
+            *v *= beta;
+        }
+    }
+}
+
+/// Reference (unoptimized) GEMM used as a test oracle.
+pub fn gemm_naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Prng;
+
+    fn rand_vec(len: usize, rng: &mut Prng) -> Vec<f32> {
+        (0..len).map(|_| rng.uniform(-1.0, 1.0)).collect()
+    }
+
+    fn assert_close(a: &[f32], b: &[f32], tol: f32) {
+        assert_eq!(a.len(), b.len());
+        for (i, (&x, &y)) in a.iter().zip(b.iter()).enumerate() {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "index {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_matches_naive_on_odd_sizes() {
+        let mut rng = Prng::new(1);
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (65, 64, 63), (17, 130, 9)] {
+            let a = rand_vec(m * k, &mut rng);
+            let b = rand_vec(k * n, &mut rng);
+            let mut c = vec![0.0; m * n];
+            let mut c_ref = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c, 1.0, 0.0);
+            gemm_naive(m, k, n, &a, &b, &mut c_ref);
+            assert_close(&c, &c_ref, 1e-5);
+        }
+    }
+
+    #[test]
+    fn gemm_alpha_beta_semantics() {
+        let mut rng = Prng::new(2);
+        let (m, k, n) = (4, 6, 5);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let c0 = rand_vec(m * n, &mut rng);
+
+        let mut c = c0.clone();
+        gemm(m, k, n, &a, &b, &mut c, 2.0, 3.0);
+
+        let mut ab = vec![0.0; m * n];
+        gemm_naive(m, k, n, &a, &b, &mut ab);
+        let expect: Vec<f32> = ab.iter().zip(c0.iter()).map(|(&p, &q)| 2.0 * p + 3.0 * q).collect();
+        assert_close(&c, &expect, 1e-5);
+    }
+
+    #[test]
+    fn gemm_tn_matches_explicit_transpose() {
+        let mut rng = Prng::new(3);
+        let (m, k, n) = (7, 9, 5);
+        // A stored k×m, interpret Aᵀ (m×k).
+        let a = rand_vec(k * m, &mut rng);
+        let b = rand_vec(k * n, &mut rng);
+        let mut c = vec![0.0; m * n];
+        gemm_tn(m, k, n, &a, &b, &mut c, 1.0, 0.0);
+
+        let mut at = vec![0.0; m * k];
+        for p in 0..k {
+            for i in 0..m {
+                at[i * k + p] = a[p * m + i];
+            }
+        }
+        let mut c_ref = vec![0.0; m * n];
+        gemm_naive(m, k, n, &at, &b, &mut c_ref);
+        assert_close(&c, &c_ref, 1e-5);
+    }
+
+    #[test]
+    fn gemm_nt_matches_explicit_transpose() {
+        let mut rng = Prng::new(4);
+        let (m, k, n) = (6, 8, 4);
+        let a = rand_vec(m * k, &mut rng);
+        // B stored n×k, interpret Bᵀ (k×n).
+        let b = rand_vec(n * k, &mut rng);
+        let mut c = vec![0.0; m * n];
+        gemm_nt(m, k, n, &a, &b, &mut c, 1.0, 0.0);
+
+        let mut bt = vec![0.0; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                bt[p * n + j] = b[j * k + p];
+            }
+        }
+        let mut c_ref = vec![0.0; m * n];
+        gemm_naive(m, k, n, &a, &bt, &mut c_ref);
+        assert_close(&c, &c_ref, 1e-5);
+    }
+
+    #[test]
+    fn gemv_matches_gemm_column() {
+        let mut rng = Prng::new(5);
+        let (m, n) = (9, 11);
+        let a = rand_vec(m * n, &mut rng);
+        let x = rand_vec(n, &mut rng);
+        let mut y = vec![0.0; m];
+        gemv(m, n, &a, &x, &mut y, 1.0, 0.0);
+        let mut y_ref = vec![0.0; m];
+        gemm_naive(m, n, 1, &a, &x, &mut y_ref);
+        assert_close(&y, &y_ref, 1e-5);
+    }
+
+    #[test]
+    fn ger_is_outer_product_update() {
+        let x = [1.0, 2.0];
+        let y = [3.0, 4.0, 5.0];
+        let mut a = vec![1.0; 6];
+        ger(2, 3, 2.0, &x, &y, &mut a);
+        assert_eq!(a, vec![7.0, 9.0, 11.0, 13.0, 17.0, 21.0]);
+    }
+
+    #[test]
+    fn zero_dimensions_are_noops() {
+        let mut c: Vec<f32> = vec![];
+        gemm(0, 3, 0, &[], &[], &mut c, 1.0, 0.0);
+        let mut y: Vec<f32> = vec![];
+        gemv(0, 0, &[], &[], &mut y, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Vector norms over `f32` slices.
+//!
+//! The fault sneaking attack measures parameter modifications `δ` with the
+//! `ℓ0` pseudo-norm (number of modified parameters — hardware implementation
+//! cost) and the `ℓ2` norm (modification magnitude). `ℓ1`/`ℓ∞` are provided
+//! for diagnostics and tests.
+
+/// Number of entries with magnitude strictly greater than `eps`.
+///
+/// With floating-point ADMM iterates, exact zero tests are meaningless on
+/// the `δ` variable; the paper's `ℓ0` is evaluated on the hard-thresholded
+/// `z` variable, but a small tolerance keeps the count robust either way.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(fsa_tensor::norms::l0(&[0.0, 1e-9, 0.5], 1e-6), 1);
+/// ```
+pub fn l0(xs: &[f32], eps: f32) -> usize {
+    xs.iter().filter(|x| x.abs() > eps).count()
+}
+
+/// Sum of absolute values.
+pub fn l1(xs: &[f32]) -> f32 {
+    xs.iter().map(|x| x.abs() as f64).sum::<f64>() as f32
+}
+
+/// Euclidean norm, computed in `f64` to avoid overflow/cancellation.
+pub fn l2(xs: &[f32]) -> f32 {
+    (xs.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()).sqrt() as f32
+}
+
+/// Squared Euclidean norm in `f64` precision.
+pub fn l2_squared(xs: &[f32]) -> f64 {
+    xs.iter().map(|&x| (x as f64) * (x as f64)).sum::<f64>()
+}
+
+/// Maximum absolute value (0 for an empty slice).
+pub fn linf(xs: &[f32]) -> f32 {
+    xs.iter().fold(0.0f32, |m, x| m.max(x.abs()))
+}
+
+/// Dot product in `f64` accumulation.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch: {} vs {}", a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x as f64 * y as f64).sum::<f64>() as f32
+}
+
+/// Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch: {} vs {}", a.len(), b.len());
+    (a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum::<f64>())
+    .sqrt() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn l0_counts_with_tolerance() {
+        let xs = [0.0, 1e-8, -1e-8, 0.2, -3.0];
+        assert_eq!(l0(&xs, 0.0), 4); // 1e-8 counts at eps=0
+        assert_eq!(l0(&xs, 1e-6), 2);
+        assert_eq!(l0(&xs, 10.0), 0);
+    }
+
+    #[test]
+    fn classic_345_triangle() {
+        let xs = [3.0, -4.0];
+        assert_eq!(l1(&xs), 7.0);
+        assert_eq!(l2(&xs), 5.0);
+        assert_eq!(linf(&xs), 4.0);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(l0(&[], 0.0), 0);
+        assert_eq!(l1(&[]), 0.0);
+        assert_eq!(l2(&[]), 0.0);
+        assert_eq!(linf(&[]), 0.0);
+    }
+
+    #[test]
+    fn distance_is_norm_of_difference() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 6.0, 3.0];
+        assert_eq!(l2_distance(&a, &b), 5.0);
+    }
+
+    proptest! {
+        #[test]
+        fn norm_chain_inequalities(xs in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
+            // linf <= l2 <= l1 for any vector.
+            let inf = linf(&xs);
+            let two = l2(&xs);
+            let one = l1(&xs);
+            prop_assert!(inf <= two * (1.0 + 1e-5) + 1e-6);
+            prop_assert!(two <= one * (1.0 + 1e-5) + 1e-6);
+        }
+
+        #[test]
+        fn l2_scales_homogeneously(xs in proptest::collection::vec(-10.0f32..10.0, 1..32), c in -4.0f32..4.0) {
+            let scaled: Vec<f32> = xs.iter().map(|x| c * x).collect();
+            let lhs = l2(&scaled);
+            let rhs = c.abs() * l2(&xs);
+            prop_assert!((lhs - rhs).abs() <= 1e-3 * (1.0 + rhs.abs()));
+        }
+
+        #[test]
+        fn triangle_inequality(
+            a in proptest::collection::vec(-10.0f32..10.0, 16),
+            b in proptest::collection::vec(-10.0f32..10.0, 16),
+        ) {
+            let sum: Vec<f32> = a.iter().zip(b.iter()).map(|(x, y)| x + y).collect();
+            prop_assert!(l2(&sum) <= l2(&a) + l2(&b) + 1e-4);
+        }
+
+        #[test]
+        fn l0_bounded_by_len(xs in proptest::collection::vec(-1.0f32..1.0, 0..64), eps in 0.0f32..0.5) {
+            prop_assert!(l0(&xs, eps) <= xs.len());
+        }
+
+        #[test]
+        fn cauchy_schwarz(
+            a in proptest::collection::vec(-10.0f32..10.0, 8),
+            b in proptest::collection::vec(-10.0f32..10.0, 8),
+        ) {
+            prop_assert!(dot(&a, &b).abs() <= l2(&a) * l2(&b) * (1.0 + 1e-4) + 1e-4);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use std::fmt;
+
+/// The extent of a tensor along each axis, in row-major order.
+///
+/// A `Shape` is an immutable list of dimensions. The element count of a
+/// tensor is the product of its dimensions; the empty shape `[]` denotes a
+/// scalar with one element.
+///
+/// # Examples
+///
+/// ```
+/// use fsa_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.ndim(), 3);
+/// assert_eq!(s.offset(&[1, 2, 3]), 23);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a slice of dimensions.
+    pub fn new(dims: &[usize]) -> Self {
+        Self { dims: dims.to_vec() }
+    }
+
+    /// Returns the dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Returns the number of axes.
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Returns the total number of elements (product of dimensions).
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Returns the extent along axis `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.ndim()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Returns the row-major strides (elements to skip per unit step along
+    /// each axis).
+    ///
+    /// ```
+    /// # use fsa_tensor::Shape;
+    /// assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has the wrong rank or any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.dims.len(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.dims.len()
+        );
+        let mut off = 0;
+        let mut stride = 1;
+        for axis in (0..self.dims.len()).rev() {
+            let i = index[axis];
+            let d = self.dims[axis];
+            assert!(i < d, "index {i} out of bounds for axis {axis} with extent {d}");
+            off += i * stride;
+            stride *= d;
+        }
+        off
+    }
+
+    /// Returns `true` if the shape describes a matrix (rank 2).
+    pub fn is_matrix(&self) -> bool {
+        self.dims.len() == 2
+    }
+
+    /// Returns `true` if the two shapes have the same element count, making
+    /// a zero-copy reshape between them valid.
+    pub fn reshape_compatible(&self, other: &Shape) -> bool {
+        self.numel() == other.numel()
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape { dims: dims.to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_of_scalar_is_one() {
+        assert_eq!(Shape::new(&[]).numel(), 1);
+    }
+
+    #[test]
+    fn numel_is_product() {
+        assert_eq!(Shape::new(&[2, 3, 4]).numel(), 24);
+        assert_eq!(Shape::new(&[7]).numel(), 7);
+        assert_eq!(Shape::new(&[5, 0, 2]).numel(), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[6]).strides(), vec![1]);
+        assert!(Shape::new(&[]).strides().is_empty());
+    }
+
+    #[test]
+    fn offset_walks_row_major() {
+        let s = Shape::new(&[2, 3]);
+        let mut seen = Vec::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                seen.push(s.offset(&[i, j]));
+            }
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_rejects_out_of_bounds() {
+        Shape::new(&[2, 3]).offset(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank")]
+    fn offset_rejects_wrong_rank() {
+        Shape::new(&[2, 3]).offset(&[1]);
+    }
+
+    #[test]
+    fn reshape_compatibility() {
+        assert!(Shape::new(&[2, 6]).reshape_compatible(&Shape::new(&[3, 4])));
+        assert!(!Shape::new(&[2, 6]).reshape_compatible(&Shape::new(&[5])));
+    }
+}

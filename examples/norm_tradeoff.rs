@@ -1,0 +1,62 @@
+//! The `ℓ0` vs `ℓ2` trade-off (paper Table 3) on a small victim: the
+//! `ℓ0` attack touches fewer parameters, the `ℓ2` attack moves less mass.
+//!
+//! ```text
+//! cargo run --release --example norm_tradeoff
+//! ```
+
+use fault_sneaking::attack::{AttackConfig, AttackSpec, FaultSneakingAttack, Norm, ParamSelection};
+use fault_sneaking::nn::head::FcHead;
+use fault_sneaking::nn::head_train::{train_head, HeadTrainConfig};
+use fault_sneaking::tensor::{Prng, Tensor};
+
+fn main() {
+    let mut rng = Prng::new(5);
+    let (features, labels) = blobs(160, 20, 5, &mut rng);
+    let mut head = FcHead::from_dims(&[20, 32, 5], &mut rng);
+    train_head(&mut head, &features, &labels, &HeadTrainConfig { epochs: 30, ..Default::default() }, &mut rng);
+    println!("victim accuracy: {:.1}%", 100.0 * head.accuracy(&features, &labels));
+
+    let working = {
+        let mut t = Tensor::zeros(&[20, 20]);
+        for r in 0..20 {
+            t.row_mut(r).copy_from_slice(features.row(r));
+        }
+        t
+    };
+    let wl = labels[..20].to_vec();
+    let targets: Vec<usize> = wl[..3].iter().map(|&l| (l + 2) % 5).collect();
+    let spec = AttackSpec::new(working, wl, targets).with_weights(10.0, 1.0);
+    let selection = ParamSelection::last_layer(&head);
+
+    println!("\n{:<10} {:>6} {:>10} {:>9} {:>6}", "attack", "l0", "l2", "success", "keep");
+    for norm in [Norm::L0, Norm::L2] {
+        let cfg = AttackConfig { norm, ..AttackConfig::default() };
+        let result = FaultSneakingAttack::new(&head, selection.clone(), cfg).run(&spec);
+        println!(
+            "{:<10} {:>6} {:>10.4} {:>7}/{} {:>4}/{}",
+            format!("{norm:?}"),
+            result.l0,
+            result.l2,
+            result.s_success,
+            result.s_total,
+            result.keep_unchanged,
+            result.keep_total
+        );
+    }
+    println!("\nExpected: the L0 row has the smaller l0; the L2 row the smaller l2.");
+}
+
+fn blobs(n: usize, d: usize, classes: usize, rng: &mut Prng) -> (Tensor, Vec<usize>) {
+    let mut x = Tensor::zeros(&[n, d]);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        labels.push(class);
+        for j in 0..d {
+            let center = if j % classes == class { 2.0 } else { 0.0 };
+            x.row_mut(i)[j] = rng.normal(center, 0.4);
+        }
+    }
+    (x, labels)
+}

@@ -1,0 +1,81 @@
+//! Quickstart: inject one sneaking fault into a small trained classifier.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use fault_sneaking::attack::{AttackConfig, AttackSpec, FaultSneakingAttack, ParamSelection};
+use fault_sneaking::nn::head::FcHead;
+use fault_sneaking::nn::head_train::{train_head, HeadTrainConfig};
+use fault_sneaking::tensor::{Prng, Tensor};
+
+fn main() {
+    let mut rng = Prng::new(2024);
+
+    // 1. A small victim: 3-class features, FC head trained to ~100%.
+    let (features, labels) = clustered_features(120, 12, 3, &mut rng);
+    let mut head = FcHead::from_dims(&[12, 24, 3], &mut rng);
+    train_head(
+        &mut head,
+        &features,
+        &labels,
+        &HeadTrainConfig { epochs: 30, ..Default::default() },
+        &mut rng,
+    );
+    println!("victim accuracy: {:.1}%", 100.0 * head.accuracy(&features, &labels));
+
+    // 2. The adversary's goal: flip image 0 to a wrong class while 19
+    //    other images keep their labels.
+    let working = sub_rows(&features, 0, 20);
+    let working_labels = labels[..20].to_vec();
+    let target = (working_labels[0] + 1) % 3;
+    println!("fault: image 0 (class {}) -> target {target}", working_labels[0]);
+    let spec = AttackSpec::new(working, working_labels, vec![target]).with_weights(10.0, 1.0);
+
+    // 3. Run the l0-minimizing fault sneaking attack on the last FC layer.
+    let selection = ParamSelection::last_layer(&head);
+    let attack = FaultSneakingAttack::new(&head, selection.clone(), AttackConfig::default());
+    let result = attack.run(&spec);
+
+    println!(
+        "attack: {} of {} parameters modified (l2 = {:.3})",
+        result.l0,
+        result.delta.len(),
+        result.l2
+    );
+    println!("fault injected: {}/{}", result.s_success, result.s_total);
+    println!("keep-set unchanged: {}/{}", result.keep_unchanged, result.keep_total);
+
+    // 4. Verify on the *full* victim: stealth means overall accuracy holds.
+    let mut attacked = head.clone();
+    fault_sneaking::attack::eval::apply_delta(&mut attacked, &selection, attack.theta0(), &result.delta);
+    println!(
+        "victim accuracy after attack: {:.1}%",
+        100.0 * attacked.accuracy(&features, &labels)
+    );
+}
+
+/// Class-clustered Gaussian features (class k concentrates on coordinates
+/// `j ≡ k mod classes`).
+fn clustered_features(n: usize, d: usize, classes: usize, rng: &mut Prng) -> (Tensor, Vec<usize>) {
+    let mut x = Tensor::zeros(&[n, d]);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        labels.push(class);
+        for j in 0..d {
+            let center = if j % classes == class { 2.0 } else { 0.0 };
+            x.row_mut(i)[j] = rng.normal(center, 0.4);
+        }
+    }
+    (x, labels)
+}
+
+fn sub_rows(x: &Tensor, from: usize, to: usize) -> Tensor {
+    let d = x.shape()[1];
+    let mut out = Tensor::zeros(&[to - from, d]);
+    for r in from..to {
+        out.row_mut(r - from).copy_from_slice(x.row(r));
+    }
+    out
+}

@@ -1,0 +1,88 @@
+//! Domain scenario: a digit classifier in a mail-sorting pipeline.
+//!
+//! The adversary wants one specific routing digit misread (say a "7"
+//! destined for one depot read as "1" for another) *without* tanking the
+//! classifier's accuracy — an accuracy drop would trip the operator's
+//! monitoring. This drives the paper's full pipeline on the MNIST-like
+//! synthetic victim: train a CNN, freeze the conv stack, attack the last
+//! FC layer, and audit stealth on held-out digits.
+//!
+//! ```text
+//! cargo run --release --example stealthy_misroute
+//! ```
+
+use fault_sneaking::attack::{AttackConfig, AttackSpec, FaultSneakingAttack, ParamSelection};
+use fault_sneaking::data::dataset::Synthesizer;
+use fault_sneaking::data::SynthDigits;
+use fault_sneaking::nn::cw::{CwConfig, CwModel};
+use fault_sneaking::nn::head_train::{train_head, HeadTrainConfig};
+use fault_sneaking::tensor::{Prng, Tensor};
+
+fn main() {
+    let mut rng = Prng::new(77);
+    let gen = SynthDigits::default();
+    let (train, test) = gen.train_test(800, 400, 3);
+
+    // Victim: C&W architecture, frozen random conv features + trained head.
+    let mut model = CwModel::new_random(CwConfig::mnist(), &mut rng);
+    println!("extracting conv features for 1200 digits...");
+    let f_train = model.extract_features(&train.images);
+    let f_test = model.extract_features(&test.images);
+    let mut head = model.head.clone();
+    train_head(
+        &mut head,
+        &f_train,
+        &train.labels,
+        &HeadTrainConfig { epochs: 12, ..Default::default() },
+        &mut rng,
+    );
+    model.head = head;
+    let base_acc = model.head.accuracy(&f_test, &test.labels);
+    println!("victim test accuracy: {:.1}%", 100.0 * base_acc);
+
+    // The adversary's working set: a "7" to misroute as "1", plus 99
+    // correctly-handled digits that must keep routing correctly.
+    let preds = model.head.predict(&f_test);
+    let seven = (0..test.len())
+        .find(|&i| test.labels[i] == 7 && preds[i] == 7)
+        .expect("no correctly-classified 7 in the test set");
+    let mut keep: Vec<usize> = (0..test.len())
+        .filter(|&i| i != seven && preds[i] == test.labels[i])
+        .take(99)
+        .collect();
+    let mut order = vec![seven];
+    order.append(&mut keep);
+
+    let d = f_test.shape()[1];
+    let mut features = Tensor::zeros(&[order.len(), d]);
+    let mut labels = Vec::with_capacity(order.len());
+    for (r, &i) in order.iter().enumerate() {
+        features.row_mut(r).copy_from_slice(f_test.row(i));
+        labels.push(test.labels[i]);
+    }
+    let spec = AttackSpec::new(features, labels, vec![1]).with_weights(10.0, 1.0);
+
+    // Attack the last FC layer with l0 minimization.
+    let selection = ParamSelection::last_layer(&model.head);
+    let attack = FaultSneakingAttack::new(&model.head, selection.clone(), AttackConfig::default());
+    let result = attack.run(&spec);
+    println!(
+        "modified {} / {} parameters of the last FC layer (l2 = {:.3})",
+        result.l0,
+        result.delta.len(),
+        result.l2
+    );
+    println!("misroute injected: {}", if result.s_success == 1 { "yes" } else { "NO" });
+    println!("keep-set intact: {}/{}", result.keep_unchanged, result.keep_total);
+
+    // Operator's view: does monitoring notice?
+    let mut attacked = model.head.clone();
+    fault_sneaking::attack::eval::apply_delta(&mut attacked, &selection, attack.theta0(), &result.delta);
+    let post_acc = attacked.accuracy(&f_test, &test.labels);
+    println!(
+        "test accuracy {:.1}% -> {:.1}% (drop {:.2} points)",
+        100.0 * base_acc,
+        100.0 * post_acc,
+        100.0 * (base_acc - post_acc)
+    );
+}

@@ -1,0 +1,51 @@
+//! # fault-sneaking
+//!
+//! A from-scratch Rust reproduction of *"Fault Sneaking Attack: a Stealthy
+//! Framework for Misleading Deep Neural Networks"* (Zhao et al., DAC 2019):
+//! modify a trained DNN's parameters so that chosen images flip to
+//! attacker-designated labels while every other classification — and the
+//! overall test accuracy — survives.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`attack`] — the paper's contribution: the ADMM-based fault sneaking
+//!   attack with `ℓ0`/`ℓ2` minimization;
+//! * [`nn`] — the neural-network substrate (manual gradients, the C&W
+//!   victim architecture, the FC head the attack perturbs);
+//! * [`data`] — synthetic MNIST-like / CIFAR-like datasets;
+//! * [`admm`] — proximal operators and the generic ADMM driver;
+//! * [`baselines`] — Liu et al. ICCAD'17 SBA/GDA comparison attacks;
+//! * [`memfault`] — simulated laser/rowhammer fault injection hardware;
+//! * [`tensor`] — the dense `f32` tensor substrate everything runs on.
+//!
+//! See `examples/quickstart.rs` for a three-minute tour and `DESIGN.md`
+//! for the experiment index.
+//!
+//! ```
+//! use fault_sneaking::attack::{AttackConfig, AttackSpec, FaultSneakingAttack, ParamSelection};
+//! use fault_sneaking::nn::head::FcHead;
+//! use fault_sneaking::tensor::{Prng, Tensor};
+//!
+//! let mut rng = Prng::new(7);
+//! let head = FcHead::from_dims(&[8, 16, 4], &mut rng);
+//! let features = Tensor::randn(&[6, 8], 1.0, &mut rng);
+//! let labels = head.predict(&features);
+//! let spec = AttackSpec::new(features, labels.clone(), vec![(labels[0] + 1) % 4]);
+//! let result = FaultSneakingAttack::new(
+//!     &head,
+//!     ParamSelection::last_layer(&head),
+//!     AttackConfig::default(),
+//! )
+//! .run(&spec);
+//! assert!(result.l0 <= result.delta.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use fsa_admm as admm;
+pub use fsa_attack as attack;
+pub use fsa_baselines as baselines;
+pub use fsa_data as data;
+pub use fsa_memfault as memfault;
+pub use fsa_nn as nn;
+pub use fsa_tensor as tensor;

@@ -1,0 +1,61 @@
+//! Integration: the full pipeline is bit-reproducible from its seeds —
+//! the property every experiment binary relies on.
+
+use fault_sneaking::attack::{AttackConfig, AttackSpec, FaultSneakingAttack, ParamSelection};
+use fault_sneaking::data::dataset::Synthesizer;
+use fault_sneaking::data::{SynthDigits, SynthObjects};
+use fault_sneaking::nn::head::FcHead;
+use fault_sneaking::nn::head_train::{train_head, HeadTrainConfig};
+use fault_sneaking::tensor::{Prng, Tensor};
+
+#[test]
+fn datasets_are_reproducible() {
+    let d1 = SynthDigits::default().generate(64, 123);
+    let d2 = SynthDigits::default().generate(64, 123);
+    assert_eq!(d1, d2);
+    let o1 = SynthObjects::default().generate(32, 9);
+    let o2 = SynthObjects::default().generate(32, 9);
+    assert_eq!(o1, o2);
+}
+
+#[test]
+fn training_and_attack_are_reproducible() {
+    let run = || {
+        let mut rng = Prng::new(31337);
+        let mut x = Tensor::zeros(&[90, 8]);
+        let mut labels = Vec::new();
+        for i in 0..90 {
+            let class = i % 3;
+            labels.push(class);
+            for j in 0..8 {
+                let center = if j % 3 == class { 1.5 } else { 0.0 };
+                x.row_mut(i)[j] = rng.normal(center, 0.4);
+            }
+        }
+        let mut head = FcHead::from_dims(&[8, 12, 3], &mut rng);
+        train_head(&mut head, &x, &labels, &HeadTrainConfig { epochs: 10, ..Default::default() }, &mut rng);
+
+        let mut features = Tensor::zeros(&[10, 8]);
+        for i in 0..10 {
+            features.row_mut(i).copy_from_slice(x.row(i));
+        }
+        let wl = labels[..10].to_vec();
+        let target = (wl[0] + 1) % 3;
+        let spec = AttackSpec::new(features, wl, vec![target]).with_weights(10.0, 1.0);
+        let attack =
+            FaultSneakingAttack::new(&head, ParamSelection::last_layer(&head), AttackConfig::default());
+        attack.run(&spec)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.delta, b.delta, "attack output must be bit-reproducible");
+    assert_eq!(a.l0, b.l0);
+    assert_eq!(a.s_success, b.s_success);
+}
+
+#[test]
+fn different_seeds_give_different_data() {
+    let d1 = SynthDigits::default().generate(64, 1);
+    let d2 = SynthDigits::default().generate(64, 2);
+    assert_ne!(d1, d2);
+}
