@@ -1,10 +1,11 @@
 //! Penalty (ρ) adaptation policies.
 
 /// How the ADMM penalty parameter evolves across iterations.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum RhoPolicy {
     /// Keep ρ fixed (the paper's setting; linearized ADMM convergence
     /// analyses assume a constant penalty).
+    #[default]
     Fixed,
     /// Residual balancing (Boyd et al. §3.4.1): grow ρ when the primal
     /// residual dominates, shrink when the dual residual dominates.
@@ -14,12 +15,6 @@ pub enum RhoPolicy {
         /// Multiplicative ρ step (typical: 2).
         tau: f32,
     },
-}
-
-impl Default for RhoPolicy {
-    fn default() -> Self {
-        RhoPolicy::Fixed
-    }
 }
 
 impl RhoPolicy {

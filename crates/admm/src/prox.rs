@@ -127,7 +127,7 @@ impl PenaltyKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use fsa_tensor::Prng;
 
     #[test]
     fn hard_threshold_boundary() {
@@ -191,42 +191,45 @@ mod tests {
         pen + 0.5 * rho as f64 * quad
     }
 
-    proptest! {
-        #[test]
-        fn prox_minimizes_its_objective(
-            v in proptest::collection::vec(-3.0f32..3.0, 1..12),
-            probe in proptest::collection::vec(-3.0f32..3.0, 12),
-            lambda in 0.1f32..2.0,
-            rho in 0.2f32..5.0,
-        ) {
+    #[test]
+    fn prox_minimizes_its_objective() {
+        let mut rng = Prng::new(2024);
+        for _ in 0..256 {
+            let len = 1 + rng.below(11);
+            let v: Vec<f32> = (0..len).map(|_| rng.uniform(-3.0, 3.0)).collect();
+            let probe: Vec<f32> = (0..len).map(|_| rng.uniform(-3.0, 3.0)).collect();
+            let lambda = rng.uniform(0.1, 2.0);
+            let rho = rng.uniform(0.2, 5.0);
             for kind in [PenaltyKind::L0, PenaltyKind::L1, PenaltyKind::L2] {
                 let mut z = vec![0.0; v.len()];
                 kind.prox(&v, lambda, rho, &mut z);
                 let best = prox_objective(kind, &z, &v, lambda, rho);
                 // Probe candidates: random point, v itself, zero.
-                let cand: Vec<f32> = probe.iter().take(v.len()).copied().collect();
-                for c in [cand, v.clone(), vec![0.0; v.len()]] {
+                for c in [probe.clone(), v.clone(), vec![0.0; v.len()]] {
                     let other = prox_objective(kind, &c, &v, lambda, rho);
-                    prop_assert!(best <= other + 1e-3, "{kind:?}: {best} > {other}");
+                    assert!(best <= other + 1e-3, "{kind:?}: {best} > {other}");
                 }
             }
         }
+    }
 
-        #[test]
-        fn prox_is_shrinking(
-            v in proptest::collection::vec(-3.0f32..3.0, 1..12),
-            lambda in 0.1f32..2.0,
-            rho in 0.2f32..5.0,
-        ) {
+    #[test]
+    fn prox_is_shrinking() {
+        let mut rng = Prng::new(2025);
+        for _ in 0..256 {
+            let len = 1 + rng.below(11);
+            let v: Vec<f32> = (0..len).map(|_| rng.uniform(-3.0, 3.0)).collect();
+            let lambda = rng.uniform(0.1, 2.0);
+            let rho = rng.uniform(0.2, 5.0);
             // Every supported prox maps each coordinate no farther from 0
             // than the input (nonexpansive toward the origin).
             for kind in [PenaltyKind::L0, PenaltyKind::L1, PenaltyKind::L2] {
                 let mut z = vec![0.0; v.len()];
                 kind.prox(&v, lambda, rho, &mut z);
                 for (zi, vi) in z.iter().zip(&v) {
-                    prop_assert!(zi.abs() <= vi.abs() + 1e-6);
+                    assert!(zi.abs() <= vi.abs() + 1e-6);
                     // Sign is preserved or zeroed.
-                    prop_assert!(zi * vi >= 0.0);
+                    assert!(zi * vi >= 0.0);
                 }
             }
         }

@@ -151,9 +151,16 @@ impl AdmmDriver {
                 }
                 rho * acc.sqrt() as f32
             };
-            history.push(IterStats { iter, primal_residual: primal, dual_residual: dual, rho });
+            history.push(IterStats {
+                iter,
+                primal_residual: primal,
+                dual_residual: dual,
+                rho,
+            });
 
-            if primal * inv_sqrt_n < self.config.primal_tol && dual * inv_sqrt_n < self.config.dual_tol {
+            if primal * inv_sqrt_n < self.config.primal_tol
+                && dual * inv_sqrt_n < self.config.dual_tol
+            {
                 converged = true;
                 break;
             }
@@ -169,17 +176,31 @@ impl AdmmDriver {
             }
         }
 
-        AdmmResult { z, delta, s, history, converged }
+        AdmmResult {
+            z,
+            delta,
+            s,
+            history,
+            converged,
+        }
     }
 }
 
 /// Feasibility gap `‖z − δ‖₂` of a result.
 pub fn feasibility_gap(result: &AdmmResult) -> f32 {
-    let diff: Vec<f32> = result.z.iter().zip(&result.delta).map(|(a, b)| a - b).collect();
+    let diff: Vec<f32> = result
+        .z
+        .iter()
+        .zip(&result.delta)
+        .map(|(a, b)| a - b)
+        .collect();
     norms::l2(&diff)
 }
 
 #[cfg(test)]
+// The Lasso oracle below is deliberately written as textbook index
+// arithmetic — clearer to check against the math than iterator chains.
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use crate::prox::soft_threshold;
@@ -296,7 +317,13 @@ mod tests {
         }
     }
 
-    fn make_lasso(seed: u64, m: usize, n: usize, sparsity: usize, lambda: f32) -> (Lasso, Vec<f32>) {
+    fn make_lasso(
+        seed: u64,
+        m: usize,
+        n: usize,
+        sparsity: usize,
+        lambda: f32,
+    ) -> (Lasso, Vec<f32>) {
         let mut rng = Prng::new(seed);
         let mut a = vec![0.0f32; m * n];
         rng.fill_normal(&mut a, 1.0 / (m as f32).sqrt());
@@ -324,7 +351,7 @@ mod tests {
             dual_tol: 1e-6,
             rho_policy: RhoPolicy::Fixed,
         });
-        let result = driver.run(&mut lasso, &vec![0.0; 10]);
+        let result = driver.run(&mut lasso, &[0.0; 10]);
         assert!(result.converged, "lasso ADMM did not converge");
         assert!(feasibility_gap(&result) < 1e-4);
 
@@ -336,7 +363,10 @@ mod tests {
                 let station = gj + lasso.lambda * zj.signum();
                 assert!(station.abs() < 5e-3, "coord {j}: stationarity {station}");
             } else {
-                assert!(gj.abs() <= lasso.lambda + 5e-3, "coord {j}: |grad| {gj} > λ");
+                assert!(
+                    gj.abs() <= lasso.lambda + 5e-3,
+                    "coord {j}: |grad| {gj} > λ"
+                );
             }
         }
     }
@@ -351,10 +381,13 @@ mod tests {
             dual_tol: 1e-6,
             rho_policy: RhoPolicy::ResidualBalance { mu: 10.0, tau: 2.0 },
         });
-        let result = driver.run(&mut lasso, &vec![0.0; 12]);
+        let result = driver.run(&mut lasso, &[0.0; 12]);
         for (j, (&zj, &tj)) in result.z.iter().zip(&x_true).enumerate() {
             if tj.abs() > 0.5 {
-                assert!(zj.abs() > 0.5, "coord {j} should be active ({zj} vs true {tj})");
+                assert!(
+                    zj.abs() > 0.5,
+                    "coord {j} should be active ({zj} vs true {tj})"
+                );
                 assert_eq!(zj.signum(), tj.signum(), "coord {j} sign");
             } else {
                 assert!(zj.abs() < 0.3, "coord {j} should be ~zero, got {zj}");
@@ -372,10 +405,13 @@ mod tests {
             dual_tol: 1e-7,
             rho_policy: RhoPolicy::ResidualBalance { mu: 10.0, tau: 2.0 },
         });
-        let result = driver.run(&mut lasso, &vec![0.0; 6]);
+        let result = driver.run(&mut lasso, &[0.0; 6]);
         assert!(!result.history.is_empty());
         let rhos: Vec<f32> = result.history.iter().map(|h| h.rho).collect();
-        assert!(rhos.iter().any(|&r| r < 100.0), "rho never adapted: {rhos:?}");
+        assert!(
+            rhos.iter().any(|&r| r < 100.0),
+            "rho never adapted: {rhos:?}"
+        );
     }
 
     #[test]

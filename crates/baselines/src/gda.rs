@@ -29,7 +29,12 @@ pub struct GdaConfig {
 
 impl Default for GdaConfig {
     fn default() -> Self {
-        Self { iterations: 500, margin: 1.0, step_scale: 0.5, compress: true }
+        Self {
+            iterations: 500,
+            margin: 1.0,
+            step_scale: 0.5,
+            compress: true,
+        }
     }
 }
 
@@ -66,7 +71,12 @@ impl GdaAttack {
     pub fn new(head: &FcHead, selection: ParamSelection, config: GdaConfig) -> Self {
         selection.validate(head);
         let theta0 = selection.gather(head);
-        Self { head: head.clone(), selection, config, theta0 }
+        Self {
+            head: head.clone(),
+            selection,
+            config,
+            theta0,
+        }
     }
 
     /// The original selected parameters.
@@ -103,8 +113,7 @@ impl GdaAttack {
         for i in 0..s {
             features.row_mut(i).copy_from_slice(spec.features.row(i));
         }
-        let gda_spec =
-            AttackSpec::new(features, spec.labels[..s].to_vec(), spec.targets.clone());
+        let gda_spec = AttackSpec::new(features, spec.labels[..s].to_vec(), spec.targets.clone());
 
         let start = self.selection.start_layer();
         let acts = self.head.activations_before(start, &gda_spec.features);
@@ -152,12 +161,24 @@ impl GdaAttack {
     }
 
     fn apply(&self, head: &mut FcHead, delta: &[f32]) {
-        let theta: Vec<f32> = self.theta0.iter().zip(delta).map(|(&t, &d)| t + d).collect();
+        let theta: Vec<f32> = self
+            .theta0
+            .iter()
+            .zip(delta)
+            .map(|(&t, &d)| t + d)
+            .collect();
         self.selection.scatter(head, &theta);
     }
 
     /// All faults land (margin 0) under `θ0 + delta`?
-    fn feasible(&self, head: &mut FcHead, delta: &[f32], spec: &AttackSpec, acts: &Tensor, start: usize) -> bool {
+    fn feasible(
+        &self,
+        head: &mut FcHead,
+        delta: &[f32],
+        spec: &AttackSpec,
+        acts: &Tensor,
+        start: usize,
+    ) -> bool {
         self.apply(head, delta);
         let logits = head.forward_from(start, acts);
         let (hits, _) = fsa_attack::objective::count_satisfied(spec, &logits);
@@ -166,7 +187,14 @@ impl GdaAttack {
 
     /// Liu et al.'s modification compression: sort |δ| ascending and zero
     /// the largest feasible prefix (binary search + linear polish).
-    fn compress(&self, head: &mut FcHead, delta: &mut [f32], spec: &AttackSpec, acts: &Tensor, start: usize) {
+    fn compress(
+        &self,
+        head: &mut FcHead,
+        delta: &mut [f32],
+        spec: &AttackSpec,
+        acts: &Tensor,
+        start: usize,
+    ) {
         if !self.feasible(head, delta, spec, acts, start) {
             return; // nothing to preserve; compression is meaningless
         }
@@ -229,11 +257,13 @@ mod tests {
         let no_compress = GdaAttack::new(
             &head,
             sel.clone(),
-            GdaConfig { compress: false, ..Default::default() },
+            GdaConfig {
+                compress: false,
+                ..Default::default()
+            },
         )
         .run(&spec);
-        let compressed =
-            GdaAttack::new(&head, sel, GdaConfig::default()).run(&spec);
+        let compressed = GdaAttack::new(&head, sel, GdaConfig::default()).run(&spec);
 
         assert_eq!(no_compress.successes, 1);
         assert_eq!(compressed.successes, 1);

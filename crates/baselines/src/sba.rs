@@ -44,7 +44,12 @@ impl SbaAttack {
     ///
     /// Panics if `features` is not a single row matching the head input
     /// or `target` is out of range.
-    pub fn run_single(&self, head: &FcHead, features: &Tensor, target: usize) -> (FcHead, SbaResult) {
+    pub fn run_single(
+        &self,
+        head: &FcHead,
+        features: &Tensor,
+        target: usize,
+    ) -> (FcHead, SbaResult) {
         assert_eq!(features.shape()[0], 1, "run_single expects one image");
         assert!(target < head.classes(), "target {target} out of range");
         let logits = head.forward(features);
@@ -56,7 +61,14 @@ impl SbaAttack {
         let last = attacked.num_layers() - 1;
         attacked.layer_mut(last).bias_mut().as_mut_slice()[target] += shift;
         let success = argmax_slice(attacked.forward(features).row(0)) == target;
-        (attacked, SbaResult { bias_index: target, shift, success })
+        (
+            attacked,
+            SbaResult {
+                bias_index: target,
+                shift,
+                success,
+            },
+        )
     }
 
     /// Attempts multiple faults by applying one shift per distinct target
@@ -72,8 +84,17 @@ impl SbaAttack {
     ///
     /// Panics if `features.shape()[0] != targets.len()` or any target is
     /// out of range.
-    pub fn run_multi(&self, head: &FcHead, features: &Tensor, targets: &[usize]) -> (FcHead, Vec<SbaResult>) {
-        assert_eq!(features.shape()[0], targets.len(), "features/targets mismatch");
+    pub fn run_multi(
+        &self,
+        head: &FcHead,
+        features: &Tensor,
+        targets: &[usize],
+    ) -> (FcHead, Vec<SbaResult>) {
+        assert_eq!(
+            features.shape()[0],
+            targets.len(),
+            "features/targets mismatch"
+        );
         let mut attacked = head.clone();
         let last = attacked.num_layers() - 1;
         // One pass per image: shift its target's bias just enough *under
@@ -96,7 +117,11 @@ impl SbaAttack {
             .map(|(i, &t)| {
                 let img = one_row(features, i);
                 let pred = argmax_slice(attacked.forward(&img).row(0));
-                SbaResult { bias_index: t, shift: shifts[t], success: pred == t }
+                SbaResult {
+                    bias_index: t,
+                    shift: shifts[t],
+                    success: pred == t,
+                }
             })
             .collect();
         (attacked, results)
@@ -160,10 +185,17 @@ mod tests {
         let n = 8;
         let x = Tensor::randn(&[n, 6], 1.0, &mut rng);
         let preds = h.predict(&x);
-        let targets: Vec<usize> = preds.iter().enumerate().map(|(i, &p)| (p + 1 + (i % 3)) % 4).collect();
+        let targets: Vec<usize> = preds
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p + 1 + (i % 3)) % 4)
+            .collect();
         let (_, results) = SbaAttack::default().run_multi(&h, &x, &targets);
         let wins = results.iter().filter(|r| r.success).count();
-        assert!(wins < n, "conflicting multi-target SBA should not fully succeed");
+        assert!(
+            wins < n,
+            "conflicting multi-target SBA should not fully succeed"
+        );
     }
 
     #[test]
@@ -178,6 +210,9 @@ mod tests {
         let others = Tensor::randn(&[64, 6], 1.0, &mut rng);
         let after = attacked.predict(&others);
         let to_target = after.iter().filter(|&&p| p == target).count();
-        assert!(to_target > 48, "{to_target}/64 should collapse to the target class");
+        assert!(
+            to_target > 48,
+            "{to_target}/64 should collapse to the target class"
+        );
     }
 }

@@ -1,9 +1,10 @@
-//! Criterion benchmarks for the attack itself: head passes, one ADMM
-//! iteration's work, and a small end-to-end run.
+//! Benchmarks for the attack itself: head passes, one ADMM iteration's
+//! work, and a small end-to-end run, timed on the in-repo
+//! [`fsa_bench::timing`] harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fsa_attack::objective::evaluate_hinge;
 use fsa_attack::{AttackConfig, AttackSpec, FaultSneakingAttack, ParamSelection};
+use fsa_bench::timing::bench;
 use fsa_nn::head::FcHead;
 use fsa_tensor::{Prng, Tensor};
 use std::hint::black_box;
@@ -17,50 +18,55 @@ fn paper_head() -> (FcHead, Tensor, Vec<usize>) {
     (head, features, labels)
 }
 
-fn bench_head_passes(c: &mut Criterion) {
+fn bench_head_passes() {
     let (head, features, _) = paper_head();
     let start = head.num_layers() - 1;
     let acts = head.activations_before(start, &features);
-    c.bench_function("head_forward_full_100x1024", |bench| {
-        bench.iter(|| black_box(head.forward(black_box(&features))))
+    bench("head_forward_full_100x1024", || {
+        black_box(head.forward(black_box(&features)))
     });
-    c.bench_function("head_forward_truncated_100", |bench| {
-        bench.iter(|| black_box(head.forward_from(start, black_box(&acts))))
+    bench("head_forward_truncated_100", || {
+        black_box(head.forward_from(start, black_box(&acts)))
     });
     let mut rng = Prng::new(12);
     let g = Tensor::randn(&[100, 10], 1.0, &mut rng);
-    c.bench_function("head_logit_backward_truncated_100", |bench| {
-        bench.iter(|| black_box(head.logit_backward(start, black_box(&acts), black_box(&g))))
+    bench("head_logit_backward_truncated_100", || {
+        black_box(head.logit_backward(start, black_box(&acts), black_box(&g)))
     });
 }
 
-fn bench_hinge(c: &mut Criterion) {
+fn bench_hinge() {
     let (head, features, labels) = paper_head();
     let targets = vec![(labels[0] + 1) % 10];
     let spec = AttackSpec::new(features.clone(), labels, targets);
     let logits = head.forward(&features);
-    c.bench_function("hinge_eval_100_images", |bench| {
-        bench.iter(|| black_box(evaluate_hinge(black_box(&spec), black_box(&logits), 1.0)))
+    bench("hinge_eval_100_images", || {
+        black_box(evaluate_hinge(black_box(&spec), black_box(&logits), 1.0))
     });
 }
 
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end() {
     let (head, features, labels) = paper_head();
     let targets = vec![(labels[0] + 1) % 10];
     let spec = AttackSpec::new(features, labels, targets).with_weights(10.0, 1.0);
     let sel = ParamSelection::last_layer(&head);
-    let cfg = AttackConfig { iterations: 50, refine: None, ..AttackConfig::default() };
-    c.bench_function("attack_50iters_S1_R100_last_layer", |bench| {
-        bench.iter(|| {
-            let attack = FaultSneakingAttack::new(&head, sel.clone(), cfg.clone());
-            black_box(attack.run(black_box(&spec)))
-        })
+    let cfg = AttackConfig {
+        iterations: 50,
+        refine: None,
+        ..AttackConfig::default()
+    };
+    bench("attack_50iters_S1_R100_last_layer", || {
+        let attack = FaultSneakingAttack::new(&head, sel.clone(), cfg.clone());
+        black_box(attack.run(black_box(&spec)))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_head_passes, bench_hinge, bench_end_to_end
+fn main() {
+    println!(
+        "== attack benchmarks ({} threads) ==",
+        fsa_tensor::parallel::max_threads()
+    );
+    bench_head_passes();
+    bench_hinge();
+    bench_end_to_end();
 }
-criterion_main!(benches);

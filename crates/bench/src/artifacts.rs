@@ -15,9 +15,9 @@ use fsa_nn::head_train::{train_head, HeadTrainConfig};
 use fsa_nn::trainer::gather_rows;
 use fsa_tensor::io::{read_file, write_file, DecodeError, Decoder, Encoder};
 use fsa_tensor::{Prng, Tensor};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Which victim dataset/model pair to use.
@@ -66,7 +66,7 @@ const TRAIN_N: usize = 4000;
 const TEST_N: usize = 2000;
 const POOL_N: usize = 1500;
 /// Master seed for artifact construction.
-const SEED: u64 = 0xDAC1_9;
+const SEED: u64 = 0x000D_AC19;
 /// Artifact format version (bump to invalidate caches).
 const VERSION: u32 = 3;
 
@@ -109,7 +109,10 @@ impl Artifacts {
         if let Ok(bytes) = read_file(&path) {
             match Self::decode(kind, &bytes) {
                 Ok(a) => return a,
-                Err(e) => eprintln!("[artifacts] cache {} invalid ({e}); rebuilding", path.display()),
+                Err(e) => eprintln!(
+                    "[artifacts] cache {} invalid ({e}); rebuilding",
+                    path.display()
+                ),
             }
         }
         let mut built = Self::build(kind);
@@ -122,7 +125,10 @@ impl Artifacts {
     /// Builds artifacts from scratch (synthesize → extract → train).
     pub fn build(kind: Kind) -> Artifacts {
         let t0 = Instant::now();
-        eprintln!("[artifacts] building {} victim (first run only)...", kind.name());
+        eprintln!(
+            "[artifacts] building {} victim (first run only)...",
+            kind.name()
+        );
         let gen = kind.synthesizer();
         let mut rng = Prng::new(SEED);
         let (train, test) = gen.train_test(TRAIN_N, TEST_N, SEED);
@@ -133,7 +139,12 @@ impl Artifacts {
         let test_features = extract_features(&model, &test.images);
         let pool_features = extract_features(&model, &pool.images);
 
-        let cfg = HeadTrainConfig { epochs: 18, batch_size: 64, lr: 1e-3, verbose: false };
+        let cfg = HeadTrainConfig {
+            epochs: 18,
+            batch_size: 64,
+            lr: 1e-3,
+            verbose: false,
+        };
         let mut head = model.head.clone();
         train_head(&mut head, &train_features, &train.labels, &cfg, &mut rng);
         model.head = head;
@@ -145,8 +156,9 @@ impl Artifacts {
             kind.name()
         );
         let preds = model.head.predict(&pool_features);
-        let pool_correct: Vec<usize> =
-            (0..POOL_N).filter(|&i| preds[i] == pool.labels[i]).collect();
+        let pool_correct: Vec<usize> = (0..POOL_N)
+            .filter(|&i| preds[i] == pool.labels[i])
+            .collect();
         eprintln!(
             "[artifacts] {} ready in {:.1}s: test acc {:.4}, pool {} usable",
             kind.name(),
@@ -193,7 +205,9 @@ impl Artifacts {
         let mut labels = Vec::with_capacity(r);
         for (row, &ci) in chosen.iter().enumerate() {
             let i = self.pool_correct[ci];
-            features.row_mut(row).copy_from_slice(self.pool_features.row(i));
+            features
+                .row_mut(row)
+                .copy_from_slice(self.pool_features.row(i));
             labels.push(self.pool_labels[i]);
         }
         let classes = self.model.config.classes;
@@ -212,10 +226,14 @@ impl Artifacts {
 
     /// Test-set activations truncated to head layer `start` (cached).
     pub fn test_acts(&self, start: usize) -> Tensor {
-        let mut cache = self.test_acts.lock();
+        let mut cache = self.test_acts.lock().expect("test_acts mutex poisoned");
         cache
             .entry(start)
-            .or_insert_with(|| self.model.head.activations_before(start, &self.test_features))
+            .or_insert_with(|| {
+                self.model
+                    .head
+                    .activations_before(start, &self.test_features)
+            })
             .clone()
     }
 
@@ -231,9 +249,21 @@ impl Artifacts {
         enc.put_str(self.kind.name());
         self.model.encode(enc);
         enc.put_tensor(&self.test_features);
-        enc.put_u32_slice(&self.test_labels.iter().map(|&l| l as u32).collect::<Vec<_>>());
+        enc.put_u32_slice(
+            &self
+                .test_labels
+                .iter()
+                .map(|&l| l as u32)
+                .collect::<Vec<_>>(),
+        );
         enc.put_tensor(&self.pool_features);
-        enc.put_u32_slice(&self.pool_labels.iter().map(|&l| l as u32).collect::<Vec<_>>());
+        enc.put_u32_slice(
+            &self
+                .pool_labels
+                .iter()
+                .map(|&l| l as u32)
+                .collect::<Vec<_>>(),
+        );
         enc.put_f32(self.baseline_accuracy);
     }
 
@@ -241,21 +271,35 @@ impl Artifacts {
         let mut dec = Decoder::new(bytes);
         let version = dec.read_u32()?;
         if version != VERSION {
-            return Err(DecodeError::new(format!("artifact version {version} != {VERSION}")));
+            return Err(DecodeError::new(format!(
+                "artifact version {version} != {VERSION}"
+            )));
         }
         let name = dec.read_str()?;
         if name != kind.name() {
-            return Err(DecodeError::new(format!("artifact kind {name} != {}", kind.name())));
+            return Err(DecodeError::new(format!(
+                "artifact kind {name} != {}",
+                kind.name()
+            )));
         }
         let model = CwModel::decode(kind.cw_config(), &mut dec)?;
         let test_features = dec.read_tensor()?;
-        let test_labels: Vec<usize> = dec.read_u32_vec()?.into_iter().map(|l| l as usize).collect();
+        let test_labels: Vec<usize> = dec
+            .read_u32_vec()?
+            .into_iter()
+            .map(|l| l as usize)
+            .collect();
         let pool_features = dec.read_tensor()?;
-        let pool_labels: Vec<usize> = dec.read_u32_vec()?.into_iter().map(|l| l as usize).collect();
+        let pool_labels: Vec<usize> = dec
+            .read_u32_vec()?
+            .into_iter()
+            .map(|l| l as usize)
+            .collect();
         let baseline_accuracy = dec.read_f32()?;
         let preds = model.head.predict(&pool_features);
-        let pool_correct: Vec<usize> =
-            (0..pool_labels.len()).filter(|&i| preds[i] == pool_labels[i]).collect();
+        let pool_correct: Vec<usize> = (0..pool_labels.len())
+            .filter(|&i| preds[i] == pool_labels[i])
+            .collect();
         Ok(Artifacts {
             kind,
             model,
@@ -289,7 +333,9 @@ pub fn extract_features(model: &CwModel, images: &Tensor) -> Tensor {
 
 /// Path of the on-disk cache for `kind`.
 pub fn artifact_path(kind: Kind) -> PathBuf {
-    workspace_root().join("artifacts").join(format!("{}.bin", kind.name()))
+    workspace_root()
+        .join("artifacts")
+        .join(format!("{}.bin", kind.name()))
 }
 
 /// Best-effort workspace root (works from any crate's test/bench CWD).

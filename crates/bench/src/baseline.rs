@@ -1,0 +1,221 @@
+//! The seed revision's numeric path, preserved verbatim as a regression
+//! baseline.
+//!
+//! PR 1 replaced the single-threaded scalar kernels and the allocating
+//! ADMM inner loop with the parallel tiled engine and cached buffers.
+//! This module keeps the *old* path alive — the seed's `gemm_nt`/
+//! `gemm_tn` (zero-skip saxpy/dot kernels, 4-way unrolled dot) and a
+//! faithful reconstruction of the seed's per-iteration work (allocate
+//! logits, allocate the hinge gradient, re-run the forward pass inside
+//! the backward, allocate every gradient tensor) — so `perf` and the
+//! bench targets can report the speedup against a measured baseline
+//! rather than a remembered one, on every future machine.
+
+use fsa_tensor::Tensor;
+
+/// Seed `dot_slices`: 4-way unrolled accumulation.
+fn dot_slices_seed(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let mut acc0 = 0.0f32;
+    let mut acc1 = 0.0f32;
+    let mut acc2 = 0.0f32;
+    let mut acc3 = 0.0f32;
+    let chunks = n / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc0 += a[i] * b[i];
+        acc1 += a[i + 1] * b[i + 1];
+        acc2 += a[i + 2] * b[i + 2];
+        acc3 += a[i + 3] * b[i + 3];
+    }
+    let mut acc = acc0 + acc1 + acc2 + acc3;
+    for i in chunks * 4..n {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+/// Seed `gemm_nt`: one 4-way dot per output element.
+pub fn gemm_nt_seed(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    c[..m * n].fill(0.0);
+    for i in 0..m {
+        let a_row = &a[i * k..i * k + k];
+        let c_row = &mut c[i * n..i * n + n];
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..j * k + k];
+            *cv += dot_slices_seed(a_row, b_row);
+        }
+    }
+}
+
+/// Seed `gemm_tn`: p-outermost saxpy with the zero-skip early-out.
+pub fn gemm_tn_seed(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    c[..m * n].fill(0.0);
+    for p in 0..k {
+        let a_row = &a[p * m..p * m + m];
+        let b_row = &b[p * n..p * n + n];
+        for (i, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let c_row = &mut c[i * n..i * n + n];
+            for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Seed `gemm` (blocked ikj saxpy with the zero-skip early-out).
+pub fn gemm_seed(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    const BLOCK: usize = 64;
+    c[..m * n].fill(0.0);
+    for ib in (0..m).step_by(BLOCK) {
+        let ie = (ib + BLOCK).min(m);
+        for kb in (0..k).step_by(BLOCK) {
+            let ke = (kb + BLOCK).min(k);
+            for i in ib..ie {
+                let c_row = &mut c[i * n..i * n + n];
+                for p in kb..ke {
+                    let aip = a[i * k + p];
+                    if aip == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b[p * n..p * n + n];
+                    for (cv, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                        *cv += aip * bv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One seed-style ADMM iteration's worth of work for a last-layer
+/// attack: exactly the allocations and passes the seed's `delta_step`
+/// performed — θ+δ materialized fresh, a fresh logits tensor, a fresh
+/// hinge gradient, and a backward that **re-runs the forward** and
+/// allocates inputs, pre-activations, and gradient tensors.
+///
+/// Weights are `[classes, d]` row-major, `acts` is `[r, d]`.
+#[allow(clippy::too_many_arguments)]
+pub fn seed_style_iteration(
+    weight0: &[f32],
+    bias0: &[f32],
+    acts: &Tensor,
+    enforced: &[usize],
+    weights_c: &[f32],
+    kappa: f32,
+    delta: &[f32],
+    classes: usize,
+) -> (f32, Vec<f32>) {
+    let d = acts.shape()[1];
+    let r = acts.shape()[0];
+    let wlen = classes * d;
+
+    // θ + δ, freshly allocated each iteration (seed scatter path).
+    let weight: Vec<f32> = weight0
+        .iter()
+        .zip(&delta[..wlen])
+        .map(|(&t, &dd)| t + dd)
+        .collect();
+    let bias: Vec<f32> = bias0
+        .iter()
+        .zip(&delta[wlen..])
+        .map(|(&t, &dd)| t + dd)
+        .collect();
+
+    // Forward #1: fresh logits tensor.
+    let mut logits = vec![0.0f32; r * classes];
+    gemm_nt_seed(r, d, classes, acts.as_slice(), &weight, &mut logits);
+    for row in logits.chunks_exact_mut(classes) {
+        for (v, &b) in row.iter_mut().zip(&bias) {
+            *v += b;
+        }
+    }
+
+    // Hinge: fresh gradient matrix.
+    let mut grad = vec![0.0f32; r * classes];
+    let mut total = 0.0f64;
+    for i in 0..r {
+        let row = &logits[i * classes..(i + 1) * classes];
+        let t = enforced[i];
+        let mut j_star = usize::MAX;
+        let mut best = f32::NEG_INFINITY;
+        for (j, &z) in row.iter().enumerate() {
+            if j != t && z > best {
+                best = z;
+                j_star = j;
+            }
+        }
+        let margin = best - row[t] + kappa;
+        if margin > 0.0 {
+            let c = weights_c[i];
+            total += (c * margin) as f64;
+            grad[i * classes + j_star] += c;
+            grad[i * classes + t] -= c;
+        }
+    }
+
+    // Backward, seed structure: clone the input, redo the forward for
+    // the pre-activations, then fresh gradient tensors.
+    let inputs = acts.clone();
+    let mut preacts = vec![0.0f32; r * classes];
+    gemm_nt_seed(r, d, classes, inputs.as_slice(), &weight, &mut preacts);
+    for row in preacts.chunks_exact_mut(classes) {
+        for (v, &b) in row.iter_mut().zip(&bias) {
+            *v += b;
+        }
+    }
+    let mut dw = vec![0.0f32; classes * d];
+    gemm_tn_seed(classes, r, d, &grad, inputs.as_slice(), &mut dw);
+    let mut db = vec![0.0f32; classes];
+    for row in grad.chunks_exact(classes) {
+        for (bv, &v) in db.iter_mut().zip(row) {
+            *bv += v;
+        }
+    }
+
+    // Flat gather (fresh vector, seed `gather_grads`).
+    let mut flat = Vec::with_capacity(wlen + classes);
+    flat.extend_from_slice(&dw);
+    flat.extend_from_slice(&db);
+    (total as f32, flat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsa_tensor::linalg::{gemm, gemm_nt, gemm_tn};
+    use fsa_tensor::Prng;
+
+    #[test]
+    fn seed_kernels_match_current_engine() {
+        let mut rng = Prng::new(9);
+        let (m, k, n) = (13, 40, 11);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let bt: Vec<f32> = (0..n * k).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let at: Vec<f32> = (0..k * m).map(|_| rng.uniform(-1.0, 1.0)).collect();
+
+        let mut old = vec![0.0f32; m * n];
+        let mut new = vec![0.0f32; m * n];
+        gemm_seed(m, k, n, &a, &b, &mut old);
+        gemm(m, k, n, &a, &b, &mut new, 1.0, 0.0);
+        for (x, y) in old.iter().zip(&new) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+
+        gemm_nt_seed(m, k, n, &a, &bt, &mut old);
+        gemm_nt(m, k, n, &a, &bt, &mut new, 1.0, 0.0);
+        for (x, y) in old.iter().zip(&new) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+
+        gemm_tn_seed(m, k, n, &at, &b, &mut old);
+        gemm_tn(m, k, n, &at, &b, &mut new, 1.0, 0.0);
+        for (x, y) in old.iter().zip(&new) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+}

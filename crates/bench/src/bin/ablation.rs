@@ -22,22 +22,59 @@ fn main() {
 
     let variants: Vec<(&str, AttackConfig)> = vec![
         ("full (κ=1, refine)", experiment_config()),
-        ("no refine", AttackConfig { refine: None, ..experiment_config() }),
-        ("κ=0 (paper-literal hinge)", AttackConfig { kappa: 0.0, ..experiment_config() }),
+        (
+            "no refine",
+            AttackConfig {
+                refine: None,
+                ..experiment_config()
+            },
+        ),
+        (
+            "κ=0 (paper-literal hinge)",
+            AttackConfig {
+                kappa: 0.0,
+                ..experiment_config()
+            },
+        ),
         (
             "κ=0, no refine",
-            AttackConfig { kappa: 0.0, refine: None, ..experiment_config() },
+            AttackConfig {
+                kappa: 0.0,
+                refine: None,
+                ..experiment_config()
+            },
         ),
         (
             "long refine (200 steps)",
             AttackConfig {
-                refine: Some(RefineConfig { iterations: 200, step: None }),
+                refine: Some(RefineConfig {
+                    iterations: 200,
+                    step: None,
+                }),
                 ..experiment_config()
             },
         ),
-        ("rho=1", AttackConfig { rho: 1.0, ..experiment_config() }),
-        ("rho=25", AttackConfig { rho: 25.0, ..experiment_config() }),
-        ("150 iterations", AttackConfig { iterations: 150, ..experiment_config() }),
+        (
+            "rho=1",
+            AttackConfig {
+                rho: 1.0,
+                ..experiment_config()
+            },
+        ),
+        (
+            "rho=25",
+            AttackConfig {
+                rho: 25.0,
+                ..experiment_config()
+            },
+        ),
+        (
+            "150 iterations",
+            AttackConfig {
+                iterations: 150,
+                ..experiment_config()
+            },
+        ),
     ];
 
     let mut rows = Vec::new();
@@ -54,7 +91,14 @@ fn main() {
     }
     print_table(
         &format!("Ablation at S={s}, R={r} (digits victim, last FC layer, 3 seeds)"),
-        &row!["variant", "l0", "l2", "fault success", "keep rate", "test acc"],
+        &row![
+            "variant",
+            "l0",
+            "l2",
+            "fault success",
+            "keep rate",
+            "test acc"
+        ],
         &rows,
     );
     println!("\nReading: κ=1 + refinement buy fault success at slightly higher l0; ρ trades");

@@ -7,7 +7,7 @@
 //! degrades them by 3.86 and 2.35 points respectively in its best case —
 //! the keep-set constraint is what buys the stealth.
 
-use fsa_attack::{ParamSelection};
+use fsa_attack::ParamSelection;
 use fsa_baselines::{GdaAttack, GdaConfig, SbaAttack};
 use fsa_bench::exp::{experiment_config, run_one, BASE_SEED, C_ATTACK, C_KEEP};
 use fsa_bench::report::{pct, print_table};
@@ -34,7 +34,9 @@ fn main() {
         ]);
 
         // GDA baseline: same fault, no keep-set.
-        let spec = art.make_spec(1, 1, BASE_SEED).with_weights(C_ATTACK, C_KEEP);
+        let spec = art
+            .make_spec(1, 1, BASE_SEED)
+            .with_weights(C_ATTACK, C_KEEP);
         let gda = GdaAttack::new(head, sel.clone(), GdaConfig::default());
         let gres = gda.run(&spec);
         let mut gda_head = head.clone();
@@ -49,7 +51,10 @@ fn main() {
         ]);
 
         // SBA baseline: one bias shift.
-        let img = Tensor::from_vec(spec.features.row(0).to_vec(), &[1, spec.features.shape()[1]]);
+        let img = Tensor::from_vec(
+            spec.features.row(0).to_vec(),
+            &[1, spec.features.shape()[1]],
+        );
         let (sba_head, sres) = SbaAttack::default().run_single(head, &img, spec.targets[0]);
         let sba_acc = art.test_accuracy(&sba_head, start);
         rows.push(row![

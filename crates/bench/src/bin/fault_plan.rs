@@ -25,7 +25,10 @@ fn main() {
 
     let mut rows = Vec::new();
     for norm in [Norm::L0, Norm::L2] {
-        let cfg = AttackConfig { norm, ..experiment_config() };
+        let cfg = AttackConfig {
+            norm,
+            ..experiment_config()
+        };
         let attack = FaultSneakingAttack::new(head, sel.clone(), cfg);
         let result = attack.run(&spec);
         let theta0 = attack.theta0();

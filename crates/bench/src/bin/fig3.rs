@@ -30,8 +30,9 @@ fn main() {
             rows.push(rate_cells);
             rows.push(count_cells);
         }
-        let header: Vec<String> =
-            std::iter::once("".to_string()).chain(ss.iter().map(|s| format!("S={s}"))).collect();
+        let header: Vec<String> = std::iter::once("".to_string())
+            .chain(ss.iter().map(|s| format!("S={s}")))
+            .collect();
         print_table(
             &format!(
                 "Figure 3 / §5.5: fault success vs S — {} ({})",

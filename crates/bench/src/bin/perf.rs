@@ -1,0 +1,153 @@
+//! Emits the machine-readable perf artifact `BENCH_PR1.json` at the
+//! workspace root: GEMM throughput (tiled engine vs the scalar oracle)
+//! and end-to-end attack wall time. Each PR in the perf trajectory
+//! appends a `BENCH_PR<N>.json`, so regressions are diffable.
+//!
+//! Run: `cargo run --release -p fsa-bench --bin perf`
+
+use fsa_attack::objective::{evaluate_hinge_into, HingeEval};
+use fsa_attack::{AttackConfig, AttackSpec, FaultSneakingAttack, ParamSelection};
+use fsa_bench::baseline::seed_style_iteration;
+use fsa_bench::timing::{bench, Sample};
+use fsa_nn::head::{FcHead, HeadBuffers};
+use fsa_tensor::linalg::{gemm, gemm_naive};
+use fsa_tensor::{Prng, Tensor};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn gemm_pair(n: usize) -> (Sample, Sample, f64) {
+    let mut rng = Prng::new(1);
+    let a: Vec<f32> = (0..n * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let b: Vec<f32> = (0..n * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
+    let mut out = vec![0.0f32; n * n];
+    let flops = 2.0 * (n * n * n) as f64;
+    let naive = bench(&format!("gemm_naive_{n}"), || {
+        gemm_naive(n, n, n, black_box(&a), black_box(&b), &mut out);
+        black_box(out[0])
+    });
+    let tiled = bench(&format!("gemm_{n}"), || {
+        gemm(n, n, n, black_box(&a), black_box(&b), &mut out, 1.0, 0.0);
+        black_box(out[0])
+    });
+    (tiled, naive, flops)
+}
+
+fn attack_run() -> Sample {
+    let mut rng = Prng::new(11);
+    let head = FcHead::new_random(1024, 200, 200, 10, &mut rng);
+    let features = Tensor::randn(&[100, 1024], 1.0, &mut rng);
+    let labels = head.predict(&features);
+    let targets = vec![(labels[0] + 1) % 10];
+    let spec = AttackSpec::new(features, labels, targets).with_weights(10.0, 1.0);
+    let sel = ParamSelection::last_layer(&head);
+    let cfg = AttackConfig {
+        iterations: 50,
+        refine: None,
+        ..AttackConfig::default()
+    };
+    bench("attack_50iters_S1_R100_last_layer", || {
+        let attack = FaultSneakingAttack::new(&head, sel.clone(), cfg.clone());
+        black_box(attack.run(black_box(&spec)))
+    })
+}
+
+/// 50 ADMM-iterations' worth of inner-loop work, old path vs new path,
+/// on the paper-scale last-layer configuration. The "seed" side runs the
+/// preserved seed kernels and allocation pattern
+/// ([`fsa_bench::baseline`]); the "new" side runs the cached
+/// allocation-free passes on the tiled engine.
+fn inner_loop_pair() -> (Sample, Sample) {
+    let mut rng = Prng::new(11);
+    let head = FcHead::new_random(1024, 200, 200, 10, &mut rng);
+    let features = Tensor::randn(&[100, 1024], 1.0, &mut rng);
+    let labels = head.predict(&features);
+    let targets = vec![(labels[0] + 1) % 10];
+    let spec = AttackSpec::new(features, labels, targets).with_weights(10.0, 1.0);
+    let sel = ParamSelection::last_layer(&head);
+    let start = head.num_layers() - 1;
+    let acts = head.activations_before(start, &spec.features);
+    let classes = head.classes();
+    let d = acts.shape()[1];
+    let theta0 = sel.gather(&head);
+    let dim = theta0.len();
+    let delta = vec![1e-3f32; dim];
+    let enforced: Vec<usize> = (0..spec.r()).map(|i| spec.enforced_label(i)).collect();
+    let weights_c: Vec<f32> = (0..spec.r()).map(|i| spec.weight(i)).collect();
+    let (weight0, bias0) = (&theta0[..classes * d], &theta0[classes * d..]);
+    let iters = 50;
+
+    let seed = bench("inner50_seed_kernels_allocating", || {
+        let mut acc = 0.0f32;
+        for _ in 0..iters {
+            let (total, flat) = seed_style_iteration(
+                weight0, bias0, &acts, &enforced, &weights_c, 1.0, &delta, classes,
+            );
+            acc += total + flat[0];
+        }
+        black_box(acc)
+    });
+
+    let mut work_head = head.clone();
+    let mut bufs = HeadBuffers::new();
+    let mut hinge = HingeEval::default();
+    let mut flat: Vec<f32> = Vec::with_capacity(dim);
+    let mut scratch = vec![0.0f32; dim];
+    let new = bench("inner50_tiled_cached", || {
+        let mut acc = 0.0f32;
+        for _ in 0..iters {
+            for i in 0..dim {
+                scratch[i] = theta0[i] + delta[i];
+            }
+            sel.scatter(&mut work_head, &scratch);
+            let logits = work_head.forward_from_caching(start, &acts, &mut bufs);
+            evaluate_hinge_into(&spec, logits, 1.0, &mut hinge);
+            if hinge.active != 0 {
+                work_head.backward_from_cache(start, &acts, &hinge.logit_grad, &mut bufs);
+                sel.gather_grads_into(bufs.grads(), start, &mut flat);
+                acc += flat[0];
+            }
+            acc += hinge.total;
+        }
+        black_box(acc)
+    });
+    (seed, new)
+}
+
+fn main() {
+    let threads = fsa_tensor::parallel::max_threads();
+    println!("== perf artifact run ({threads} threads) ==");
+
+    let mut entries: Vec<String> = Vec::new();
+    let mut gflop_lines: Vec<String> = Vec::new();
+    for n in [128usize, 256] {
+        let (tiled, naive, flops) = gemm_pair(n);
+        gflop_lines.push(format!(
+            "\"gemm_{n}_gflops\": {:.3}, \"gemm_naive_{n}_gflops\": {:.3}, \"gemm_{n}_speedup_vs_naive\": {:.3}",
+            tiled.gflops(flops),
+            naive.gflops(flops),
+            naive.ns_per_iter / tiled.ns_per_iter
+        ));
+        entries.push(tiled.json_entry());
+        entries.push(naive.json_entry());
+    }
+    let attack = attack_run();
+    let attack_ms = attack.ns_per_iter / 1e6;
+    entries.push(attack.json_entry());
+    let (seed_loop, new_loop) = inner_loop_pair();
+    let inner_speedup = seed_loop.ns_per_iter / new_loop.ns_per_iter;
+    entries.push(seed_loop.json_entry());
+    entries.push(new_loop.json_entry());
+
+    let json = format!(
+        "{{\n  \"pr\": 1,\n  \"threads\": {threads},\n  {},\n  \"attack_wall_ms\": {attack_ms:.2},\n  \"inner_loop_speedup_vs_seed\": {inner_speedup:.3},\n  \"benches\": {{\n    {}\n  }}\n}}\n",
+        gflop_lines.join(",\n  "),
+        entries.join(",\n    ")
+    );
+
+    let path: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_PR1.json");
+    std::fs::write(&path, &json).expect("failed to write BENCH_PR1.json");
+    println!("\nwrote {}", path.display());
+    print!("{json}");
+}

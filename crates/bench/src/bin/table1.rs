@@ -23,13 +23,13 @@ fn main() {
     ];
 
     let mut rows = Vec::new();
-    for layer in 0..head.num_layers() {
+    for (layer, paper_row) in paper.iter().enumerate().take(head.num_layers()) {
         let sel = ParamSelection::layer(layer, ParamKind::Both);
         let total = sel.dim(head);
         let mut cells = vec![layer_name(layer).to_string(), total.to_string()];
         for (ci, &(s, r)) in configs.iter().enumerate() {
             let m = run_mean(&art, &sel, s, r, 3, &cfg);
-            cells.push(format!("{:.0} (paper {})", m.l0, paper[layer][ci]));
+            cells.push(format!("{:.0} (paper {})", m.l0, paper_row[ci]));
         }
         rows.push(cells);
     }

@@ -39,6 +39,8 @@ fn main() {
         &row!["metric", "S=1,R=1", "S=2,R=2", "S=4,R=4", "S=8,R=8"],
         &rows,
     );
-    println!("\nShape checks: bias-only uses far fewer params but its success collapses as S grows");
+    println!(
+        "\nShape checks: bias-only uses far fewer params but its success collapses as S grows"
+    );
     println!("with conflicting targets (the paper's SBA limitation); weights-only stays at 100%.");
 }

@@ -20,10 +20,16 @@ fn main() {
     ];
 
     let l0_cfg = experiment_config();
-    let l2_cfg = AttackConfig { norm: fsa_attack::Norm::L2, ..experiment_config() };
+    let l2_cfg = AttackConfig {
+        norm: fsa_attack::Norm::L2,
+        ..experiment_config()
+    };
 
     let mut rows = Vec::new();
-    for (name, cfg, pick) in [("l0 attack", &l0_cfg, 0usize), ("l2 attack", &l2_cfg, 1usize)] {
+    for (name, cfg, pick) in [
+        ("l0 attack", &l0_cfg, 0usize),
+        ("l2 attack", &l2_cfg, 1usize),
+    ] {
         let mut cells = vec![name.to_string()];
         for (ci, &(s, r)) in configs.iter().enumerate() {
             let m = run_mean(&art, &sel, s, r, 3, cfg);

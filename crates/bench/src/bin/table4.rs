@@ -37,7 +37,11 @@ fn main() {
             let mut cells = vec![format!("R={r}")];
             for (si, &s) in ss.iter().enumerate() {
                 let m = run_one(&art, &sel, s, r, BASE_SEED, &cfg);
-                cells.push(format!("{} (paper {:.1}%)", pct(m.test_accuracy), paper[ri][si]));
+                cells.push(format!(
+                    "{} (paper {:.1}%)",
+                    pct(m.test_accuracy),
+                    paper[ri][si]
+                ));
             }
             rows.push(cells);
         }

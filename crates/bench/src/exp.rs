@@ -23,14 +23,20 @@ pub const BASE_SEED: u64 = 42;
 
 /// The frozen attack configuration used by all experiments.
 pub fn experiment_config() -> AttackConfig {
-    AttackConfig { iterations: 600, ..AttackConfig::default() }
+    AttackConfig {
+        iterations: 600,
+        ..AttackConfig::default()
+    }
 }
 
 /// Configuration for bias-only selections (Table 2): bias coordinates get
 /// `O(c)` gradients with no activation leverage, so the ratchet toward
 /// the needed logit shift needs more iterations.
 pub fn bias_experiment_config() -> AttackConfig {
-    AttackConfig { iterations: 2000, ..AttackConfig::default() }
+    AttackConfig {
+        iterations: 2000,
+        ..AttackConfig::default()
+    }
 }
 
 /// Everything a table row needs about one attack run.
@@ -57,7 +63,10 @@ pub fn run_one(
     let mut attacked = art.head().clone();
     fsa_attack::eval::apply_delta(&mut attacked, selection, attack.theta0(), &result.delta);
     let test_accuracy = art.test_accuracy(&attacked, selection.start_layer());
-    RunMetrics { result, test_accuracy }
+    RunMetrics {
+        result,
+        test_accuracy,
+    }
 }
 
 /// Runs `seeds` independent draws and averages the scalar metrics

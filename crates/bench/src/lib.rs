@@ -3,7 +3,10 @@
 //! One binary per paper table/figure lives in `src/bin/`; they share the
 //! [`artifacts`] pipeline (synthesize data → extract conv features → train
 //! the FC head → cache everything on disk) and the [`report`] table
-//! printers. Criterion micro-benchmarks live in `benches/`.
+//! printers. Micro-benchmarks live in `benches/` on the in-repo [`timing`]
+//! harness (`cargo bench -p fsa-bench`); `cargo run --release -p
+//! fsa-bench --bin perf` additionally writes the machine-readable
+//! `BENCH_PR1.json` perf artifact.
 //!
 //! Run, from the workspace root:
 //!
@@ -25,7 +28,9 @@
 #![warn(missing_docs)]
 
 pub mod artifacts;
+pub mod baseline;
 pub mod exp;
 pub mod report;
+pub mod timing;
 
 pub use artifacts::{Artifacts, Kind};

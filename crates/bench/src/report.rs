@@ -57,7 +57,7 @@ mod tests {
 
     #[test]
     fn f2_formats() {
-        assert_eq!(f2(3.14159), "3.14");
+        assert_eq!(f2(1.61803), "1.62");
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Minimal wall-clock benchmark harness.
+//!
+//! The workspace builds fully offline (no criterion), so the bench
+//! targets and the `perf` binary share this harness: auto-calibrated
+//! iteration counts, a handful of timed samples, and the **median**
+//! ns/iteration (robust to scheduler noise). Results convert to
+//! machine-readable JSON for the perf trajectory artifact
+//! (`BENCH_PR1.json`).
+
+use std::time::Instant;
+
+/// One benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark name.
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations per timed sample.
+    pub iters: u64,
+    /// Number of timed samples taken.
+    pub samples: usize,
+}
+
+impl Sample {
+    /// GFLOP/s given the floating-point operations one iteration performs.
+    pub fn gflops(&self, flops_per_iter: f64) -> f64 {
+        flops_per_iter / self.ns_per_iter
+    }
+
+    /// `"name": {...}` JSON fragment (no trailing comma).
+    pub fn json_entry(&self) -> String {
+        format!(
+            "\"{}\": {{\"ns_per_iter\": {:.1}, \"iters\": {}, \"samples\": {}}}",
+            self.name, self.ns_per_iter, self.iters, self.samples
+        )
+    }
+}
+
+/// Measures `f`, printing and returning the result.
+///
+/// Calibrates the per-sample iteration count against a short warmup, then
+/// times [`SAMPLES`] batches and reports the median.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Sample {
+    // Warmup + cost estimate: run for ~30 ms.
+    let t0 = Instant::now();
+    let mut warm_iters = 0u64;
+    loop {
+        std::hint::black_box(f());
+        warm_iters += 1;
+        if t0.elapsed().as_millis() >= 30 || warm_iters >= 1_000_000 {
+            break;
+        }
+    }
+    let est_ns = t0.elapsed().as_nanos() as f64 / warm_iters as f64;
+    // Aim for ~60 ms per sample, capped so slow end-to-end runs still
+    // finish in a few seconds.
+    let iters = ((60_000_000.0 / est_ns).ceil() as u64).clamp(1, 10_000_000);
+
+    let mut times = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        times.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).expect("bench time was NaN"));
+    let sample = Sample {
+        name: name.to_string(),
+        ns_per_iter: times[times.len() / 2],
+        iters,
+        samples: SAMPLES,
+    };
+    println!(
+        "{:<40} {:>14.1} ns/iter  ({} iters x {} samples)",
+        sample.name, sample.ns_per_iter, sample.iters, sample.samples
+    );
+    sample
+}
+
+/// Timed samples per benchmark.
+pub const SAMPLES: usize = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_something() {
+        let s = bench("noop_sum", || (0..100u64).sum::<u64>());
+        assert!(s.ns_per_iter > 0.0);
+        assert!(s.iters >= 1);
+        assert!(s.json_entry().contains("noop_sum"));
+    }
+}

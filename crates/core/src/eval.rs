@@ -17,7 +17,12 @@ pub fn apply_delta(head: &mut FcHead, selection: &ParamSelection, theta0: &[f32]
 }
 
 /// Returns a modified copy of `head` with `θ_sel + δ` applied.
-pub fn attacked_head(head: &FcHead, selection: &ParamSelection, theta0: &[f32], delta: &[f32]) -> FcHead {
+pub fn attacked_head(
+    head: &FcHead,
+    selection: &ParamSelection,
+    theta0: &[f32],
+    delta: &[f32],
+) -> FcHead {
     let mut out = head.clone();
     apply_delta(&mut out, selection, theta0, delta);
     out
@@ -71,8 +76,16 @@ pub fn measure(
     let (s_hits, keep_hits) = crate::objective::count_satisfied(spec, &logits);
     let keep_total = spec.r() - spec.s();
     AttackOutcome {
-        success_rate: if spec.s() == 0 { 1.0 } else { s_hits as f32 / spec.s() as f32 },
-        unchanged_rate: if keep_total == 0 { 1.0 } else { keep_hits as f32 / keep_total as f32 },
+        success_rate: if spec.s() == 0 {
+            1.0
+        } else {
+            s_hits as f32 / spec.s() as f32
+        },
+        unchanged_rate: if keep_total == 0 {
+            1.0
+        } else {
+            keep_hits as f32 / keep_total as f32
+        },
         test_accuracy: attacked.accuracy(test_features, test_labels),
         baseline_accuracy,
         l0: fsa_tensor::norms::l0(delta, 0.0),
@@ -152,7 +165,10 @@ mod tests {
         assert_eq!(outcome.test_accuracy, outcome.baseline_accuracy);
         assert_eq!(outcome.l0, 0);
         assert_eq!(outcome.unchanged_rate, 1.0);
-        assert_eq!(outcome.success_rate, 0.0, "unmodified model cannot satisfy the fault");
+        assert_eq!(
+            outcome.success_rate, 0.0,
+            "unmodified model cannot satisfy the fault"
+        );
         assert_eq!(outcome.accuracy_drop(), 0.0);
     }
 

@@ -14,10 +14,13 @@
 //! gradients.
 
 use crate::spec::AttackSpec;
-use fsa_tensor::Tensor;
+use fsa_tensor::{parallel, Tensor};
 
 /// Hinge value and logit-gradient of the full objective at given logits.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Reusable: hold one across ADMM iterations and refill it with
+/// [`evaluate_hinge_into`] — steady-state evaluations allocate nothing.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct HingeEval {
     /// `Σ_i g_i` (weighted).
     pub total: f32,
@@ -27,6 +30,9 @@ pub struct HingeEval {
     pub logit_grad: Tensor,
     /// Number of images whose hinge is active (objective unsatisfied).
     pub active: usize,
+    /// Per-image raw margins (before weighting); an image is active iff
+    /// its margin is positive, independent of its `c_i` weight.
+    margins: Vec<f32>,
 }
 
 /// Evaluates the hinge objective and its logit gradient.
@@ -40,45 +46,91 @@ pub struct HingeEval {
 ///
 /// Panics if `logits` is not `[R, classes]` for the spec.
 pub fn evaluate_hinge(spec: &AttackSpec, logits: &Tensor, kappa: f32) -> HingeEval {
+    let mut out = HingeEval::default();
+    evaluate_hinge_into(spec, logits, kappa, &mut out);
+    out
+}
+
+/// Minimum images per parallel chunk; a hinge row is a single logit scan,
+/// so small batches are evaluated inline.
+const HINGE_MIN_CHUNK: usize = 64;
+
+/// [`evaluate_hinge`] into a reusable [`HingeEval`] (allocation-free once
+/// shapes repeat).
+///
+/// Per-image terms are evaluated in parallel over disjoint row chunks;
+/// the scalar reductions (`total`, `active`) then run sequentially in
+/// image order, so the result is bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[R, classes]` for the spec.
+pub fn evaluate_hinge_into(spec: &AttackSpec, logits: &Tensor, kappa: f32, out: &mut HingeEval) {
     let r = spec.r();
     assert_eq!(logits.ndim(), 2, "logits must be [R, classes]");
     assert_eq!(logits.shape()[0], r, "logits rows must equal R");
     let classes = logits.shape()[1];
 
-    let mut grad = Tensor::zeros(&[r, classes]);
-    let mut per_image = Vec::with_capacity(r);
-    let mut total = 0.0f64;
-    let mut active = 0usize;
+    out.logit_grad.reuse_as(&[r, classes]);
+    out.per_image.clear();
+    out.per_image.resize(r, 0.0);
+    out.margins.clear();
+    out.margins.resize(r, 0.0);
 
-    for i in 0..r {
-        let t = spec.enforced_label(i);
-        assert!(t < classes, "enforced label {t} out of range");
-        let row = logits.row(i);
-        // Runner-up: the largest logit excluding the enforced class.
-        let mut j_star = usize::MAX;
-        let mut best = f32::NEG_INFINITY;
-        for (j, &z) in row.iter().enumerate() {
-            if j != t && z > best {
-                best = z;
-                j_star = j;
-            }
-        }
-        let margin = best - row[t] + kappa;
-        let c = spec.weight(i);
-        if margin > 0.0 {
-            active += 1;
-            let g = c * margin;
-            per_image.push(g);
-            total += g as f64;
-            let grow = grad.row_mut(i);
-            grow[j_star] += c;
-            grow[t] -= c;
-        } else {
-            per_image.push(0.0);
+    // Parallel phase: each chunk owns disjoint rows of the gradient and
+    // the per-image/margin slots; nothing is reduced here.
+    let pieces = parallel::max_threads().min(r / HINGE_MIN_CHUNK).max(1);
+    let ranges = parallel::split_ranges(r, pieces);
+    let mut items = Vec::with_capacity(ranges.len());
+    {
+        let mut grad_rest = out.logit_grad.as_mut_slice();
+        let mut pi_rest = out.per_image.as_mut_slice();
+        let mut mg_rest = out.margins.as_mut_slice();
+        for range in &ranges {
+            let (grad_chunk, gr) = grad_rest.split_at_mut(range.len() * classes);
+            let (pi_chunk, pr) = pi_rest.split_at_mut(range.len());
+            let (mg_chunk, mr) = mg_rest.split_at_mut(range.len());
+            grad_rest = gr;
+            pi_rest = pr;
+            mg_rest = mr;
+            items.push((range.start, grad_chunk, pi_chunk, mg_chunk));
         }
     }
+    parallel::par_items(items, |(row0, grad_chunk, pi_chunk, mg_chunk)| {
+        grad_chunk.fill(0.0);
+        for local in 0..pi_chunk.len() {
+            let i = row0 + local;
+            let t = spec.enforced_label(i);
+            assert!(t < classes, "enforced label {t} out of range");
+            let row = logits.row(i);
+            // Runner-up: the largest logit excluding the enforced class.
+            let mut j_star = usize::MAX;
+            let mut best = f32::NEG_INFINITY;
+            for (j, &z) in row.iter().enumerate() {
+                if j != t && z > best {
+                    best = z;
+                    j_star = j;
+                }
+            }
+            let margin = best - row[t] + kappa;
+            mg_chunk[local] = margin;
+            if margin > 0.0 {
+                let c = spec.weight(i);
+                pi_chunk[local] = c * margin;
+                let grow = &mut grad_chunk[local * classes..(local + 1) * classes];
+                grow[j_star] += c;
+                grow[t] -= c;
+            }
+        }
+    });
 
-    HingeEval { total: total as f32, per_image, logit_grad: grad, active }
+    // Sequential fixed-order reduction: independent of the partition.
+    let mut total = 0.0f64;
+    for &g in &out.per_image {
+        total += g as f64;
+    }
+    out.total = total as f32;
+    out.active = out.margins.iter().filter(|&&m| m > 0.0).count();
 }
 
 /// Counts how many of the first `S` images are classified as their targets

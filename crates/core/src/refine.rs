@@ -7,10 +7,10 @@
 //! hinge objective *within that support*: the `ℓ0` norm cannot grow, only
 //! the surviving coordinates move.
 
-use crate::objective::evaluate_hinge;
+use crate::objective::{evaluate_hinge_into, HingeEval};
 use crate::selection::ParamSelection;
 use crate::spec::AttackSpec;
-use fsa_nn::head::FcHead;
+use fsa_nn::head::{FcHead, HeadBuffers};
 use fsa_tensor::Tensor;
 
 /// Configuration of the repair pass.
@@ -25,7 +25,10 @@ pub struct RefineConfig {
 
 impl Default for RefineConfig {
     fn default() -> Self {
-        Self { iterations: 60, step: None }
+        Self {
+            iterations: 60,
+            step: None,
+        }
     }
 }
 
@@ -57,19 +60,23 @@ pub fn refine_on_support(
         return 0;
     }
     let step = cfg.step.unwrap_or(1.0 / (alpha + 1.0));
+    // All per-iteration state is hoisted here; the loop allocates nothing.
     let mut theta = vec![0.0f32; delta.len()];
+    let mut bufs = HeadBuffers::new();
+    let mut hinge = HingeEval::default();
+    let mut flat: Vec<f32> = Vec::with_capacity(delta.len());
     for iter in 0..cfg.iterations {
         for i in 0..delta.len() {
             theta[i] = theta0[i] + delta[i];
         }
         selection.scatter(head, &theta);
-        let logits = head.forward_from(start, acts);
-        let hinge = evaluate_hinge(spec, &logits, kappa);
+        let logits = head.forward_from_caching(start, acts, &mut bufs);
+        evaluate_hinge_into(spec, logits, kappa, &mut hinge);
         if hinge.active == 0 {
             return iter;
         }
-        let grads = head.logit_backward(start, acts, &hinge.logit_grad);
-        let flat = selection.gather_grads(&grads, start);
+        head.backward_from_cache(start, acts, &hinge.logit_grad, &mut bufs);
+        selection.gather_grads_into(bufs.grads(), start, &mut flat);
         for &i in &support {
             delta[i] -= step * flat[i];
         }
@@ -99,11 +106,19 @@ mod tests {
         // Sparse starting support.
         delta[0] = 0.1;
         delta[5] = -0.2;
-        let zero_before: Vec<usize> =
-            delta.iter().enumerate().filter_map(|(i, &d)| (d == 0.0).then_some(i)).collect();
+        let zero_before: Vec<usize> = delta
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| (d == 0.0).then_some(i))
+            .collect();
 
-        let cfg = RefineConfig { iterations: 40, step: Some(0.05) };
-        refine_on_support(&mut head, &sel, &theta0, &spec, &acts, 0.0, 1.0, &cfg, &mut delta);
+        let cfg = RefineConfig {
+            iterations: 40,
+            step: Some(0.05),
+        };
+        refine_on_support(
+            &mut head, &sel, &theta0, &spec, &acts, 0.0, 1.0, &cfg, &mut delta,
+        );
 
         for &i in &zero_before {
             assert_eq!(delta[i], 0.0, "coordinate {i} left the zero set");

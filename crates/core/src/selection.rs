@@ -57,7 +57,9 @@ pub struct ParamSelection {
 impl ParamSelection {
     /// Selects a single layer with the given kind.
     pub fn layer(layer: usize, kind: ParamKind) -> Self {
-        Self { entries: vec![LayerSelection { layer, kind }] }
+        Self {
+            entries: vec![LayerSelection { layer, kind }],
+        }
     }
 
     /// Selects all parameters of the head's last FC layer — the paper's
@@ -70,7 +72,10 @@ impl ParamSelection {
     pub fn all_layers(head: &FcHead) -> Self {
         Self::from_entries(
             (0..head.num_layers())
-                .map(|layer| LayerSelection { layer, kind: ParamKind::Both })
+                .map(|layer| LayerSelection {
+                    layer,
+                    kind: ParamKind::Both,
+                })
                 .collect(),
         )
     }
@@ -81,7 +86,10 @@ impl ParamSelection {
     ///
     /// Panics if `entries` is empty or contains duplicate layers.
     pub fn from_entries(entries: Vec<LayerSelection>) -> Self {
-        assert!(!entries.is_empty(), "selection must name at least one region");
+        assert!(
+            !entries.is_empty(),
+            "selection must name at least one region"
+        );
         let mut sorted = entries;
         sorted.sort_by_key(|e| e.layer);
         for pair in sorted.windows(2) {
@@ -157,27 +165,39 @@ impl ParamSelection {
     ///
     /// Panics if `values.len() != self.dim(head)`.
     pub fn scatter(&self, head: &mut FcHead, values: &[f32]) {
-        assert_eq!(values.len(), self.dim(head), "selection scatter length mismatch");
+        assert_eq!(
+            values.len(),
+            self.dim(head),
+            "selection scatter length mismatch"
+        );
         let mut off = 0;
         for e in &self.entries {
             let l = head.layer_mut(e.layer);
             match e.kind {
                 ParamKind::Weights => {
                     let n = l.weight().numel();
-                    l.weight_mut().as_mut_slice().copy_from_slice(&values[off..off + n]);
+                    l.weight_mut()
+                        .as_mut_slice()
+                        .copy_from_slice(&values[off..off + n]);
                     off += n;
                 }
                 ParamKind::Bias => {
                     let n = l.bias().numel();
-                    l.bias_mut().as_mut_slice().copy_from_slice(&values[off..off + n]);
+                    l.bias_mut()
+                        .as_mut_slice()
+                        .copy_from_slice(&values[off..off + n]);
                     off += n;
                 }
                 ParamKind::Both => {
                     let nw = l.weight().numel();
-                    l.weight_mut().as_mut_slice().copy_from_slice(&values[off..off + nw]);
+                    l.weight_mut()
+                        .as_mut_slice()
+                        .copy_from_slice(&values[off..off + nw]);
                     off += nw;
                     let nb = l.bias().numel();
-                    l.bias_mut().as_mut_slice().copy_from_slice(&values[off..off + nb]);
+                    l.bias_mut()
+                        .as_mut_slice()
+                        .copy_from_slice(&values[off..off + nb]);
                     off += nb;
                 }
             }
@@ -193,8 +213,23 @@ impl ParamSelection {
     /// Panics if `grads` does not cover the selected layers.
     pub fn gather_grads(&self, grads: &[(Tensor, Tensor)], start: usize) -> Vec<f32> {
         let mut out = Vec::new();
+        self.gather_grads_into(grads, start, &mut out);
+        out
+    }
+
+    /// [`ParamSelection::gather_grads`] into a reusable vector (cleared
+    /// and refilled; allocation-free once capacity is warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` does not cover the selected layers.
+    pub fn gather_grads_into(&self, grads: &[(Tensor, Tensor)], start: usize, out: &mut Vec<f32>) {
+        out.clear();
         for e in &self.entries {
-            assert!(e.layer >= start, "gradient list starts after selected layer");
+            assert!(
+                e.layer >= start,
+                "gradient list starts after selected layer"
+            );
             let (dw, db) = &grads[e.layer - start];
             match e.kind {
                 ParamKind::Weights => out.extend_from_slice(dw.as_slice()),
@@ -205,7 +240,6 @@ impl ParamSelection {
                 }
             }
         }
-        out
     }
 }
 
@@ -253,8 +287,14 @@ mod tests {
     #[test]
     fn start_layer_is_min() {
         let sel = ParamSelection::from_entries(vec![
-            LayerSelection { layer: 1, kind: ParamKind::Both },
-            LayerSelection { layer: 0, kind: ParamKind::Bias },
+            LayerSelection {
+                layer: 1,
+                kind: ParamKind::Both,
+            },
+            LayerSelection {
+                layer: 0,
+                kind: ParamKind::Bias,
+            },
         ]);
         assert_eq!(sel.start_layer(), 0);
     }
@@ -263,14 +303,19 @@ mod tests {
     #[should_panic(expected = "duplicate layer")]
     fn duplicate_layers_rejected() {
         ParamSelection::from_entries(vec![
-            LayerSelection { layer: 1, kind: ParamKind::Both },
-            LayerSelection { layer: 1, kind: ParamKind::Bias },
+            LayerSelection {
+                layer: 1,
+                kind: ParamKind::Both,
+            },
+            LayerSelection {
+                layer: 1,
+                kind: ParamKind::Bias,
+            },
         ]);
     }
 
     #[test]
     fn gather_grads_selects_regions() {
-        let h = head();
         let grads = vec![
             (Tensor::full(&[4, 5], 2.0), Tensor::full(&[4], 3.0)), // layer 1
         ];

@@ -33,7 +33,11 @@ impl AttackSpec {
     /// caller bug).
     pub fn new(features: Tensor, labels: Vec<usize>, targets: Vec<usize>) -> Self {
         assert_eq!(features.ndim(), 2, "features must be [R, d]");
-        assert_eq!(features.shape()[0], labels.len(), "features/labels mismatch");
+        assert_eq!(
+            features.shape()[0],
+            labels.len(),
+            "features/labels mismatch"
+        );
         assert!(
             targets.len() <= labels.len(),
             "S = {} exceeds R = {}",
@@ -43,7 +47,13 @@ impl AttackSpec {
         for (i, (&t, &l)) in targets.iter().zip(&labels).enumerate() {
             assert_ne!(t, l, "target for image {i} equals its current label {l}");
         }
-        Self { features, labels, targets, c_attack: 1.0, c_keep: 1.0 }
+        Self {
+            features,
+            labels,
+            targets,
+            c_attack: 1.0,
+            c_keep: 1.0,
+        }
     }
 
     /// Sets the misclassification/keep weights.

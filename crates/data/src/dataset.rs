@@ -26,7 +26,11 @@ impl Dataset {
     /// `dims.features()`, or any label is out of range.
     pub fn new(images: Tensor, labels: Vec<usize>, dims: VolumeDims, classes: usize) -> Self {
         assert_eq!(images.ndim(), 2, "images must be [n, features]");
-        assert_eq!(images.shape()[0], labels.len(), "images/labels length mismatch");
+        assert_eq!(
+            images.shape()[0],
+            labels.len(),
+            "images/labels length mismatch"
+        );
         assert_eq!(
             images.shape()[1],
             dims.features(),
@@ -38,7 +42,12 @@ impl Dataset {
             labels.iter().all(|&l| l < classes),
             "labels must be < {classes}"
         );
-        Self { images, labels, dims, classes }
+        Self {
+            images,
+            labels,
+            dims,
+            classes,
+        }
     }
 
     /// Number of samples.
@@ -127,7 +136,11 @@ impl Dataset {
         let h = dec.read_u32()? as usize;
         let w = dec.read_u32()? as usize;
         let classes = dec.read_u32()? as usize;
-        let labels: Vec<usize> = dec.read_u32_vec()?.into_iter().map(|l| l as usize).collect();
+        let labels: Vec<usize> = dec
+            .read_u32_vec()?
+            .into_iter()
+            .map(|l| l as usize)
+            .collect();
         let images = dec.read_tensor()?;
         let dims = VolumeDims::new(c, h, w);
         if images.ndim() != 2
@@ -137,7 +150,12 @@ impl Dataset {
         {
             return Err(DecodeError::new("inconsistent dataset record"));
         }
-        Ok(Dataset { images, labels, dims, classes })
+        Ok(Dataset {
+            images,
+            labels,
+            dims,
+            classes,
+        })
     }
 }
 
@@ -165,8 +183,8 @@ pub trait Synthesizer {
             labels.push(i % classes);
         }
         rng.shuffle(&mut labels);
-        for i in 0..n {
-            self.render(labels[i], images.row_mut(i), &mut rng);
+        for (i, &label) in labels.iter().enumerate() {
+            self.render(label, images.row_mut(i), &mut rng);
         }
         Dataset::new(images, labels, dims, classes)
     }

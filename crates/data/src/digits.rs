@@ -13,13 +13,13 @@ use fsa_tensor::Prng;
 /// The seven segments of a classic display, as `(x1, y1, x2, y2)` in glyph
 /// coordinates on a 28×28 canvas.
 const SEGMENTS: [(f32, f32, f32, f32); 7] = [
-    (8.0, 5.0, 20.0, 5.0),   // A: top
-    (20.0, 5.0, 20.0, 14.0), // B: top-right
-    (20.0, 14.0, 20.0, 23.0),// C: bottom-right
-    (8.0, 23.0, 20.0, 23.0), // D: bottom
-    (8.0, 14.0, 8.0, 23.0),  // E: bottom-left
-    (8.0, 5.0, 8.0, 14.0),   // F: top-left
-    (8.0, 14.0, 20.0, 14.0), // G: middle
+    (8.0, 5.0, 20.0, 5.0),    // A: top
+    (20.0, 5.0, 20.0, 14.0),  // B: top-right
+    (20.0, 14.0, 20.0, 23.0), // C: bottom-right
+    (8.0, 23.0, 20.0, 23.0),  // D: bottom
+    (8.0, 14.0, 8.0, 23.0),   // E: bottom-left
+    (8.0, 5.0, 8.0, 14.0),    // F: top-left
+    (8.0, 14.0, 20.0, 14.0),  // G: middle
 ];
 
 /// Which segments each digit lights (index = digit).
@@ -117,7 +117,10 @@ mod tests {
 
     #[test]
     fn one_uses_less_ink_than_eight() {
-        let gen = SynthDigits { noise_std: 0.0, ..Default::default() };
+        let gen = SynthDigits {
+            noise_std: 0.0,
+            ..Default::default()
+        };
         let mut rng = Prng::new(2);
         let mut one = vec![0.0; 784];
         let mut eight = vec![0.0; 784];

@@ -36,7 +36,10 @@ fn style_for(class: usize) -> ClassStyle {
         frequency: 2.0 + 0.7 * k,
         color: hsv_ish(hue),
         color2: hsv_ish((hue + 0.45) % 1.0),
-        blob: (0.25 + 0.5 * ((k * 0.37) % 1.0), 0.25 + 0.5 * ((k * 0.61) % 1.0)),
+        blob: (
+            0.25 + 0.5 * ((k * 0.37) % 1.0),
+            0.25 + 0.5 * ((k * 0.61) % 1.0),
+        ),
     }
 }
 
@@ -76,7 +79,10 @@ pub struct SynthObjects {
 
 impl Default for SynthObjects {
     fn default() -> Self {
-        Self { noise_std: 0.20, swap_rate: 0.20 }
+        Self {
+            noise_std: 0.20,
+            swap_rate: 0.20,
+        }
     }
 }
 
@@ -155,7 +161,10 @@ mod tests {
     fn styles_are_distinct_without_noise() {
         // Mean color channels should differ between two classes when noise
         // and swapping are disabled.
-        let gen = SynthObjects { noise_std: 0.0, swap_rate: 0.0 };
+        let gen = SynthObjects {
+            noise_std: 0.0,
+            swap_rate: 0.0,
+        };
         let mut rng = Prng::new(2);
         let mut a = vec![0.0; 3 * 32 * 32];
         let mut b = vec![0.0; 3 * 32 * 32];
@@ -172,7 +181,10 @@ mod tests {
     fn swap_rate_one_always_borrows_styles() {
         // With swap_rate = 1 every sample uses a different class's texture;
         // the generator must still produce valid output.
-        let gen = SynthObjects { noise_std: 0.0, swap_rate: 1.0 };
+        let gen = SynthObjects {
+            noise_std: 0.0,
+            swap_rate: 1.0,
+        };
         let ds = gen.generate(20, 3);
         assert_eq!(ds.len(), 20);
     }

@@ -16,7 +16,11 @@ pub struct Canvas {
 impl Canvas {
     /// Creates a black canvas.
     pub fn new(height: usize, width: usize) -> Self {
-        Self { height, width, pixels: vec![0.0; height * width] }
+        Self {
+            height,
+            width,
+            pixels: vec![0.0; height * width],
+        }
     }
 
     /// Draws an anti-aliased line segment between two points in pixel
@@ -26,9 +30,13 @@ impl Canvas {
     /// `radius + 1` pixels.
     pub fn stroke(&mut self, x1: f32, y1: f32, x2: f32, y2: f32, radius: f32) {
         let min_x = (x1.min(x2) - radius - 1.5).floor().max(0.0) as usize;
-        let max_x = (x1.max(x2) + radius + 1.5).ceil().min(self.width as f32 - 1.0) as usize;
+        let max_x = (x1.max(x2) + radius + 1.5)
+            .ceil()
+            .min(self.width as f32 - 1.0) as usize;
         let min_y = (y1.min(y2) - radius - 1.5).floor().max(0.0) as usize;
-        let max_y = (y1.max(y2) + radius + 1.5).ceil().min(self.height as f32 - 1.0) as usize;
+        let max_y = (y1.max(y2) + radius + 1.5)
+            .ceil()
+            .min(self.height as f32 - 1.0) as usize;
         for py in min_y..=max_y {
             for px in min_x..=max_x {
                 let d = dist_to_segment(px as f32, py as f32, x1, y1, x2, y2);
@@ -81,17 +89,29 @@ pub struct Jitter {
 
 impl Jitter {
     /// Samples a jitter with bounded magnitude.
-    pub fn sample(rng: &mut Prng, max_rotation: f32, max_shift: f32, scale_range: (f32, f32)) -> Self {
+    pub fn sample(
+        rng: &mut Prng,
+        max_rotation: f32,
+        max_shift: f32,
+        scale_range: (f32, f32),
+    ) -> Self {
         Self {
             scale: rng.uniform(scale_range.0, scale_range.1),
             rotation: rng.uniform(-max_rotation, max_rotation),
-            shift: (rng.uniform(-max_shift, max_shift), rng.uniform(-max_shift, max_shift)),
+            shift: (
+                rng.uniform(-max_shift, max_shift),
+                rng.uniform(-max_shift, max_shift),
+            ),
         }
     }
 
     /// Identity jitter.
     pub fn identity() -> Self {
-        Self { scale: 1.0, rotation: 0.0, shift: (0.0, 0.0) }
+        Self {
+            scale: 1.0,
+            rotation: 0.0,
+            shift: (0.0, 0.0),
+        }
     }
 
     /// Applies the jitter to a point around pivot `(cx, cy)`.
@@ -147,7 +167,11 @@ mod tests {
 
     #[test]
     fn rotation_by_pi_flips_around_pivot() {
-        let j = Jitter { scale: 1.0, rotation: std::f32::consts::PI, shift: (0.0, 0.0) };
+        let j = Jitter {
+            scale: 1.0,
+            rotation: std::f32::consts::PI,
+            shift: (0.0, 0.0),
+        };
         let (x, y) = j.apply(10.0, 14.0, 14.0, 14.0);
         assert!((x - 18.0).abs() < 1e-4 && (y - 14.0).abs() < 1e-4);
     }

@@ -34,13 +34,23 @@ pub fn flip_sets_bit(value: f32, bit: u8) -> bool {
 /// Panics if the slices have different lengths.
 pub fn total_flips(old: &[f32], new: &[f32]) -> u64 {
     assert_eq!(old.len(), new.len(), "length mismatch");
-    old.iter().zip(new).map(|(&a, &b)| hamming(a, b) as u64).sum()
+    old.iter()
+        .zip(new)
+        .map(|(&a, &b)| hamming(a, b) as u64)
+        .sum()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use fsa_tensor::Prng;
+
+    /// Random `f32` covering the whole bit space — including NaNs,
+    /// infinities, and subnormals, exactly what flip arithmetic must
+    /// survive.
+    fn any_f32(rng: &mut Prng) -> f32 {
+        f32::from_bits(rng.next_u64() as u32)
+    }
 
     #[test]
     fn identical_values_need_no_flips() {
@@ -61,25 +71,36 @@ mod tests {
         assert!(!flip_sets_bit(-1.0, 31));
     }
 
-    proptest! {
-        #[test]
-        fn flip_roundtrip(a in proptest::num::f32::ANY, b in proptest::num::f32::ANY) {
+    #[test]
+    fn flip_roundtrip() {
+        let mut rng = Prng::new(31);
+        for _ in 0..1024 {
+            let (a, b) = (any_f32(&mut rng), any_f32(&mut rng));
             // Applying the differing bits of (a, b) to a yields b's bits.
             let bits = differing_bits(a, b);
             let got = flip_bits(a, &bits);
-            prop_assert_eq!(got.to_bits(), b.to_bits());
+            assert_eq!(got.to_bits(), b.to_bits());
         }
+    }
 
-        #[test]
-        fn hamming_matches_bit_list(a in proptest::num::f32::ANY, b in proptest::num::f32::ANY) {
-            prop_assert_eq!(hamming(a, b) as usize, differing_bits(a, b).len());
+    #[test]
+    fn hamming_matches_bit_list() {
+        let mut rng = Prng::new(32);
+        for _ in 0..1024 {
+            let (a, b) = (any_f32(&mut rng), any_f32(&mut rng));
+            assert_eq!(hamming(a, b) as usize, differing_bits(a, b).len());
         }
+    }
 
-        #[test]
-        fn double_flip_is_identity(v in proptest::num::f32::ANY, bit in 0u8..32) {
+    #[test]
+    fn double_flip_is_identity() {
+        let mut rng = Prng::new(33);
+        for _ in 0..1024 {
+            let v = any_f32(&mut rng);
+            let bit = rng.below(32) as u8;
             let once = flip_bits(v, &[bit]);
             let twice = flip_bits(once, &[bit]);
-            prop_assert_eq!(twice.to_bits(), v.to_bits());
+            assert_eq!(twice.to_bits(), v.to_bits());
         }
     }
 }

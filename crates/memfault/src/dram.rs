@@ -14,7 +14,11 @@ pub struct DramGeometry {
 impl Default for DramGeometry {
     fn default() -> Self {
         // A modest DDR4-like chip slice: 8 banks × 32768 rows × 8 KiB.
-        Self { banks: 8, rows_per_bank: 32_768, row_bytes: 8192 }
+        Self {
+            banks: 8,
+            rows_per_bank: 32_768,
+            row_bytes: 8192,
+        }
     }
 }
 
@@ -75,7 +79,11 @@ impl ParamLayout {
             4 * len,
             geometry.capacity()
         );
-        Self { geometry, base_byte, len }
+        Self {
+            geometry,
+            base_byte,
+            len,
+        }
     }
 
     /// Number of parameters laid out.
@@ -99,18 +107,27 @@ impl ParamLayout {
     ///
     /// Panics if `index >= len`.
     pub fn address(&self, index: usize) -> ParamAddress {
-        assert!(index < self.len, "parameter index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "parameter index {index} out of range {}",
+            self.len
+        );
         let byte_addr = self.base_byte + 4 * index;
         let global_row = byte_addr / self.geometry.row_bytes;
         let bank = global_row % self.geometry.banks;
         let row = global_row / self.geometry.banks;
-        ParamAddress { bank, row, byte: byte_addr % self.geometry.row_bytes }
+        ParamAddress {
+            bank,
+            row,
+            byte: byte_addr % self.geometry.row_bytes,
+        }
     }
 
     /// Distinct `(bank, row)` pairs touched by the given parameter
     /// indices.
     pub fn rows_touched(&self, indices: &[usize]) -> Vec<(usize, usize)> {
-        let mut rows: Vec<(usize, usize)> = indices.iter().map(|&i| self.address(i).row_id()).collect();
+        let mut rows: Vec<(usize, usize)> =
+            indices.iter().map(|&i| self.address(i).row_id()).collect();
         rows.sort_unstable();
         rows.dedup();
         rows
@@ -132,7 +149,11 @@ mod tests {
 
     #[test]
     fn row_boundary_advances_bank() {
-        let g = DramGeometry { banks: 4, rows_per_bank: 16, row_bytes: 64 };
+        let g = DramGeometry {
+            banks: 4,
+            rows_per_bank: 16,
+            row_bytes: 64,
+        };
         let layout = ParamLayout::new(g, 0, 64);
         let last_in_row0 = layout.address(15); // 15*4 = 60 < 64
         let first_in_row1 = layout.address(16); // 64 → global row 1 → bank 1
@@ -142,7 +163,11 @@ mod tests {
 
     #[test]
     fn rows_touched_dedupes() {
-        let g = DramGeometry { banks: 2, rows_per_bank: 8, row_bytes: 32 };
+        let g = DramGeometry {
+            banks: 2,
+            rows_per_bank: 8,
+            row_bytes: 32,
+        };
         let layout = ParamLayout::new(g, 0, 32);
         // Params 0..8 share row (0,0); 8..16 share (1,0).
         let rows = layout.rows_touched(&[0, 1, 7, 8, 9]);
@@ -152,7 +177,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "exceeds DRAM capacity")]
     fn capacity_is_enforced() {
-        let g = DramGeometry { banks: 1, rows_per_bank: 1, row_bytes: 64 };
+        let g = DramGeometry {
+            banks: 1,
+            rows_per_bank: 1,
+            row_bytes: 64,
+        };
         let _ = ParamLayout::new(g, 0, 1000);
     }
 

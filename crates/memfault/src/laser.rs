@@ -22,7 +22,10 @@ impl Default for LaserInjector {
     fn default() -> Self {
         // Order-of-magnitude figures from published SRAM laser setups:
         // minutes-scale tuning per region, ms-scale pulses.
-        Self { targeting_seconds: 30.0, pulse_seconds: 0.001 }
+        Self {
+            targeting_seconds: 30.0,
+            pulse_seconds: 0.001,
+        }
     }
 }
 
@@ -73,7 +76,12 @@ mod tests {
     use crate::plan::WordChange;
 
     fn change(index: usize, old: f32, new: f32) -> WordChange {
-        WordChange { index, old, new, flipped_bits: crate::bits::differing_bits(old, new) }
+        WordChange {
+            index,
+            old,
+            new,
+            flipped_bits: crate::bits::differing_bits(old, new),
+        }
     }
 
     #[test]
@@ -86,7 +94,12 @@ mod tests {
         let b = laser.cost(&many_words);
         assert_eq!(a.pulses, 24);
         assert_eq!(b.pulses, 24);
-        assert!(b.seconds > 10.0 * a.seconds, "{} vs {}", b.seconds, a.seconds);
+        assert!(
+            b.seconds > 10.0 * a.seconds,
+            "{} vs {}",
+            b.seconds,
+            a.seconds
+        );
     }
 
     #[test]

@@ -49,9 +49,17 @@ impl FaultPlan {
                 continue; // modification too small to change the f32 at all
             }
             total += bits.len() as u64;
-            changes.push(WordChange { index: i, old: t, new, flipped_bits: bits });
+            changes.push(WordChange {
+                index: i,
+                old: t,
+                new,
+                flipped_bits: bits,
+            });
         }
-        FaultPlan { changes, total_bit_flips: total }
+        FaultPlan {
+            changes,
+            total_bit_flips: total,
+        }
     }
 
     /// Number of modified words (`‖δ‖₀` at the hardware level).
@@ -85,7 +93,12 @@ impl FaultPlan {
     /// # Panics
     ///
     /// Panics if the plan addresses parameters outside the layout.
-    pub fn hammer(&self, injector: &RowhammerInjector, layout: &ParamLayout, params: &mut [f32]) -> HammerOutcome {
+    pub fn hammer(
+        &self,
+        injector: &RowhammerInjector,
+        layout: &ParamLayout,
+        params: &mut [f32],
+    ) -> HammerOutcome {
         injector.apply(&self.changes, layout, params)
     }
 
@@ -97,7 +110,11 @@ impl FaultPlan {
     /// Panics if lengths differ.
     pub fn realized_delta(theta0: &[f32], params_after: &[f32]) -> Vec<f32> {
         assert_eq!(theta0.len(), params_after.len(), "length mismatch");
-        theta0.iter().zip(params_after).map(|(&t, &p)| p - t).collect()
+        theta0
+            .iter()
+            .zip(params_after)
+            .map(|(&t, &p)| p - t)
+            .collect()
     }
 }
 
@@ -144,7 +161,11 @@ mod tests {
 
     #[test]
     fn rows_touched_counts_layout_rows() {
-        let g = DramGeometry { banks: 2, rows_per_bank: 64, row_bytes: 64 };
+        let g = DramGeometry {
+            banks: 2,
+            rows_per_bank: 64,
+            row_bytes: 64,
+        };
         let layout = ParamLayout::new(g, 0, 128);
         let theta0 = vec![1.0f32; 128];
         let mut delta = vec![0.0f32; 128];

@@ -78,7 +78,12 @@ impl RowhammerInjector {
     pub fn cell_vulnerability(&self, address: ParamAddress, bit: u8) -> Option<bool> {
         // Hash the physical cell coordinates with the seed.
         let mut h = self.seed ^ 0x9E37_79B9_7F4A_7C15;
-        for v in [address.bank as u64, address.row as u64, address.byte as u64, bit as u64] {
+        for v in [
+            address.bank as u64,
+            address.row as u64,
+            address.byte as u64,
+            bit as u64,
+        ] {
             h ^= v.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
             h = h.rotate_left(31).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
         }
@@ -98,7 +103,12 @@ impl RowhammerInjector {
     /// # Panics
     ///
     /// Panics if a change index is outside the layout.
-    pub fn apply(&self, changes: &[WordChange], layout: &ParamLayout, params: &mut [f32]) -> HammerOutcome {
+    pub fn apply(
+        &self,
+        changes: &[WordChange],
+        layout: &ParamLayout,
+        params: &mut [f32],
+    ) -> HammerOutcome {
         let mut rng = Prng::new(self.seed ^ 0xD00D);
         let mut requested = 0usize;
         let mut achieved = 0usize;
@@ -125,7 +135,8 @@ impl RowhammerInjector {
                             }
                         }
                         if flipped {
-                            params[change.index] = crate::bits::flip_bits(params[change.index], &[bit]);
+                            params[change.index] =
+                                crate::bits::flip_bits(params[change.index], &[bit]);
                             achieved += 1;
                         } else {
                             word_ok = false;
@@ -145,7 +156,13 @@ impl RowhammerInjector {
         }
         rows.sort_unstable();
         rows.dedup();
-        HammerOutcome { requested, achieved, exact_words, activations, rows_hammered: rows.len() }
+        HammerOutcome {
+            requested,
+            achieved,
+            exact_words,
+            activations,
+            rows_hammered: rows.len(),
+        }
     }
 }
 
@@ -159,7 +176,12 @@ mod tests {
     }
 
     fn change(index: usize, old: f32, new: f32) -> WordChange {
-        WordChange { index, old, new, flipped_bits: crate::bits::differing_bits(old, new) }
+        WordChange {
+            index,
+            old,
+            new,
+            flipped_bits: crate::bits::differing_bits(old, new),
+        }
     }
 
     #[test]
@@ -172,7 +194,10 @@ mod tests {
 
     #[test]
     fn vulnerable_fraction_is_respected() {
-        let rh = RowhammerInjector { vulnerable_fraction: 0.05, ..Default::default() };
+        let rh = RowhammerInjector {
+            vulnerable_fraction: 0.05,
+            ..Default::default()
+        };
         let l = layout();
         let mut vulnerable = 0usize;
         let mut total = 0usize;
@@ -213,7 +238,10 @@ mod tests {
 
     #[test]
     fn invulnerable_population_achieves_nothing() {
-        let rh = RowhammerInjector { vulnerable_fraction: 0.0, ..Default::default() };
+        let rh = RowhammerInjector {
+            vulnerable_fraction: 0.0,
+            ..Default::default()
+        };
         let l = layout();
         let mut params = vec![1.0f32; 4];
         let changes: Vec<WordChange> = (0..4).map(|i| change(i, 1.0, -1.0)).collect();
@@ -226,7 +254,11 @@ mod tests {
 
     #[test]
     fn activations_scale_with_requests() {
-        let rh = RowhammerInjector { vulnerable_fraction: 0.5, flip_probability: 0.5, ..Default::default() };
+        let rh = RowhammerInjector {
+            vulnerable_fraction: 0.5,
+            flip_probability: 0.5,
+            ..Default::default()
+        };
         let l = layout();
         let mut params = vec![0.5f32; 64];
         let few: Vec<WordChange> = (0..2).map(|i| change(i, 0.5, -0.5)).collect();

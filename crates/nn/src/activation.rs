@@ -16,7 +16,10 @@ pub struct Relu {
 impl Relu {
     /// Creates a ReLU over `features`-wide activations.
     pub fn new(features: usize) -> Self {
-        Self { features, cached_input: None }
+        Self {
+            features,
+            cached_input: None,
+        }
     }
 
     /// Applies ReLU to a raw slice (used by the truncated attack head).
@@ -63,7 +66,10 @@ impl Layer for Relu {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("relu backward called before forward_train");
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("relu backward called before forward_train");
         assert_eq!(grad_out.shape(), x.shape(), "relu backward shape mismatch");
         grad_out.zip_map(x, |g, xv| if xv > 0.0 { g } else { 0.0 })
     }

@@ -6,6 +6,7 @@
 use crate::init;
 use crate::layer::{check_batch_input, Layer};
 use fsa_tensor::linalg::{gemm, gemm_nt, gemm_tn};
+use fsa_tensor::workspace::with_thread_workspace;
 use fsa_tensor::{Prng, Tensor};
 
 /// Spatial dimensions of an activation volume.
@@ -22,7 +23,11 @@ pub struct VolumeDims {
 impl VolumeDims {
     /// Creates a volume description.
     pub fn new(channels: usize, height: usize, width: usize) -> Self {
-        Self { channels, height, width }
+        Self {
+            channels,
+            height,
+            width,
+        }
     }
 
     /// Scalar features per sample.
@@ -104,8 +109,16 @@ impl Conv2d {
     ///
     /// Panics if the kernel does not fit the input (`k > h` or `k > w`) or
     /// any dimension is zero.
-    pub fn new_random(in_dims: VolumeDims, out_channels: usize, kernel: usize, rng: &mut Prng) -> Self {
-        assert!(kernel > 0 && out_channels > 0, "conv2d dimensions must be positive");
+    pub fn new_random(
+        in_dims: VolumeDims,
+        out_channels: usize,
+        kernel: usize,
+        rng: &mut Prng,
+    ) -> Self {
+        assert!(
+            kernel > 0 && out_channels > 0,
+            "conv2d dimensions must be positive"
+        );
         assert!(
             kernel <= in_dims.height && kernel <= in_dims.width,
             "kernel {kernel} does not fit input {}x{}",
@@ -162,13 +175,25 @@ impl Conv2d {
         let (oh, ow) = (out.height, out.width);
         let p = oh * ow;
         let kk = self.in_dims.channels * self.kernel * self.kernel;
-        let mut cols = vec![0.0f32; kk * p];
+        // The patch matrix is borrowed from the thread workspace: feature
+        // extraction calls this once per batch and the pool keeps the
+        // buffer hot across layers and batches.
+        let mut cols = with_thread_workspace(|ws| ws.take(kk * p));
         let mut y = Tensor::zeros(&[batch, out.features()]);
         for n in 0..batch {
             im2col(x.row(n), self.in_dims, self.kernel, &mut cols);
             let y_row = y.row_mut(n);
             // y_n = W (oc×kk) · cols (kk×p)
-            gemm(self.out_channels, kk, p, self.weight.as_slice(), &cols, y_row, 1.0, 0.0);
+            gemm(
+                self.out_channels,
+                kk,
+                p,
+                self.weight.as_slice(),
+                &cols,
+                y_row,
+                1.0,
+                0.0,
+            );
             for oc in 0..self.out_channels {
                 let b = self.bias.as_slice()[oc];
                 for v in &mut y_row[oc * p..(oc + 1) * p] {
@@ -176,6 +201,7 @@ impl Conv2d {
                 }
             }
         }
+        with_thread_workspace(|ws| ws.give(cols));
         y
     }
 }
@@ -213,26 +239,52 @@ impl Layer for Conv2d {
         let out = self.out_dims();
         let p = out.height * out.width;
         let kk = self.in_dims.channels * self.kernel * self.kernel;
-        assert_eq!(grad_out.shape(), &[batch, out.features()], "conv2d backward shape mismatch");
+        assert_eq!(
+            grad_out.shape(),
+            &[batch, out.features()],
+            "conv2d backward shape mismatch"
+        );
 
-        let mut cols = vec![0.0f32; kk * p];
-        let mut dcols = vec![0.0f32; kk * p];
+        let mut cols = with_thread_workspace(|ws| ws.take(kk * p));
+        let mut dcols = with_thread_workspace(|ws| ws.take(kk * p));
         let mut dx = Tensor::zeros(&[batch, self.in_features()]);
         for n in 0..batch {
             let dy = grad_out.row(n); // [oc, p] flattened
-            // Recompute the patch matrix (cheaper than caching it per batch).
+                                      // Recompute the patch matrix (cheaper than caching it per batch).
             im2col(x.row(n), self.in_dims, self.kernel, &mut cols);
             // dW += dY (oc×p) · colsᵀ (p×kk)
-            gemm_nt(self.out_channels, p, kk, dy, &cols, self.grad_weight.as_mut_slice(), 1.0, 1.0);
+            gemm_nt(
+                self.out_channels,
+                p,
+                kk,
+                dy,
+                &cols,
+                self.grad_weight.as_mut_slice(),
+                1.0,
+                1.0,
+            );
             // db += row sums of dY
             for oc in 0..self.out_channels {
                 let s: f32 = dy[oc * p..(oc + 1) * p].iter().sum();
                 self.grad_bias.as_mut_slice()[oc] += s;
             }
             // dcols = Wᵀ (kk×oc) · dY (oc×p)
-            gemm_tn(kk, self.out_channels, p, self.weight.as_slice(), dy, &mut dcols, 1.0, 0.0);
+            gemm_tn(
+                kk,
+                self.out_channels,
+                p,
+                self.weight.as_slice(),
+                dy,
+                &mut dcols,
+                1.0,
+                0.0,
+            );
             col2im(&dcols, self.in_dims, self.kernel, dx.row_mut(n));
         }
+        with_thread_workspace(|ws| {
+            ws.give(cols);
+            ws.give(dcols);
+        });
         dx
     }
 
@@ -264,7 +316,9 @@ mod tests {
         let p = (dims.height - k + 1) * (dims.width - k + 1);
         let cols_len = dims.channels * k * k * p;
         let mut rng = Prng::new(7);
-        let x: Vec<f32> = (0..dims.features()).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        let x: Vec<f32> = (0..dims.features())
+            .map(|_| rng.uniform(-1.0, 1.0))
+            .collect();
         let c: Vec<f32> = (0..cols_len).map(|_| rng.uniform(-1.0, 1.0)).collect();
 
         let mut ix = vec![0.0; cols_len];

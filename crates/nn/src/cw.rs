@@ -152,7 +152,11 @@ impl CwModel {
         let (extractor, features) = feature_extractor(&cfg, rng);
         debug_assert_eq!(features, cfg.feature_dim());
         let head = FcHead::new_random(features, cfg.fc_width, cfg.fc_width, cfg.classes, rng);
-        Self { config: cfg, extractor, head }
+        Self {
+            config: cfg,
+            extractor,
+            head,
+        }
     }
 
     /// Runs the conv stack only, producing `[batch, feature_dim]`
@@ -213,9 +217,15 @@ impl CwModel {
         extractor.decode_params(dec)?;
         let head = FcHead::decode(dec)?;
         if head.in_features() != features {
-            return Err(DecodeError::new("head width does not match extractor output"));
+            return Err(DecodeError::new(
+                "head width does not match extractor output",
+            ));
         }
-        Ok(Self { config: cfg, extractor, head })
+        Ok(Self {
+            config: cfg,
+            extractor,
+            head,
+        })
     }
 }
 

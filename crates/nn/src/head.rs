@@ -14,7 +14,7 @@ use crate::activation::Relu;
 use crate::linear::Linear;
 use crate::loss::argmax_slice;
 use fsa_tensor::io::{DecodeError, Decoder, Encoder};
-use fsa_tensor::linalg::{gemm, gemm_nt, gemm_tn};
+use fsa_tensor::linalg::{gemm, gemm_tn};
 use fsa_tensor::{Prng, Tensor};
 
 /// A stack of fully connected layers with ReLU between them (none after the
@@ -43,6 +43,56 @@ pub struct FcHead {
 /// layer `start + i`.
 pub type LayerGrads = Vec<(Tensor, Tensor)>;
 
+/// Reusable buffers for the truncated head passes.
+///
+/// The ADMM inner loop runs one forward and one backward per iteration
+/// over fixed shapes; holding a `HeadBuffers` across iterations makes
+/// those passes allocation-free after the first
+/// ([`FcHead::forward_from_caching`] / [`FcHead::backward_from_cache`]).
+/// Everything inside grows on demand and is reused when shapes repeat.
+#[derive(Debug, Clone, Default)]
+pub struct HeadBuffers {
+    /// `inputs[rel]` = post-ReLU input to layer `start + rel` (`rel ≥ 1`;
+    /// the input to the first layer is the caller's `acts`).
+    inputs: Vec<Vec<f32>>,
+    /// `preacts[rel]` = pre-activation of layer `start + rel` for
+    /// `rel < nrel − 1` (the final pre-activation *is* [`Self::logits`]).
+    preacts: Vec<Vec<f32>>,
+    /// Logits of the last cached forward pass.
+    logits: Tensor,
+    /// Upstream gradient ping buffer.
+    dz: Vec<f32>,
+    /// Downstream gradient pong buffer.
+    dx: Vec<f32>,
+    /// Per-layer `(dW, db)` filled by the backward pass.
+    grads: Vec<(Tensor, Tensor)>,
+    /// `(start, batch)` of the cached forward pass, if any.
+    cached: Option<(usize, usize)>,
+}
+
+impl HeadBuffers {
+    /// Creates an empty buffer set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Logits of the most recent [`FcHead::forward_from_caching`].
+    pub fn logits(&self) -> &Tensor {
+        &self.logits
+    }
+
+    /// Per-layer gradients of the most recent
+    /// [`FcHead::backward_from_cache`].
+    pub fn grads(&self) -> &[(Tensor, Tensor)] {
+        &self.grads
+    }
+
+    /// Consumes the buffers, keeping the gradient pairs.
+    pub fn into_grads(self) -> LayerGrads {
+        self.grads
+    }
+}
+
 impl FcHead {
     /// Creates the paper's three-FC-layer head with He initialization.
     pub fn new_random(d_in: usize, h1: usize, h2: usize, classes: usize, rng: &mut Prng) -> Self {
@@ -55,7 +105,10 @@ impl FcHead {
     ///
     /// Panics if fewer than two widths are given.
     pub fn from_dims(dims: &[usize], rng: &mut Prng) -> Self {
-        assert!(dims.len() >= 2, "head needs at least one layer (two widths)");
+        assert!(
+            dims.len() >= 2,
+            "head needs at least one layer (two widths)"
+        );
         let layers = dims
             .windows(2)
             .map(|w| Linear::new_random(w[0], w[1], rng))
@@ -116,7 +169,9 @@ impl FcHead {
 
     /// Total parameter count.
     pub fn param_count(&self) -> usize {
-        (0..self.num_layers()).map(|i| self.layer_param_count(i)).sum()
+        (0..self.num_layers())
+            .map(|i| self.layer_param_count(i))
+            .sum()
     }
 
     /// Full forward pass from input features to logits.
@@ -132,7 +187,10 @@ impl FcHead {
     ///
     /// Panics if `start` is out of range or `acts` has the wrong width.
     pub fn forward_from(&self, start: usize, acts: &Tensor) -> Tensor {
-        assert!(start < self.layers.len(), "start layer {start} out of range");
+        assert!(
+            start < self.layers.len(),
+            "start layer {start} out of range"
+        );
         let mut h = acts.clone();
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate().skip(start) {
@@ -153,7 +211,10 @@ impl FcHead {
     ///
     /// Panics if `start` is out of range.
     pub fn activations_before(&self, start: usize, x: &Tensor) -> Tensor {
-        assert!(start < self.layers.len(), "start layer {start} out of range");
+        assert!(
+            start < self.layers.len(),
+            "start layer {start} out of range"
+        );
         let mut h = x.clone();
         for layer in self.layers.iter().take(start) {
             h = linear_forward(layer, &h);
@@ -167,7 +228,9 @@ impl FcHead {
     /// Predicted class per sample.
     pub fn predict(&self, x: &Tensor) -> Vec<usize> {
         let logits = self.forward(x);
-        (0..logits.shape()[0]).map(|r| argmax_slice(logits.row(r))).collect()
+        (0..logits.shape()[0])
+            .map(|r| argmax_slice(logits.row(r)))
+            .collect()
     }
 
     /// Classification accuracy against `labels`.
@@ -199,72 +262,148 @@ impl FcHead {
     ///
     /// Panics on shape mismatches or `start` out of range.
     pub fn logit_backward(&self, start: usize, acts: &Tensor, g: &Tensor) -> LayerGrads {
+        let mut bufs = HeadBuffers::new();
+        self.forward_from_caching(start, acts, &mut bufs);
+        self.backward_from_cache(start, acts, g, &mut bufs);
+        bufs.into_grads()
+    }
+
+    /// Forward pass from layer `start` that caches per-layer inputs and
+    /// pre-activations in `bufs` for a following
+    /// [`FcHead::backward_from_cache`], and reuses all of `bufs`' storage
+    /// across calls (allocation-free once shapes repeat).
+    ///
+    /// Returns the logits held in `bufs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of range or `acts` has the wrong width.
+    pub fn forward_from_caching<'a>(
+        &self,
+        start: usize,
+        acts: &Tensor,
+        bufs: &'a mut HeadBuffers,
+    ) -> &'a Tensor {
         use crate::layer::Layer as _;
-        assert!(start < self.layers.len(), "start layer {start} out of range");
+        assert!(
+            start < self.layers.len(),
+            "start layer {start} out of range"
+        );
         let batch = acts.shape()[0];
+        assert_eq!(
+            acts.shape()[1],
+            self.layers[start].in_features(),
+            "head forward width mismatch"
+        );
+        let last = self.layers.len() - 1;
+        let nrel = self.layers.len() - start;
+        bufs.preacts.resize_with(nrel - 1, Vec::new);
+        bufs.inputs.resize_with(nrel, Vec::new);
+        bufs.cached = None;
+
+        for rel in 0..nrel {
+            let i = start + rel;
+            let layer = &self.layers[i];
+            let x: &[f32] = if rel == 0 {
+                acts.as_slice()
+            } else {
+                &bufs.inputs[rel]
+            };
+            if i < last {
+                linear_forward_slices(layer, x, batch, &mut bufs.preacts[rel]);
+                let o = layer.out_features();
+                let (z, inp) = (&bufs.preacts[rel], &mut bufs.inputs[rel + 1]);
+                debug_assert_eq!(z.len(), batch * o);
+                inp.clear();
+                inp.extend(z.iter().map(|&v| if v < 0.0 { 0.0 } else { v }));
+            } else {
+                let o = layer.out_features();
+                bufs.logits.reuse_as(&[batch, o]);
+                layer.forward_into(x, batch, bufs.logits.as_mut_slice());
+            }
+        }
+        bufs.cached = Some((start, batch));
+        &bufs.logits
+    }
+
+    /// Backward pass using the activations cached by
+    /// [`FcHead::forward_from_caching`]; fills `bufs`' gradient pairs
+    /// (entry `rel` is layer `start + rel`) without allocating once
+    /// shapes repeat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no forward pass with the same `start`/batch is cached or
+    /// `g` is not `[batch, classes]`.
+    pub fn backward_from_cache<'a>(
+        &self,
+        start: usize,
+        acts: &Tensor,
+        g: &Tensor,
+        bufs: &'a mut HeadBuffers,
+    ) -> &'a [(Tensor, Tensor)] {
+        use crate::layer::Layer as _;
+        let batch = acts.shape()[0];
+        assert_eq!(
+            bufs.cached,
+            Some((start, batch)),
+            "backward_from_cache requires a prior forward_from_caching with the same start/batch"
+        );
         assert_eq!(
             g.shape(),
             &[batch, self.classes()],
             "upstream gradient must be [batch, classes]"
         );
 
-        // Forward from `start`, keeping pre-activations for ReLU masks and
-        // post-activations as layer inputs.
-        let last = self.layers.len() - 1;
-        let mut inputs: Vec<Tensor> = Vec::new(); // input to layer start+i
-        let mut preacts: Vec<Tensor> = Vec::new(); // z of layer start+i
-        let mut h = acts.clone();
-        for (i, layer) in self.layers.iter().enumerate().skip(start) {
-            inputs.push(h.clone());
-            let z = linear_forward(layer, &h);
-            preacts.push(z.clone());
-            h = z;
-            if i < last {
-                Relu::apply_slice(h.as_mut_slice());
-            }
-        }
+        let nrel = self.layers.len() - start;
+        bufs.grads
+            .resize_with(nrel, || (Tensor::zeros(&[0]), Tensor::zeros(&[0])));
+        bufs.dz.clear();
+        bufs.dz.extend_from_slice(g.as_slice());
 
-        // Backward.
-        let mut grads: Vec<(Tensor, Tensor)> = Vec::with_capacity(self.layers.len() - start);
-        let mut dz = g.clone();
-        for rel in (0..self.layers.len() - start).rev() {
+        for rel in (0..nrel).rev() {
             let abs = start + rel;
             let layer = &self.layers[abs];
             let (o, i) = (layer.out_features(), layer.in_features());
-            let x = &inputs[rel];
+            let x: &[f32] = if rel == 0 {
+                acts.as_slice()
+            } else {
+                &bufs.inputs[rel]
+            };
+            let (dw, db) = &mut bufs.grads[rel];
             // dW = dZᵀ (o×N) · X (N×i)
-            let mut dw = Tensor::zeros(&[o, i]);
-            gemm_tn(o, batch, i, dz.as_slice(), x.as_slice(), dw.as_mut_slice(), 1.0, 0.0);
+            dw.reuse_as(&[o, i]);
+            gemm_tn(o, batch, i, &bufs.dz, x, dw.as_mut_slice(), 1.0, 0.0);
             // db = column sums of dZ
-            let mut db = Tensor::zeros(&[o]);
-            for r in 0..batch {
-                for (b, &v) in db.as_mut_slice().iter_mut().zip(dz.row(r)) {
+            db.reuse_as(&[o]);
+            db.as_mut_slice().fill(0.0);
+            for row in bufs.dz.chunks_exact(o) {
+                for (b, &v) in db.as_mut_slice().iter_mut().zip(row) {
                     *b += v;
                 }
             }
-            grads.push((dw, db));
             if rel > 0 {
                 // dX = dZ (N×o) · W (o×i), then mask by previous ReLU.
-                let mut dx = Tensor::zeros(&[batch, i]);
+                bufs.dx.clear();
+                bufs.dx.resize(batch * i, 0.0);
                 gemm(
                     batch,
                     o,
                     i,
-                    dz.as_slice(),
+                    &bufs.dz,
                     layer.weight().as_slice(),
-                    dx.as_mut_slice(),
+                    &mut bufs.dx,
                     1.0,
                     0.0,
                 );
-                let zprev = &preacts[rel - 1];
-                for r in 0..batch {
-                    Relu::mask_slice(dx.row_mut(r), zprev.row(r));
+                let zprev = &bufs.preacts[rel - 1];
+                for (gr, zr) in bufs.dx.chunks_exact_mut(i).zip(zprev.chunks_exact(i)) {
+                    Relu::mask_slice(gr, zr);
                 }
-                dz = dx;
+                std::mem::swap(&mut bufs.dz, &mut bufs.dx);
             }
         }
-        grads.reverse();
-        grads
+        &bufs.grads
     }
 
     /// Flattened parameters of layer `i`: weights row-major, then bias.
@@ -284,10 +423,18 @@ impl FcHead {
     /// Panics if the slice length differs from the layer's parameter count.
     pub fn set_layer_flat_params(&mut self, i: usize, flat: &[f32]) {
         let count = self.layer_param_count(i);
-        assert_eq!(flat.len(), count, "layer {i} expects {count} params, got {}", flat.len());
+        assert_eq!(
+            flat.len(),
+            count,
+            "layer {i} expects {count} params, got {}",
+            flat.len()
+        );
         let layer = &mut self.layers[i];
         let w = layer.weight_mut().numel();
-        layer.weight_mut().as_mut_slice().copy_from_slice(&flat[..w]);
+        layer
+            .weight_mut()
+            .as_mut_slice()
+            .copy_from_slice(&flat[..w]);
         layer.bias_mut().as_mut_slice().copy_from_slice(&flat[w..]);
     }
 
@@ -329,16 +476,24 @@ fn linear_forward(layer: &Linear, x: &Tensor) -> Tensor {
     use crate::layer::Layer as _;
     let batch = x.shape()[0];
     let (o, i) = (layer.out_features(), layer.in_features());
-    assert_eq!(x.shape()[1], i, "head forward width mismatch: {} vs {}", x.shape()[1], i);
+    assert_eq!(
+        x.shape()[1],
+        i,
+        "head forward width mismatch: {} vs {}",
+        x.shape()[1],
+        i
+    );
     let mut y = Tensor::zeros(&[batch, o]);
-    gemm_nt(batch, i, o, x.as_slice(), layer.weight().as_slice(), y.as_mut_slice(), 1.0, 0.0);
-    for r in 0..batch {
-        let row = y.row_mut(r);
-        for (v, &b) in row.iter_mut().zip(layer.bias().as_slice()) {
-            *v += b;
-        }
-    }
+    layer.forward_into(x.as_slice(), batch, y.as_mut_slice());
     y
+}
+
+/// [`linear_forward`] into a reusable `Vec` (resized, not reallocated).
+fn linear_forward_slices(layer: &Linear, x: &[f32], batch: usize, out: &mut Vec<f32>) {
+    use crate::layer::Layer as _;
+    out.clear();
+    out.resize(batch * layer.out_features(), 0.0);
+    layer.forward_into(x, batch, out);
 }
 
 #[cfg(test)]
@@ -410,6 +565,46 @@ mod tests {
                 assert!(err < 2e-2, "start {start} layer {li}: rel error {err}");
             }
         }
+    }
+
+    #[test]
+    fn caching_passes_match_plain_apis() {
+        let mut rng = Prng::new(21);
+        let head = small_head(&mut rng);
+        let x = Tensor::randn(&[5, 6], 1.0, &mut rng);
+        let g = Tensor::randn(&[5, 3], 1.0, &mut rng);
+        let mut bufs = HeadBuffers::new();
+        for start in 0..head.num_layers() {
+            let acts = head.activations_before(start, &x);
+            // Reuse the same buffer set for every start: shapes change,
+            // results must not.
+            for _ in 0..2 {
+                let logits = head.forward_from_caching(start, &acts, &mut bufs).clone();
+                assert_eq!(logits, head.forward_from(start, &acts), "start {start}");
+                head.backward_from_cache(start, &acts, &g, &mut bufs);
+                let reference = {
+                    let mut fresh = HeadBuffers::new();
+                    head.forward_from_caching(start, &acts, &mut fresh);
+                    head.backward_from_cache(start, &acts, &g, &mut fresh);
+                    fresh.into_grads()
+                };
+                assert_eq!(bufs.grads(), &reference[..], "start {start}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a prior forward_from_caching")]
+    fn backward_from_cache_requires_forward() {
+        let mut rng = Prng::new(22);
+        let head = small_head(&mut rng);
+        let mut bufs = HeadBuffers::new();
+        head.backward_from_cache(
+            0,
+            &Tensor::zeros(&[1, 6]),
+            &Tensor::zeros(&[1, 3]),
+            &mut bufs,
+        );
     }
 
     #[test]

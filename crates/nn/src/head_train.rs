@@ -27,7 +27,12 @@ pub struct HeadTrainConfig {
 
 impl Default for HeadTrainConfig {
     fn default() -> Self {
-        Self { epochs: 20, batch_size: 64, lr: 1e-3, verbose: false }
+        Self {
+            epochs: 20,
+            batch_size: 64,
+            lr: 1e-3,
+            verbose: false,
+        }
     }
 }
 
@@ -43,7 +48,10 @@ impl AdamState {
     fn new(head: &FcHead) -> Self {
         let shape_of = |head: &FcHead, i: usize| {
             let l = head.layer(i);
-            (Tensor::zeros(l.weight().shape()), Tensor::zeros(l.bias().shape()))
+            (
+                Tensor::zeros(l.weight().shape()),
+                Tensor::zeros(l.bias().shape()),
+            )
         };
         let n = head.num_layers();
         Self {
@@ -64,8 +72,30 @@ impl AdamState {
             let layer = head.layer_mut(i);
             let (mw, mb) = &mut self.m[i];
             let (vw, vb) = &mut self.v[i];
-            adam_update(layer.weight_mut().as_mut_slice(), dw.as_slice(), mw.as_mut_slice(), vw.as_mut_slice(), lr, bc1, bc2, B1, B2, EPS);
-            adam_update(layer.bias_mut().as_mut_slice(), db.as_slice(), mb.as_mut_slice(), vb.as_mut_slice(), lr, bc1, bc2, B1, B2, EPS);
+            adam_update(
+                layer.weight_mut().as_mut_slice(),
+                dw.as_slice(),
+                mw.as_mut_slice(),
+                vw.as_mut_slice(),
+                lr,
+                bc1,
+                bc2,
+                B1,
+                B2,
+                EPS,
+            );
+            adam_update(
+                layer.bias_mut().as_mut_slice(),
+                db.as_slice(),
+                mb.as_mut_slice(),
+                vb.as_mut_slice(),
+                lr,
+                bc1,
+                bc2,
+                B1,
+                B2,
+                EPS,
+            );
         }
     }
 }
@@ -155,9 +185,18 @@ mod tests {
             }
         }
         let mut head = FcHead::from_dims(&[d, 16, classes], &mut rng);
-        let cfg = HeadTrainConfig { epochs: 25, batch_size: 16, lr: 5e-3, verbose: false };
+        let cfg = HeadTrainConfig {
+            epochs: 25,
+            batch_size: 16,
+            lr: 5e-3,
+            verbose: false,
+        };
         let hist = train_head(&mut head, &x, &labels, &cfg, &mut rng);
-        assert!(hist.last().unwrap() < &0.1, "final loss {}", hist.last().unwrap());
+        assert!(
+            hist.last().unwrap() < &0.1,
+            "final loss {}",
+            hist.last().unwrap()
+        );
         assert!(head.accuracy(&x, &labels) > 0.97);
     }
 
@@ -168,7 +207,12 @@ mod tests {
         let x = Tensor::randn(&[40, 4], 1.0, &mut rng);
         let labels: Vec<usize> = (0..40).map(|i| i % 2).collect();
         let mut head = FcHead::from_dims(&[4, 8, 2], &mut rng);
-        let cfg = HeadTrainConfig { epochs: 10, batch_size: 8, lr: 3e-3, verbose: false };
+        let cfg = HeadTrainConfig {
+            epochs: 10,
+            batch_size: 8,
+            lr: 3e-3,
+            verbose: false,
+        };
         let hist = train_head(&mut head, &x, &labels, &cfg, &mut rng);
         assert!(hist.last().unwrap() <= hist.first().unwrap());
     }

@@ -65,7 +65,12 @@ pub trait Layer: std::fmt::Debug {
 ///
 /// Panics with a descriptive message on rank/width mismatch.
 pub fn check_batch_input(layer: &str, x: &Tensor, expected_features: usize) -> usize {
-    assert_eq!(x.ndim(), 2, "{layer}: expected [batch, features] input, got {:?}", x.shape());
+    assert_eq!(
+        x.ndim(),
+        2,
+        "{layer}: expected [batch, features] input, got {:?}",
+        x.shape()
+    );
     assert_eq!(
         x.shape()[1],
         expected_features,

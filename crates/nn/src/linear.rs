@@ -50,7 +50,12 @@ impl Linear {
     /// Panics if `weight` is not rank-2 or `bias` length differs from the
     /// weight's output dimension.
     pub fn from_params(weight: Tensor, bias: Tensor) -> Self {
-        assert_eq!(weight.ndim(), 2, "weight must be [out, in], got {:?}", weight.shape());
+        assert_eq!(
+            weight.ndim(),
+            2,
+            "weight must be [out, in], got {:?}",
+            weight.shape()
+        );
         assert_eq!(
             bias.numel(),
             weight.shape()[0],
@@ -100,17 +105,27 @@ impl Linear {
 
     fn forward_impl(&self, x: &Tensor) -> Tensor {
         let batch = check_batch_input("linear", x, self.in_features());
+        let mut y = Tensor::zeros(&[batch, self.out_features()]);
+        self.forward_into(x.as_slice(), batch, y.as_mut_slice());
+        y
+    }
+
+    /// Batched `y = x·Wᵀ + b` over plain slices: one NT GEMM for the
+    /// whole batch plus a per-row bias add. The single implementation of
+    /// the linear forward shared by this layer and the head's cached
+    /// passes.
+    pub(crate) fn forward_into(&self, x: &[f32], batch: usize, out: &mut [f32]) {
         let (o, i) = (self.out_features(), self.in_features());
-        let mut y = Tensor::zeros(&[batch, o]);
+        debug_assert_eq!(x.len(), batch * i, "forward_into input length");
+        debug_assert_eq!(out.len(), batch * o, "forward_into output length");
         // y = x (N×i) · Wᵀ (i×o): W stored o×i so use the NT kernel.
-        gemm_nt(batch, i, o, x.as_slice(), self.weight.as_slice(), y.as_mut_slice(), 1.0, 0.0);
-        for r in 0..batch {
-            let row = y.row_mut(r);
-            for (v, &b) in row.iter_mut().zip(self.bias.as_slice()) {
+        gemm_nt(batch, i, o, x, self.weight.as_slice(), out, 1.0, 0.0);
+        let bias = self.bias.as_slice();
+        for row in out.chunks_exact_mut(o) {
+            for (v, &b) in row.iter_mut().zip(bias) {
                 *v += b;
             }
         }
-        y
     }
 }
 
@@ -144,7 +159,11 @@ impl Layer for Linear {
             .expect("linear backward called before forward_train");
         let batch = x.shape()[0];
         let (o, i) = (self.out_features(), self.in_features());
-        assert_eq!(grad_out.shape(), &[batch, o], "linear backward shape mismatch");
+        assert_eq!(
+            grad_out.shape(),
+            &[batch, o],
+            "linear backward shape mismatch"
+        );
 
         // dW += dYᵀ (o×N) · X (N×i)
         gemm_tn(
@@ -226,7 +245,10 @@ mod tests {
         // dX = dY · W = 1*[1,2] + 0*[3,4] - 1*[5,6] = [-4, -4]
         assert_eq!(dx.as_slice(), &[-4.0, -4.0]);
         // dW = dYᵀ·X: row0 = [1,2], row1 = [0,0], row2 = [-1,-2]
-        assert_eq!(fc.grad_weight().as_slice(), &[1.0, 2.0, 0.0, 0.0, -1.0, -2.0]);
+        assert_eq!(
+            fc.grad_weight().as_slice(),
+            &[1.0, 2.0, 0.0, 0.0, -1.0, -2.0]
+        );
         assert_eq!(fc.grad_bias().as_slice(), &[1.0, 0.0, -1.0]);
     }
 

@@ -44,7 +44,10 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     let mut loss = 0.0f64;
     let inv_batch = 1.0 / batch.max(1) as f32;
     for (r, &label) in labels.iter().enumerate() {
-        assert!(label < classes, "label {label} out of range for {classes} classes");
+        assert!(
+            label < classes,
+            "label {label} out of range for {classes} classes"
+        );
         let row = dlogits.row_mut(r);
         // -log p_label, clamped away from log(0).
         loss += -(row[label].max(1e-12) as f64).ln();

@@ -2,7 +2,7 @@
 
 use crate::layer::Layer;
 use crate::loss::argmax_slice;
-use fsa_tensor::io::{Decoder, DecodeError, Encoder};
+use fsa_tensor::io::{DecodeError, Decoder, Encoder};
 use fsa_tensor::Tensor;
 
 /// A feed-forward stack of [`Layer`]s applied in order.
@@ -118,7 +118,9 @@ impl Network {
     /// Predicted class per sample (argmax of the logits).
     pub fn predict(&self, x: &Tensor) -> Vec<usize> {
         let logits = self.forward_infer(x);
-        (0..logits.shape()[0]).map(|r| argmax_slice(logits.row(r))).collect()
+        (0..logits.shape()[0])
+            .map(|r| argmax_slice(logits.row(r)))
+            .collect()
     }
 
     /// Serializes all parameters (in visit order) into `enc`.

@@ -23,7 +23,11 @@ impl Sgd {
     /// Creates SGD with learning rate `lr` and momentum coefficient
     /// `momentum` (0 disables momentum).
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     /// Current learning rate.
@@ -77,7 +81,15 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with the standard defaults `β₁=0.9, β₂=0.999, ε=1e-8`.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 

@@ -30,7 +30,11 @@ impl MaxPool2d {
             in_dims.height,
             in_dims.width
         );
-        Self { in_dims, window, cached_argmax: None }
+        Self {
+            in_dims,
+            window,
+            cached_argmax: None,
+        }
     }
 
     /// Output volume dimensions.
@@ -43,7 +47,11 @@ impl MaxPool2d {
     }
 
     fn pool_sample(&self, x: &[f32], y: &mut [f32], argmax: Option<&mut Vec<u32>>) {
-        let (c, h, w) = (self.in_dims.channels, self.in_dims.height, self.in_dims.width);
+        let (c, h, w) = (
+            self.in_dims.channels,
+            self.in_dims.height,
+            self.in_dims.width,
+        );
         let out = self.out_dims();
         let (oh, ow) = (out.height, out.width);
         let k = self.window;
@@ -120,10 +128,10 @@ impl Layer for MaxPool2d {
             "maxpool2d backward shape mismatch"
         );
         let mut dx = Tensor::zeros(&[batch, self.in_features()]);
-        for n in 0..batch {
+        for (n, arg_row) in args.iter().enumerate() {
             let dy = grad_out.row(n);
             let dxr = dx.row_mut(n);
-            for (o, &src) in args[n].iter().enumerate() {
+            for (o, &src) in arg_row.iter().enumerate() {
                 dxr[src as usize] += dy[o];
             }
         }

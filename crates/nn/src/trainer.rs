@@ -20,7 +20,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 10, batch_size: 32, shuffle: true, verbose: false }
+        Self {
+            epochs: 10,
+            batch_size: 32,
+            shuffle: true,
+            verbose: false,
+        }
     }
 }
 
@@ -92,7 +97,10 @@ pub fn fit(
             accuracy: (acc_sum / batches as f64) as f32,
         };
         if cfg.verbose {
-            println!("epoch {epoch}: loss {:.4} acc {:.4}", stats.loss, stats.accuracy);
+            println!(
+                "epoch {epoch}: loss {:.4} acc {:.4}",
+                stats.loss, stats.accuracy
+            );
         }
         history.push(stats);
     }
@@ -151,9 +159,18 @@ mod tests {
         net.push(Box::new(Relu::new(8)));
         net.push(Box::new(Linear::new_random(8, 2, &mut rng)));
         let mut opt = Adam::new(0.02);
-        let cfg = TrainConfig { epochs: 15, batch_size: 16, shuffle: true, verbose: false };
+        let cfg = TrainConfig {
+            epochs: 15,
+            batch_size: 16,
+            shuffle: true,
+            verbose: false,
+        };
         let hist = fit(&mut net, &x, &labels, &mut opt, &cfg, &mut rng);
-        assert!(hist.last().unwrap().loss < 0.1, "final loss {}", hist.last().unwrap().loss);
+        assert!(
+            hist.last().unwrap().loss < 0.1,
+            "final loss {}",
+            hist.last().unwrap().loss
+        );
         assert!(evaluate(&net, &x, &labels, 32) > 0.98);
     }
 
@@ -178,7 +195,10 @@ mod tests {
         let mut net = Network::new();
         net.push(Box::new(Linear::new_random(2, 2, &mut rng)));
         let mut opt = Adam::new(0.01);
-        let cfg = TrainConfig { epochs: 3, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            ..Default::default()
+        };
         let hist = fit(&mut net, &x, &labels, &mut opt, &cfg, &mut rng);
         assert_eq!(hist.len(), 3);
     }

@@ -1,14 +1,14 @@
 //! Compact binary serialization for tensors and experiment artifacts.
 //!
-//! The offline crate set contains `serde` but no serde *format* crate, so
+//! The workspace builds fully offline with no serialization crates, so
 //! artifacts (datasets, cached features, trained models) are persisted with
-//! this small self-describing little-endian format built on [`bytes`].
+//! this small self-describing little-endian format built directly on
+//! `to_le_bytes`/`from_le_bytes`.
 //!
 //! Layout conventions: every record starts with a 4-byte tag; integers are
 //! little-endian; slices are length-prefixed with `u64`.
 
 use crate::{Shape, Tensor};
-use bytes::{Buf, BufMut};
 use std::error::Error;
 use std::fmt;
 use std::fs;
@@ -27,7 +27,9 @@ pub struct DecodeError {
 impl DecodeError {
     /// Creates a decode error with a context message.
     pub fn new(message: impl Into<String>) -> Self {
-        Self { message: message.into() }
+        Self {
+            message: message.into(),
+        }
     }
 }
 
@@ -58,44 +60,46 @@ impl Encoder {
 
     /// Appends a raw 4-byte tag.
     pub fn put_tag(&mut self, tag: &[u8; 4]) {
-        self.buf.put_slice(tag);
+        self.buf.extend_from_slice(tag);
     }
 
     /// Appends a `u32`.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a `u64`.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends an `f32`.
     pub fn put_f32(&mut self, v: f32) {
-        self.buf.put_f32_le(v);
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     /// Appends a length-prefixed `f32` slice.
     pub fn put_f32_slice(&mut self, xs: &[f32]) {
         self.put_u64(xs.len() as u64);
+        self.buf.reserve(xs.len() * 4);
         for &x in xs {
-            self.buf.put_f32_le(x);
+            self.buf.extend_from_slice(&x.to_le_bytes());
         }
     }
 
     /// Appends a length-prefixed `u32` slice.
     pub fn put_u32_slice(&mut self, xs: &[u32]) {
         self.put_u64(xs.len() as u64);
+        self.buf.reserve(xs.len() * 4);
         for &x in xs {
-            self.buf.put_u32_le(x);
+            self.buf.extend_from_slice(&x.to_le_bytes());
         }
     }
 
     /// Appends a length-prefixed UTF-8 string.
     pub fn put_str(&mut self, s: &str) {
         self.put_u64(s.len() as u64);
-        self.buf.put_slice(s.as_bytes());
+        self.buf.extend_from_slice(s.as_bytes());
     }
 
     /// Appends a tensor (tag, rank, dims, data).
@@ -127,14 +131,21 @@ impl<'a> Decoder<'a> {
     }
 
     fn need(&self, n: usize, what: &str) -> Result<(), DecodeError> {
-        if self.buf.remaining() < n {
+        if self.buf.len() < n {
             Err(DecodeError::new(format!(
                 "truncated input reading {what}: need {n} bytes, have {}",
-                self.buf.remaining()
+                self.buf.len()
             )))
         } else {
             Ok(())
         }
+    }
+
+    /// Consumes and returns the next `N` bytes; caller must `need` first.
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let (head, rest) = self.buf.split_at(N);
+        self.buf = rest;
+        head.try_into().expect("split_at returned wrong length")
     }
 
     /// Reads and verifies a 4-byte tag.
@@ -144,10 +155,11 @@ impl<'a> Decoder<'a> {
     /// Returns [`DecodeError`] if the input is truncated or the tag differs.
     pub fn expect_tag(&mut self, tag: &[u8; 4]) -> Result<(), DecodeError> {
         self.need(4, "tag")?;
-        let mut got = [0u8; 4];
-        self.buf.copy_to_slice(&mut got);
+        let got: [u8; 4] = self.take();
         if &got != tag {
-            return Err(DecodeError::new(format!("bad tag: expected {tag:?}, got {got:?}")));
+            return Err(DecodeError::new(format!(
+                "bad tag: expected {tag:?}, got {got:?}"
+            )));
         }
         Ok(())
     }
@@ -159,7 +171,7 @@ impl<'a> Decoder<'a> {
     /// Returns [`DecodeError`] on truncated input.
     pub fn read_u32(&mut self) -> Result<u32, DecodeError> {
         self.need(4, "u32")?;
-        Ok(self.buf.get_u32_le())
+        Ok(u32::from_le_bytes(self.take()))
     }
 
     /// Reads a `u64`.
@@ -169,7 +181,7 @@ impl<'a> Decoder<'a> {
     /// Returns [`DecodeError`] on truncated input.
     pub fn read_u64(&mut self) -> Result<u64, DecodeError> {
         self.need(8, "u64")?;
-        Ok(self.buf.get_u64_le())
+        Ok(u64::from_le_bytes(self.take()))
     }
 
     /// Reads an `f32`.
@@ -179,7 +191,7 @@ impl<'a> Decoder<'a> {
     /// Returns [`DecodeError`] on truncated input.
     pub fn read_f32(&mut self) -> Result<f32, DecodeError> {
         self.need(4, "f32")?;
-        Ok(self.buf.get_f32_le())
+        Ok(f32::from_le_bytes(self.take()))
     }
 
     /// Reads a length-prefixed `f32` slice.
@@ -192,7 +204,7 @@ impl<'a> Decoder<'a> {
         self.need(n.saturating_mul(4), "f32 slice body")?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            out.push(self.buf.get_f32_le());
+            out.push(f32::from_le_bytes(self.take()));
         }
         Ok(out)
     }
@@ -207,7 +219,7 @@ impl<'a> Decoder<'a> {
         self.need(n.saturating_mul(4), "u32 slice body")?;
         let mut out = Vec::with_capacity(n);
         for _ in 0..n {
-            out.push(self.buf.get_u32_le());
+            out.push(u32::from_le_bytes(self.take()));
         }
         Ok(out)
     }
@@ -220,8 +232,9 @@ impl<'a> Decoder<'a> {
     pub fn read_str(&mut self) -> Result<String, DecodeError> {
         let n = self.read_u64()? as usize;
         self.need(n, "string body")?;
-        let mut bytes = vec![0u8; n];
-        self.buf.copy_to_slice(&mut bytes);
+        let (head, rest) = self.buf.split_at(n);
+        let bytes = head.to_vec();
+        self.buf = rest;
         String::from_utf8(bytes).map_err(|e| DecodeError::new(format!("invalid utf-8: {e}")))
     }
 

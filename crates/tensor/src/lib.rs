@@ -1,10 +1,30 @@
 //! Dense `f32` tensor substrate for the fault sneaking attack reproduction.
 //!
 //! This crate provides the numerical foundation used by every other crate in
-//! the workspace: a contiguous row-major [`Tensor`], cache-blocked matrix
-//! kernels ([`linalg`]), vector norms ([`norms`]) including the `ℓ0`
-//! pseudo-norm the paper minimizes, a deterministic random number generator
-//! ([`Prng`]) and a compact binary serialization format ([`io`]).
+//! the workspace: a contiguous row-major [`Tensor`], the parallel tiled
+//! matrix kernel engine ([`linalg`]) with its thread dispatcher
+//! ([`parallel`]) and scratch-buffer arena ([`workspace`]), vector norms
+//! ([`norms`]) including the `ℓ0` pseudo-norm the paper minimizes, a
+//! deterministic random number generator ([`Prng`]) and a compact binary
+//! serialization format ([`io`]).
+//!
+//! # The `parallel` feature
+//!
+//! Enabled by default. Kernels partition their output into contiguous row
+//! blocks and compute each block on a scoped thread
+//! (`std::thread::scope`; no external runtime). Outputs are **bit-identical
+//! for every thread count** — partitions never change any element's
+//! operation sequence — so reproducibility is unconditional. Control the
+//! thread budget with [`parallel::set_threads`] or the `FSA_THREADS`
+//! environment variable; build with `--no-default-features` for a strictly
+//! single-threaded library.
+//!
+//! # Workspaces
+//!
+//! Hot loops (ADMM iterations, batched head passes, im2col) borrow scratch
+//! buffers from a [`workspace::Workspace`] pool instead of allocating:
+//! `take(len)` hands out a zeroed buffer, `give(buf)` returns its capacity
+//! for reuse, and steady-state iterations allocate nothing.
 //!
 //! The workspace deliberately avoids heavyweight deep-learning crates; all
 //! gradients in `fsa-nn` are computed analytically on top of these kernels.
@@ -26,10 +46,13 @@
 pub mod io;
 pub mod linalg;
 pub mod norms;
+pub mod parallel;
 pub mod rng;
 pub mod shape;
 pub mod tensor;
+pub mod workspace;
 
 pub use rng::Prng;
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::Workspace;

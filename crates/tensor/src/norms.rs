@@ -46,8 +46,17 @@ pub fn linf(xs: &[f32]) -> f32 {
 ///
 /// Panics if the slices have different lengths.
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot length mismatch: {} vs {}", a.len(), b.len());
-    a.iter().zip(b.iter()).map(|(&x, &y)| x as f64 * y as f64).sum::<f64>() as f32
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| x as f64 * y as f64)
+        .sum::<f64>() as f32
 }
 
 /// Euclidean distance between two equal-length slices.
@@ -56,7 +65,13 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 ///
 /// Panics if the slices have different lengths.
 pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "distance length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "distance length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     (a.iter()
         .zip(b.iter())
         .map(|(&x, &y)| {
@@ -70,7 +85,7 @@ pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use crate::Prng;
 
     #[test]
     fn l0_counts_with_tolerance() {
@@ -103,45 +118,73 @@ mod tests {
         assert_eq!(l2_distance(&a, &b), 5.0);
     }
 
-    proptest! {
-        #[test]
-        fn norm_chain_inequalities(xs in proptest::collection::vec(-100.0f32..100.0, 1..64)) {
-            // linf <= l2 <= l1 for any vector.
+    /// Seeded random vector for the property loops below.
+    fn rand_vec(rng: &mut Prng, len: usize, lo: f32, hi: f32) -> Vec<f32> {
+        (0..len).map(|_| rng.uniform(lo, hi)).collect()
+    }
+
+    #[test]
+    fn norm_chain_inequalities() {
+        // linf <= l2 <= l1 for any vector.
+        let mut rng = Prng::new(101);
+        for _ in 0..256 {
+            let len = 1 + rng.below(63);
+            let xs = rand_vec(&mut rng, len, -100.0, 100.0);
             let inf = linf(&xs);
             let two = l2(&xs);
             let one = l1(&xs);
-            prop_assert!(inf <= two * (1.0 + 1e-5) + 1e-6);
-            prop_assert!(two <= one * (1.0 + 1e-5) + 1e-6);
+            assert!(inf <= two * (1.0 + 1e-5) + 1e-6, "{inf} > {two}");
+            assert!(two <= one * (1.0 + 1e-5) + 1e-6, "{two} > {one}");
         }
+    }
 
-        #[test]
-        fn l2_scales_homogeneously(xs in proptest::collection::vec(-10.0f32..10.0, 1..32), c in -4.0f32..4.0) {
+    #[test]
+    fn l2_scales_homogeneously() {
+        let mut rng = Prng::new(102);
+        for _ in 0..256 {
+            let len = 1 + rng.below(31);
+            let xs = rand_vec(&mut rng, len, -10.0, 10.0);
+            let c = rng.uniform(-4.0, 4.0);
             let scaled: Vec<f32> = xs.iter().map(|x| c * x).collect();
             let lhs = l2(&scaled);
             let rhs = c.abs() * l2(&xs);
-            prop_assert!((lhs - rhs).abs() <= 1e-3 * (1.0 + rhs.abs()));
+            assert!(
+                (lhs - rhs).abs() <= 1e-3 * (1.0 + rhs.abs()),
+                "{lhs} vs {rhs}"
+            );
         }
+    }
 
-        #[test]
-        fn triangle_inequality(
-            a in proptest::collection::vec(-10.0f32..10.0, 16),
-            b in proptest::collection::vec(-10.0f32..10.0, 16),
-        ) {
+    #[test]
+    fn triangle_inequality() {
+        let mut rng = Prng::new(103);
+        for _ in 0..256 {
+            let a = rand_vec(&mut rng, 16, -10.0, 10.0);
+            let b = rand_vec(&mut rng, 16, -10.0, 10.0);
             let sum: Vec<f32> = a.iter().zip(b.iter()).map(|(x, y)| x + y).collect();
-            prop_assert!(l2(&sum) <= l2(&a) + l2(&b) + 1e-4);
+            assert!(l2(&sum) <= l2(&a) + l2(&b) + 1e-4);
         }
+    }
 
-        #[test]
-        fn l0_bounded_by_len(xs in proptest::collection::vec(-1.0f32..1.0, 0..64), eps in 0.0f32..0.5) {
-            prop_assert!(l0(&xs, eps) <= xs.len());
+    #[test]
+    fn l0_bounded_by_len() {
+        let mut rng = Prng::new(104);
+        for _ in 0..256 {
+            let len = rng.below(64);
+            let xs = rand_vec(&mut rng, len.max(1), -1.0, 1.0);
+            let xs = &xs[..len];
+            let eps = rng.uniform(0.0, 0.5);
+            assert!(l0(xs, eps) <= xs.len());
         }
+    }
 
-        #[test]
-        fn cauchy_schwarz(
-            a in proptest::collection::vec(-10.0f32..10.0, 8),
-            b in proptest::collection::vec(-10.0f32..10.0, 8),
-        ) {
-            prop_assert!(dot(&a, &b).abs() <= l2(&a) * l2(&b) * (1.0 + 1e-4) + 1e-4);
+    #[test]
+    fn cauchy_schwarz() {
+        let mut rng = Prng::new(105);
+        for _ in 0..256 {
+            let a = rand_vec(&mut rng, 8, -10.0, 10.0);
+            let b = rand_vec(&mut rng, 8, -10.0, 10.0);
+            assert!(dot(&a, &b).abs() <= l2(&a) * l2(&b) * (1.0 + 1e-4) + 1e-4);
         }
     }
 }

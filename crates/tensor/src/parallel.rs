@@ -1,0 +1,210 @@
+//! Deterministic thread-parallel dispatch for the kernel engine.
+//!
+//! All parallelism in the workspace goes through this module: work is
+//! partitioned into **contiguous, disjoint** blocks, each block is computed
+//! on its own scoped thread (`std::thread::scope` — no external runtime),
+//! and any cross-block reduction is performed by the caller *sequentially
+//! in block order*. Because a block's result never depends on how the
+//! partition was chosen, every kernel built on these helpers is
+//! **bit-identical for any thread count** — the property
+//! `tests/thread_determinism.rs` locks in.
+//!
+//! The thread count resolves, in priority order:
+//!
+//! 1. an explicit [`set_threads`] call (test hooks, embedders);
+//! 2. the `FSA_THREADS` environment variable;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! With the crate's `parallel` feature disabled everything here degrades
+//! to inline serial execution of the same code paths.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Explicit override installed by [`set_threads`]; 0 = unset.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Lazily resolved environment/hardware default.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn default_threads() -> usize {
+    *DEFAULT_THREADS.get_or_init(|| {
+        if let Ok(v) = std::env::var("FSA_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The number of worker threads kernel dispatch may use.
+///
+/// Always ≥ 1; exactly 1 when the `parallel` feature is disabled.
+pub fn max_threads() -> usize {
+    if !cfg!(feature = "parallel") {
+        return 1;
+    }
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the worker thread count process-wide (0 restores the
+/// environment/hardware default).
+///
+/// Kernel outputs are bit-identical for every setting; this only changes
+/// how work is scheduled.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Splits `0..n` into at most `pieces` contiguous ranges of near-equal
+/// length (fewer when `n < pieces`). Empty when `n == 0`.
+pub fn split_ranges(n: usize, pieces: usize) -> Vec<Range<usize>> {
+    if n == 0 || pieces == 0 {
+        return Vec::new();
+    }
+    let pieces = pieces.min(n);
+    let base = n / pieces;
+    let extra = n % pieces;
+    let mut out = Vec::with_capacity(pieces);
+    let mut start = 0;
+    for i in 0..pieces {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f` over every item, one scoped thread per item (serially when
+/// there is a single item, the `parallel` feature is off, or the thread
+/// budget is 1).
+///
+/// Items are the unit of isolation: each owns whatever mutable state its
+/// closure invocation needs, so no locking is involved. Callers that need
+/// a reduction collect per-item outputs and fold them in item order.
+pub fn par_items<T: Send>(items: Vec<T>, f: impl Fn(T) + Sync) {
+    if items.len() <= 1 || max_threads() <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        for item in items {
+            scope.spawn(move || f(item));
+        }
+    });
+}
+
+/// Partitions the rows of a row-major `[rows, row_len]` buffer into
+/// contiguous blocks and runs `f(first_row, block)` for each block in
+/// parallel.
+///
+/// Blocks hold at least `min_rows` rows (except possibly the only block),
+/// so tiny matrices never pay thread spawn overhead.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a multiple of `row_len` (for
+/// `row_len > 0`).
+pub fn par_row_blocks(
+    buf: &mut [f32],
+    row_len: usize,
+    min_rows: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if buf.is_empty() {
+        return;
+    }
+    assert!(
+        row_len > 0,
+        "row_len must be positive for a non-empty buffer"
+    );
+    assert_eq!(
+        buf.len() % row_len,
+        0,
+        "buffer is not a whole number of rows"
+    );
+    let rows = buf.len() / row_len;
+    let pieces = max_threads().min(rows / min_rows.max(1)).max(1);
+    if pieces <= 1 {
+        f(0, buf);
+        return;
+    }
+    let ranges = split_ranges(rows, pieces);
+    let mut items = Vec::with_capacity(ranges.len());
+    let mut rest = buf;
+    for r in &ranges {
+        let (head, tail) = rest.split_at_mut(r.len() * row_len);
+        items.push((r.start, head));
+        rest = tail;
+    }
+    par_items(items, |(first_row, block)| f(first_row, block));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        for n in [0usize, 1, 5, 16, 17, 100] {
+            for pieces in [1usize, 2, 3, 7, 200] {
+                let rs = split_ranges(n, pieces);
+                let mut next = 0;
+                for r in &rs {
+                    assert_eq!(r.start, next, "gap in partition of {n} into {pieces}");
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, n, "partition of {n} into {pieces} incomplete");
+                assert!(rs.len() <= pieces.min(n.max(1)));
+            }
+        }
+    }
+
+    #[test]
+    fn par_items_runs_everything() {
+        use std::sync::atomic::AtomicU64;
+        let hits = AtomicU64::new(0);
+        par_items((0..23u64).collect(), |i| {
+            hits.fetch_add(i + 1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 23 * 24 / 2);
+    }
+
+    #[test]
+    fn par_row_blocks_partitions_rows() {
+        let rows = 37;
+        let row_len = 5;
+        let mut buf = vec![0.0f32; rows * row_len];
+        par_row_blocks(&mut buf, row_len, 1, |first_row, block| {
+            for (r, row) in block.chunks_exact_mut(row_len).enumerate() {
+                for v in row.iter_mut() {
+                    *v = (first_row + r) as f32;
+                }
+            }
+        });
+        for (r, row) in buf.chunks_exact(row_len).enumerate() {
+            assert!(
+                row.iter().all(|&v| v == r as f32),
+                "row {r} mislabeled: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn max_threads_is_positive() {
+        assert!(max_threads() >= 1);
+    }
+}

@@ -4,14 +4,13 @@
 //! initialization, target-label sampling, rowhammer flip outcomes) draws
 //! from a [`Prng`] seeded explicitly, so every experiment is reproducible
 //! bit-for-bit from its seed.
-
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+//!
+//! The generator is a self-contained xoshiro256++ (Blackman & Vigna)
+//! seeded through SplitMix64 — the workspace builds fully offline, so no
+//! external RNG crate is used. Gaussian variates come from a Box–Muller
+//! transform layered on top.
 
 /// A seeded pseudo-random number generator with Gaussian sampling.
-///
-/// Wraps [`rand::rngs::StdRng`] and adds a Box–Muller normal sampler (the
-/// sanctioned offline crate set has `rand` but not `rand_distr`).
 ///
 /// # Examples
 ///
@@ -24,15 +23,34 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Prng {
-    rng: StdRng,
+    state: [u64; 4],
     /// Cached second output of the Box–Muller transform.
     spare_normal: Option<f64>,
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl Prng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed), spare_normal: None }
+        let mut s = seed;
+        let state = [
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+            splitmix64(&mut s),
+        ];
+        Self {
+            state,
+            spare_normal: None,
+        }
     }
 
     /// Derives an independent child generator; the pair `(seed, stream)`
@@ -41,8 +59,27 @@ impl Prng {
     /// Used to give each experiment component (data, init, attack) its own
     /// stream so adding draws to one does not perturb the others.
     pub fn fork(&mut self, stream: u64) -> Prng {
-        let base = self.rng.next_u64();
+        let base = self.next_u64();
         Prng::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Returns the next raw 64 random bits (xoshiro256++).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 random mantissa bits.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Samples a uniform `f32` in `[lo, hi)`.
@@ -51,8 +88,13 @@ impl Prng {
     ///
     /// Panics if `lo >= hi`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        assert!(lo < hi, "uniform bounds must satisfy lo < hi, got [{lo}, {hi})");
-        self.rng.gen_range(lo..hi)
+        assert!(
+            lo < hi,
+            "uniform bounds must satisfy lo < hi, got [{lo}, {hi})"
+        );
+        let x = lo as f64 + (hi as f64 - lo as f64) * self.unit_f64();
+        // f64→f32 rounding can land exactly on `hi`; clamp back inside.
+        (x as f32).clamp(lo, hi.next_down())
     }
 
     /// Samples a uniform integer in `[0, n)`.
@@ -62,7 +104,9 @@ impl Prng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below(0) is empty");
-        self.rng.gen_range(0..n)
+        // Lemire's multiply-shift range reduction (bias < 2^-64 for any
+        // n that fits in a usize — irrelevant at our draw counts).
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Samples a standard normal variate via the Box–Muller transform.
@@ -72,12 +116,12 @@ impl Prng {
         }
         // Box–Muller: two uniforms -> two independent standard normals.
         let u1: f64 = loop {
-            let u = self.rng.gen::<f64>();
+            let u = self.unit_f64();
             if u > f64::MIN_POSITIVE {
                 break u;
             }
         };
-        let u2: f64 = self.rng.gen::<f64>();
+        let u2: f64 = self.unit_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare_normal = Some(r * theta.sin());
@@ -105,7 +149,7 @@ impl Prng {
 
     /// Samples `true` with probability `p` (clamped to `[0, 1]`).
     pub fn bernoulli(&mut self, p: f64) -> bool {
-        self.rng.gen::<f64>() < p
+        self.unit_f64() < p
     }
 
     /// Shuffles a slice in place (Fisher–Yates).
@@ -114,7 +158,7 @@ impl Prng {
             return;
         }
         for i in (1..xs.len()).rev() {
-            let j = self.rng.gen_range(0..=i);
+            let j = self.below(i + 1);
             xs.swap(i, j);
         }
     }
@@ -129,16 +173,11 @@ impl Prng {
         assert!(k <= n, "cannot choose {k} distinct values from 0..{n}");
         let mut idx: Vec<usize> = (0..n).collect();
         for i in 0..k {
-            let j = self.rng.gen_range(i..n);
+            let j = i + self.below(n - i);
             idx.swap(i, j);
         }
         idx.truncate(k);
         idx
-    }
-
-    /// Returns the next raw 64 random bits.
-    pub fn next_u64(&mut self) -> u64 {
-        self.rng.next_u64()
     }
 }
 
@@ -190,6 +229,19 @@ mod tests {
             let x = rng.uniform(-2.0, 3.0);
             assert!((-2.0..3.0).contains(&x));
         }
+    }
+
+    #[test]
+    fn below_respects_bound_and_covers() {
+        let mut rng = Prng::new(17);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "some residues never drawn: {seen:?}"
+        );
     }
 
     #[test]

@@ -26,7 +26,9 @@ pub struct Shape {
 impl Shape {
     /// Creates a shape from a slice of dimensions.
     pub fn new(dims: &[usize]) -> Self {
-        Self { dims: dims.to_vec() }
+        Self {
+            dims: dims.to_vec(),
+        }
     }
 
     /// Returns the dimensions as a slice.
@@ -87,7 +89,10 @@ impl Shape {
         for axis in (0..self.dims.len()).rev() {
             let i = index[axis];
             let d = self.dims[axis];
-            assert!(i < d, "index {i} out of bounds for axis {axis} with extent {d}");
+            assert!(
+                i < d,
+                "index {i} out of bounds for axis {axis} with extent {d}"
+            );
             off += i * stride;
             stride *= d;
         }
@@ -132,7 +137,9 @@ impl From<Vec<usize>> for Shape {
 
 impl<const N: usize> From<[usize; N]> for Shape {
     fn from(dims: [usize; N]) -> Self {
-        Shape { dims: dims.to_vec() }
+        Shape {
+            dims: dims.to_vec(),
+        }
     }
 }
 

@@ -28,11 +28,22 @@ pub struct Tensor {
     shape: Shape,
 }
 
+impl Default for Tensor {
+    /// An empty `[0]` tensor — a placeholder for buffers that will be
+    /// [`Tensor::reuse_as`]'d before first use.
+    fn default() -> Self {
+        Self::zeros(&[0])
+    }
+}
+
 impl Tensor {
     /// Creates a tensor filled with zeros.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Self { data: vec![0.0; shape.numel()], shape }
+        Self {
+            data: vec![0.0; shape.numel()],
+            shape,
+        }
     }
 
     /// Creates a tensor filled with ones.
@@ -43,7 +54,10 @@ impl Tensor {
     /// Creates a tensor filled with `value`.
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Self { data: vec![value; shape.numel()], shape }
+        Self {
+            data: vec![value; shape.numel()],
+            shape,
+        }
     }
 
     /// Creates a tensor from existing data.
@@ -130,6 +144,22 @@ impl Tensor {
     pub fn set(&mut self, index: &[usize], value: f32) {
         let off = self.shape.offset(index);
         self.data[off] = value;
+    }
+
+    /// Reshapes this tensor in place to `dims`, reusing the existing
+    /// allocation whenever the element count matches (contents are then
+    /// left as-is) and resizing otherwise (new elements zero-filled).
+    ///
+    /// This is the reuse primitive behind the allocation-free hot loops:
+    /// buffers held across iterations call `reuse_as` and are then
+    /// overwritten by a kernel with `beta = 0` or an explicit fill.
+    pub fn reuse_as(&mut self, dims: &[usize]) {
+        let shape = Shape::new(dims);
+        if shape.numel() != self.data.len() {
+            self.data.clear();
+            self.data.resize(shape.numel(), 0.0);
+        }
+        self.shape = shape;
     }
 
     /// Returns a tensor with the same data and a new shape.
@@ -268,7 +298,10 @@ impl Tensor {
     /// Panics if either operand is not rank-2 or the inner dimensions
     /// disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert!(self.shape.is_matrix() && other.shape.is_matrix(), "matmul requires matrices");
+        assert!(
+            self.shape.is_matrix() && other.shape.is_matrix(),
+            "matmul requires matrices"
+        );
         let (m, k) = (self.shape.dim(0), self.shape.dim(1));
         let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
         assert_eq!(k, k2, "matmul inner dimensions differ: {k} vs {k2}");
@@ -308,7 +341,11 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank-2 or `i` is out of bounds.
     pub fn row(&self, i: usize) -> &[f32] {
-        assert!(self.shape.is_matrix(), "row() requires a matrix, got {}", self.shape);
+        assert!(
+            self.shape.is_matrix(),
+            "row() requires a matrix, got {}",
+            self.shape
+        );
         let n = self.shape.dim(1);
         let rows = self.shape.dim(0);
         assert!(i < rows, "row {i} out of bounds for {rows} rows");
@@ -321,7 +358,11 @@ impl Tensor {
     ///
     /// Panics if the tensor is not rank-2 or `i` is out of bounds.
     pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
-        assert!(self.shape.is_matrix(), "row_mut() requires a matrix, got {}", self.shape);
+        assert!(
+            self.shape.is_matrix(),
+            "row_mut() requires a matrix, got {}",
+            self.shape
+        );
         let n = self.shape.dim(1);
         let rows = self.shape.dim(0);
         assert!(i < rows, "row {i} out of bounds for {rows} rows");

@@ -1,0 +1,115 @@
+//! Reusable scratch-buffer arena.
+//!
+//! Hot paths (the ADMM inner loop, batched forward/backward passes,
+//! im2col) need short-lived `f32` buffers every iteration. Allocating them
+//! each time costs more than the arithmetic for small heads, so kernels
+//! and layers borrow buffers from a [`Workspace`] instead: [`take`]
+//! (zeroed, exact length) and [`give`] it back when done. After warmup the
+//! pool is hot and steady-state iterations allocate nothing.
+//!
+//! A process-wide thread-local instance is available through
+//! [`with_thread_workspace`] for call sites (like layer `forward_infer`)
+//! that have no caller-owned workspace to thread through.
+//!
+//! [`take`]: Workspace::take
+//! [`give`]: Workspace::give
+
+use std::cell::RefCell;
+
+/// A pool of reusable `f32` buffers.
+///
+/// # Examples
+///
+/// ```
+/// use fsa_tensor::workspace::Workspace;
+///
+/// let mut ws = Workspace::new();
+/// let buf = ws.take(128);            // zeroed, len == 128
+/// assert!(buf.iter().all(|&x| x == 0.0));
+/// ws.give(buf);                      // capacity returns to the pool
+/// let again = ws.take(64);           // served from the pool, no alloc
+/// assert_eq!(again.len(), 64);
+/// ```
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace.
+    pub const fn new() -> Self {
+        Self { pool: Vec::new() }
+    }
+
+    /// Borrows a zeroed buffer of exactly `len` elements, reusing pooled
+    /// capacity when possible.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn give(&mut self, buf: Vec<f32>) {
+        if buf.capacity() > 0 {
+            self.pool.push(buf);
+        }
+    }
+
+    /// Number of buffers currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Drops all pooled capacity.
+    pub fn clear(&mut self) {
+        self.pool.clear();
+    }
+}
+
+thread_local! {
+    static TLS_WORKSPACE: RefCell<Workspace> = const { RefCell::new(Workspace::new()) };
+}
+
+/// Runs `f` with this thread's shared [`Workspace`].
+///
+/// Re-entrant callers must not call back into `with_thread_workspace`
+/// while holding the borrow (the layer implementations take buffers out,
+/// call kernels, then give them back — they never nest).
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    TLS_WORKSPACE.with(|ws| f(&mut ws.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_is_zeroed_even_after_reuse() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take(16);
+        buf.iter_mut().for_each(|x| *x = 7.0);
+        ws.give(buf);
+        let buf = ws.take(8);
+        assert_eq!(buf, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn pool_grows_and_clears() {
+        let mut ws = Workspace::new();
+        let (a, b) = (ws.take(4), ws.take(4));
+        ws.give(a);
+        ws.give(b);
+        assert_eq!(ws.pooled(), 2);
+        ws.clear();
+        assert_eq!(ws.pooled(), 0);
+    }
+
+    #[test]
+    fn thread_workspace_is_usable() {
+        let buf = with_thread_workspace(|ws| ws.take(32));
+        assert_eq!(buf.len(), 32);
+        with_thread_workspace(|ws| ws.give(buf));
+    }
+}

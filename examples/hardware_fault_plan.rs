@@ -17,7 +17,16 @@ fn main() {
     let mut rng = Prng::new(99);
     let (features, labels) = blobs(150, 16, 4, &mut rng);
     let mut head = FcHead::from_dims(&[16, 32, 4], &mut rng);
-    train_head(&mut head, &features, &labels, &HeadTrainConfig { epochs: 30, ..Default::default() }, &mut rng);
+    train_head(
+        &mut head,
+        &features,
+        &labels,
+        &HeadTrainConfig {
+            epochs: 30,
+            ..Default::default()
+        },
+        &mut rng,
+    );
 
     let working = {
         let mut t = Tensor::zeros(&[12, 16]);
@@ -80,10 +89,8 @@ fn main() {
     let realized = FaultPlan::realized_delta(theta0, &hammered);
     let mut rh_head = head.clone();
     fault_sneaking::attack::eval::apply_delta(&mut rh_head, &selection, theta0, &realized);
-    let (hits, _) = fault_sneaking::attack::objective::count_satisfied(
-        &spec,
-        &rh_head.forward(&spec.features),
-    );
+    let (hits, _) =
+        fault_sneaking::attack::objective::count_satisfied(&spec, &rh_head.forward(&spec.features));
     println!("rowhammer-realized fault: {hits}/1 (partial plans may or may not land it)");
 }
 

@@ -14,8 +14,20 @@ fn main() {
     let mut rng = Prng::new(5);
     let (features, labels) = blobs(160, 20, 5, &mut rng);
     let mut head = FcHead::from_dims(&[20, 32, 5], &mut rng);
-    train_head(&mut head, &features, &labels, &HeadTrainConfig { epochs: 30, ..Default::default() }, &mut rng);
-    println!("victim accuracy: {:.1}%", 100.0 * head.accuracy(&features, &labels));
+    train_head(
+        &mut head,
+        &features,
+        &labels,
+        &HeadTrainConfig {
+            epochs: 30,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    println!(
+        "victim accuracy: {:.1}%",
+        100.0 * head.accuracy(&features, &labels)
+    );
 
     let working = {
         let mut t = Tensor::zeros(&[20, 20]);
@@ -29,9 +41,15 @@ fn main() {
     let spec = AttackSpec::new(working, wl, targets).with_weights(10.0, 1.0);
     let selection = ParamSelection::last_layer(&head);
 
-    println!("\n{:<10} {:>6} {:>10} {:>9} {:>6}", "attack", "l0", "l2", "success", "keep");
+    println!(
+        "\n{:<10} {:>6} {:>10} {:>9} {:>6}",
+        "attack", "l0", "l2", "success", "keep"
+    );
     for norm in [Norm::L0, Norm::L2] {
-        let cfg = AttackConfig { norm, ..AttackConfig::default() };
+        let cfg = AttackConfig {
+            norm,
+            ..AttackConfig::default()
+        };
         let result = FaultSneakingAttack::new(&head, selection.clone(), cfg).run(&spec);
         println!(
             "{:<10} {:>6} {:>10.4} {:>7}/{} {:>4}/{}",

@@ -19,17 +19,26 @@ fn main() {
         &mut head,
         &features,
         &labels,
-        &HeadTrainConfig { epochs: 30, ..Default::default() },
+        &HeadTrainConfig {
+            epochs: 30,
+            ..Default::default()
+        },
         &mut rng,
     );
-    println!("victim accuracy: {:.1}%", 100.0 * head.accuracy(&features, &labels));
+    println!(
+        "victim accuracy: {:.1}%",
+        100.0 * head.accuracy(&features, &labels)
+    );
 
     // 2. The adversary's goal: flip image 0 to a wrong class while 19
     //    other images keep their labels.
     let working = sub_rows(&features, 0, 20);
     let working_labels = labels[..20].to_vec();
     let target = (working_labels[0] + 1) % 3;
-    println!("fault: image 0 (class {}) -> target {target}", working_labels[0]);
+    println!(
+        "fault: image 0 (class {}) -> target {target}",
+        working_labels[0]
+    );
     let spec = AttackSpec::new(working, working_labels, vec![target]).with_weights(10.0, 1.0);
 
     // 3. Run the l0-minimizing fault sneaking attack on the last FC layer.
@@ -44,11 +53,19 @@ fn main() {
         result.l2
     );
     println!("fault injected: {}/{}", result.s_success, result.s_total);
-    println!("keep-set unchanged: {}/{}", result.keep_unchanged, result.keep_total);
+    println!(
+        "keep-set unchanged: {}/{}",
+        result.keep_unchanged, result.keep_total
+    );
 
     // 4. Verify on the *full* victim: stealth means overall accuracy holds.
     let mut attacked = head.clone();
-    fault_sneaking::attack::eval::apply_delta(&mut attacked, &selection, attack.theta0(), &result.delta);
+    fault_sneaking::attack::eval::apply_delta(
+        &mut attacked,
+        &selection,
+        attack.theta0(),
+        &result.delta,
+    );
     println!(
         "victim accuracy after attack: {:.1}%",
         100.0 * attacked.accuracy(&features, &labels)

@@ -33,7 +33,10 @@ fn main() {
         &mut head,
         &f_train,
         &train.labels,
-        &HeadTrainConfig { epochs: 12, ..Default::default() },
+        &HeadTrainConfig {
+            epochs: 12,
+            ..Default::default()
+        },
         &mut rng,
     );
     model.head = head;
@@ -72,12 +75,23 @@ fn main() {
         result.delta.len(),
         result.l2
     );
-    println!("misroute injected: {}", if result.s_success == 1 { "yes" } else { "NO" });
-    println!("keep-set intact: {}/{}", result.keep_unchanged, result.keep_total);
+    println!(
+        "misroute injected: {}",
+        if result.s_success == 1 { "yes" } else { "NO" }
+    );
+    println!(
+        "keep-set intact: {}/{}",
+        result.keep_unchanged, result.keep_total
+    );
 
     // Operator's view: does monitoring notice?
     let mut attacked = model.head.clone();
-    fault_sneaking::attack::eval::apply_delta(&mut attacked, &selection, attack.theta0(), &result.delta);
+    fault_sneaking::attack::eval::apply_delta(
+        &mut attacked,
+        &selection,
+        attack.theta0(),
+        &result.delta,
+    );
     let post_acc = attacked.accuracy(&f_test, &test.labels);
     println!(
         "test accuracy {:.1}% -> {:.1}% (drop {:.2} points)",

@@ -18,6 +18,21 @@
 //! * [`memfault`] — simulated laser/rowhammer fault injection hardware;
 //! * [`tensor`] — the dense `f32` tensor substrate everything runs on.
 //!
+//! # Performance substrate
+//!
+//! All numeric work runs on `fsa-tensor`'s parallel tiled kernel engine:
+//! register-blocked 4×8 GEMM micro-kernels with row-block parallelism
+//! behind the **`parallel`** feature (enabled by default; disable with
+//! `--no-default-features` for a single-threaded build). Thread count
+//! comes from [`tensor::parallel::set_threads`], the `FSA_THREADS`
+//! environment variable, or the machine's core count — and results are
+//! **bit-identical for every setting** (see `tests/thread_determinism.rs`).
+//!
+//! Hot loops are allocation-free: the ADMM δ-step reuses
+//! [`nn::head::HeadBuffers`] and a pooled
+//! [`tensor::workspace::Workspace`] (`take`/`give` zeroed scratch
+//! buffers) instead of allocating tensors per iteration.
+//!
 //! See `examples/quickstart.rs` for a three-minute tour and `DESIGN.md`
 //! for the experiment index.
 //!

@@ -23,7 +23,16 @@ fn victim() -> (FcHead, Tensor, Vec<usize>) {
         }
     }
     let mut head = FcHead::from_dims(&[d, 24, classes], &mut rng);
-    train_head(&mut head, &x, &labels, &HeadTrainConfig { epochs: 25, ..Default::default() }, &mut rng);
+    train_head(
+        &mut head,
+        &x,
+        &labels,
+        &HeadTrainConfig {
+            epochs: 25,
+            ..Default::default()
+        },
+        &mut rng,
+    );
     (head, x, labels)
 }
 
@@ -50,7 +59,12 @@ fn sneaking_attack_is_stealthier_than_sba() {
     let ours = attack.run(&spec);
     assert_eq!(ours.s_success, 1);
     let mut ours_head = head.clone();
-    fault_sneaking::attack::eval::apply_delta(&mut ours_head, &selection, attack.theta0(), &ours.delta);
+    fault_sneaking::attack::eval::apply_delta(
+        &mut ours_head,
+        &selection,
+        attack.theta0(),
+        &ours.delta,
+    );
     let ours_acc = ours_head.accuracy(&x, &labels);
 
     // SBA: single bias shift for the same image/target.
@@ -63,7 +77,10 @@ fn sneaking_attack_is_stealthier_than_sba() {
         ours_acc >= sba_acc,
         "sneaking attack ({ours_acc}) should preserve accuracy at least as well as SBA ({sba_acc})"
     );
-    assert!(base - ours_acc < 0.1, "sneaking attack lost too much accuracy");
+    assert!(
+        base - ours_acc < 0.1,
+        "sneaking attack lost too much accuracy"
+    );
 }
 
 #[test]
@@ -86,7 +103,12 @@ fn gda_injects_but_without_keep_guarantees() {
 
     // GDA's compression keeps the faults: re-verify via application.
     let mut gda_head = head.clone();
-    fault_sneaking::attack::eval::apply_delta(&mut gda_head, &selection, gda.theta0(), &result.delta);
+    fault_sneaking::attack::eval::apply_delta(
+        &mut gda_head,
+        &selection,
+        gda.theta0(),
+        &result.delta,
+    );
     let preds = gda_head.predict(&spec.features);
     assert_eq!(preds[0], spec.targets[0]);
     assert_eq!(preds[1], spec.targets[1]);

@@ -33,7 +33,16 @@ fn training_and_attack_are_reproducible() {
             }
         }
         let mut head = FcHead::from_dims(&[8, 12, 3], &mut rng);
-        train_head(&mut head, &x, &labels, &HeadTrainConfig { epochs: 10, ..Default::default() }, &mut rng);
+        train_head(
+            &mut head,
+            &x,
+            &labels,
+            &HeadTrainConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+            &mut rng,
+        );
 
         let mut features = Tensor::zeros(&[10, 8]);
         for i in 0..10 {
@@ -42,8 +51,11 @@ fn training_and_attack_are_reproducible() {
         let wl = labels[..10].to_vec();
         let target = (wl[0] + 1) % 3;
         let spec = AttackSpec::new(features, wl, vec![target]).with_weights(10.0, 1.0);
-        let attack =
-            FaultSneakingAttack::new(&head, ParamSelection::last_layer(&head), AttackConfig::default());
+        let attack = FaultSneakingAttack::new(
+            &head,
+            ParamSelection::last_layer(&head),
+            AttackConfig::default(),
+        );
         attack.run(&spec)
     };
     let a = run();

@@ -21,17 +21,32 @@ fn victim() -> (CwModel, Tensor, Vec<usize>) {
         &mut head,
         &f_train,
         &train.labels,
-        &HeadTrainConfig { epochs: 16, ..Default::default() },
+        &HeadTrainConfig {
+            epochs: 16,
+            ..Default::default()
+        },
         &mut rng,
     );
     model.head = head;
     (model, f_test, test.labels)
 }
 
-fn working_spec(model: &CwModel, f_test: &Tensor, labels: &[usize], s: usize, r: usize) -> AttackSpec {
+fn working_spec(
+    model: &CwModel,
+    f_test: &Tensor,
+    labels: &[usize],
+    s: usize,
+    r: usize,
+) -> AttackSpec {
     let preds = model.head.predict(f_test);
-    let good: Vec<usize> = (0..labels.len()).filter(|&i| preds[i] == labels[i]).collect();
-    assert!(good.len() >= r, "victim too weak for the test ({} usable)", good.len());
+    let good: Vec<usize> = (0..labels.len())
+        .filter(|&i| preds[i] == labels[i])
+        .collect();
+    assert!(
+        good.len() >= r,
+        "victim too weak for the test ({} usable)",
+        good.len()
+    );
     let d = f_test.shape()[1];
     let mut features = Tensor::zeros(&[r, d]);
     let mut wl = Vec::with_capacity(r);
@@ -55,12 +70,24 @@ fn single_fault_is_injected_and_stealthy() {
     let result = attack.run(&spec);
 
     assert_eq!(result.s_success, 1, "fault not injected: {result:?}");
-    assert!(result.unchanged_rate() >= 0.9, "keep-set broken: {result:?}");
-    assert!(result.l0 > 0 && result.l0 < result.delta.len() / 2, "l0 = {}", result.l0);
+    assert!(
+        result.unchanged_rate() >= 0.9,
+        "keep-set broken: {result:?}"
+    );
+    assert!(
+        result.l0 > 0 && result.l0 < result.delta.len() / 2,
+        "l0 = {}",
+        result.l0
+    );
 
     // Stealth: the full held-out test set barely moves.
     let mut attacked = model.head.clone();
-    fault_sneaking::attack::eval::apply_delta(&mut attacked, &selection, attack.theta0(), &result.delta);
+    fault_sneaking::attack::eval::apply_delta(
+        &mut attacked,
+        &selection,
+        attack.theta0(),
+        &result.delta,
+    );
     let post_acc = attacked.accuracy(&f_test, &labels);
     assert!(
         base_acc - post_acc < 0.15,
@@ -79,12 +106,20 @@ fn l0_and_l2_attacks_trade_off() {
     let l2_res = FaultSneakingAttack::new(
         &model.head,
         selection,
-        AttackConfig { norm: Norm::L2, ..AttackConfig::default() },
+        AttackConfig {
+            norm: Norm::L2,
+            ..AttackConfig::default()
+        },
     )
     .run(&spec);
 
     assert!(l0_res.success_rate() > 0.99 && l2_res.success_rate() > 0.99);
-    assert!(l0_res.l0 <= l2_res.l0, "l0 attack not sparser: {} vs {}", l0_res.l0, l2_res.l0);
+    assert!(
+        l0_res.l0 <= l2_res.l0,
+        "l0 attack not sparser: {} vs {}",
+        l0_res.l0,
+        l2_res.l0
+    );
     assert!(
         l2_res.l2 <= l0_res.l2 * 1.05,
         "l2 attack not smaller: {} vs {}",
@@ -103,22 +138,46 @@ fn conv_training_backward_reaches_high_accuracy_end_to_end() {
     use fault_sneaking::nn::trainer::{evaluate, fit, TrainConfig};
 
     let mut rng = Prng::new(4);
-    let gen = SynthDigits { noise_std: 0.05, ..Default::default() };
+    let gen = SynthDigits {
+        noise_std: 0.05,
+        ..Default::default()
+    };
     // Two visually distinct classes only (0 and 1) for a fast test.
     let full = gen.generate(1000, 9);
     let keep: Vec<usize> = (0..full.len()).filter(|&i| full.labels[i] < 2).collect();
     let ds = full.subset(&keep);
 
-    let cfg = CwConfig { input: ds.dims, block1_channels: 4, block2_channels: 8, kernel: 3, fc_width: 16, classes: 2 };
+    let cfg = CwConfig {
+        input: ds.dims,
+        block1_channels: 4,
+        block2_channels: 8,
+        kernel: 3,
+        fc_width: 16,
+        classes: 2,
+    };
     let (extractor, feat) = fault_sneaking::nn::cw::feature_extractor(&cfg, &mut rng);
     let mut net = extractor;
-    net.push(Box::new(fault_sneaking::nn::linear::Linear::new_random(feat, 2, &mut rng)));
+    net.push(Box::new(fault_sneaking::nn::linear::Linear::new_random(
+        feat, 2, &mut rng,
+    )));
 
     let mut net_box = Network::new();
     std::mem::swap(&mut net_box, &mut net);
     let mut opt = Adam::new(3e-3);
-    let tc = TrainConfig { epochs: 4, batch_size: 16, shuffle: true, verbose: false };
-    fit(&mut net_box, &ds.images, &ds.labels, &mut opt, &tc, &mut rng);
+    let tc = TrainConfig {
+        epochs: 4,
+        batch_size: 16,
+        shuffle: true,
+        verbose: false,
+    };
+    fit(
+        &mut net_box,
+        &ds.images,
+        &ds.labels,
+        &mut opt,
+        &tc,
+        &mut rng,
+    );
     let acc = evaluate(&net_box, &ds.images, &ds.labels, 32);
     assert!(acc > 0.9, "end-to-end conv training reached only {acc}");
 }

@@ -23,7 +23,16 @@ fn attacked_victim() -> (FcHead, ParamSelection, Vec<f32>, Vec<f32>, AttackSpec)
         }
     }
     let mut head = FcHead::from_dims(&[d, 20, 3], &mut rng);
-    train_head(&mut head, &x, &labels, &HeadTrainConfig { epochs: 25, ..Default::default() }, &mut rng);
+    train_head(
+        &mut head,
+        &x,
+        &labels,
+        &HeadTrainConfig {
+            epochs: 25,
+            ..Default::default()
+        },
+        &mut rng,
+    );
 
     let r = 20;
     let mut features = Tensor::zeros(&[r, d]);
@@ -92,7 +101,10 @@ fn l0_plan_is_cheaper_than_l2_plan_under_laser() {
     let l2_attack = FaultSneakingAttack::new(
         &head,
         selection,
-        AttackConfig { norm: fault_sneaking::attack::Norm::L2, ..AttackConfig::default() },
+        AttackConfig {
+            norm: fault_sneaking::attack::Norm::L2,
+            ..AttackConfig::default()
+        },
     );
     let l2_delta = l2_attack.run(&spec).delta;
 

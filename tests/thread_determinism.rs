@@ -1,0 +1,115 @@
+//! Integration: the parallel kernel engine is **bit-deterministic in the
+//! thread count** — the same attack run on 1 worker thread and on N
+//! worker threads produces byte-identical results. This is the contract
+//! that lets `FSA_THREADS`/core-count vary across machines without
+//! perturbing any experiment.
+
+use fault_sneaking::attack::{AttackConfig, AttackSpec, FaultSneakingAttack, ParamSelection};
+use fault_sneaking::nn::head::FcHead;
+use fault_sneaking::nn::head_train::{train_head, HeadTrainConfig};
+use fault_sneaking::tensor::{parallel, Prng, Tensor};
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: both mutate the process-global
+/// thread override, and a concurrent `set_threads` would let the
+/// "1-thread" baseline silently run multi-threaded, making the
+/// comparison vacuous.
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Builds a trained head + spec and runs the attack under `threads`
+/// worker threads, returning the full δ vector.
+fn run_attack(threads: usize) -> Vec<f32> {
+    parallel::set_threads(threads);
+    let mut rng = Prng::new(424242);
+    let mut x = Tensor::zeros(&[120, 16]);
+    let mut labels = Vec::new();
+    for i in 0..120 {
+        let class = i % 4;
+        labels.push(class);
+        for j in 0..16 {
+            let center = if j % 4 == class { 1.5 } else { 0.0 };
+            x.row_mut(i)[j] = rng.normal(center, 0.4);
+        }
+    }
+    let mut head = FcHead::from_dims(&[16, 24, 24, 4], &mut rng);
+    train_head(
+        &mut head,
+        &x,
+        &labels,
+        &HeadTrainConfig {
+            epochs: 8,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+
+    let r = 20;
+    let mut features = Tensor::zeros(&[r, 16]);
+    for i in 0..r {
+        features.row_mut(i).copy_from_slice(x.row(i));
+    }
+    let wl = labels[..r].to_vec();
+    let targets = vec![(wl[0] + 1) % 4, (wl[1] + 2) % 4];
+    let spec = AttackSpec::new(features, wl, targets).with_weights(10.0, 1.0);
+    let attack = FaultSneakingAttack::new(
+        &head,
+        ParamSelection::last_layer(&head),
+        AttackConfig {
+            iterations: 120,
+            ..AttackConfig::default()
+        },
+    );
+    let result = attack.run(&spec);
+    parallel::set_threads(0);
+    result.delta
+}
+
+#[test]
+fn attack_is_bit_identical_for_any_thread_count() {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let single = run_attack(1);
+    assert!(
+        single.iter().any(|&d| d != 0.0),
+        "fixture attack produced an empty δ"
+    );
+    for threads in [2, 4, 7] {
+        let multi = run_attack(threads);
+        assert!(
+            single == multi,
+            "δ differs between 1 and {threads} threads — kernel partitioning leaked into results"
+        );
+    }
+}
+
+#[test]
+fn kernel_outputs_are_bit_identical_for_any_thread_count() {
+    use fault_sneaking::tensor::linalg::{gemm, gemm_nt, gemm_tn, gemv};
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let mut rng = Prng::new(7);
+    let (m, k, n) = (93, 310, 71);
+    let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+    let bt = Tensor::rand_uniform(&[n, k], -1.0, 1.0, &mut rng);
+    let x = Tensor::rand_uniform(&[k], -1.0, 1.0, &mut rng);
+
+    let run = |threads: usize| {
+        parallel::set_threads(threads);
+        let mut c = vec![0.0f32; m * n];
+        gemm(m, k, n, a.as_slice(), b.as_slice(), &mut c, 1.3, 0.0);
+        let mut ct = vec![0.0f32; k * k]; // (m×k)ᵀ · (m×? ) — use A as both operands
+        gemm_tn(k, m, k, a.as_slice(), a.as_slice(), &mut ct, 1.0, 0.0);
+        let mut cnt = vec![0.0f32; m * n];
+        gemm_nt(m, k, n, a.as_slice(), bt.as_slice(), &mut cnt, 1.0, 0.0);
+        let mut y = vec![0.0f32; m];
+        gemv(m, k, a.as_slice(), x.as_slice(), &mut y, 1.0, 0.0);
+        parallel::set_threads(0);
+        (c, ct, cnt, y)
+    };
+    let base = run(1);
+    for threads in [2, 3, 5, 16] {
+        assert!(
+            base == run(threads),
+            "kernel bits changed at {threads} threads"
+        );
+    }
+}
