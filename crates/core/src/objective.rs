@@ -77,10 +77,12 @@ pub fn evaluate_hinge_into(spec: &AttackSpec, logits: &Tensor, kappa: f32, out: 
     out.margins.clear();
     out.margins.resize(r, 0.0);
 
-    // Parallel phase: each chunk owns disjoint rows of the gradient and
-    // the per-image/margin slots; nothing is reduced here.
-    let pieces = parallel::max_threads().min(r / HINGE_MIN_CHUNK).max(1);
-    let ranges = parallel::split_ranges(r, pieces);
+    // Parallel phase: the nested scheduler picks the row partition from
+    // R and the active thread budget (hinge rows have no inner kernels,
+    // so all parallelism goes to the item level); each chunk owns
+    // disjoint rows of the gradient and the per-image/margin slots, and
+    // nothing is reduced here.
+    let ranges = parallel::plan_nested(r, 1, HINGE_MIN_CHUNK).ranges(r);
     let mut items = Vec::with_capacity(ranges.len());
     {
         let mut grad_rest = out.logit_grad.as_mut_slice();

@@ -56,6 +56,27 @@ impl AttackSpec {
         }
     }
 
+    /// Builds a spec from raw images by running the victim's batched
+    /// conv feature-extraction pipeline
+    /// ([`fsa_nn::cw::CwModel::extract_features`]) — the path the ADMM
+    /// outer loop consumes: images go through the nested-parallel conv
+    /// stack once, and the resulting `[R, feature_dim]` activations
+    /// become [`AttackSpec::features`].
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same label/shape conditions as
+    /// [`AttackSpec::new`], or if `images` is not `[R, input_features]`
+    /// for the model.
+    pub fn from_model(
+        model: &fsa_nn::cw::CwModel,
+        images: &Tensor,
+        labels: Vec<usize>,
+        targets: Vec<usize>,
+    ) -> Self {
+        Self::new(model.extract_features(images), labels, targets)
+    }
+
     /// Sets the misclassification/keep weights.
     pub fn with_weights(mut self, c_attack: f32, c_keep: f32) -> Self {
         self.c_attack = c_attack;

@@ -1,13 +1,27 @@
-//! 2-D convolution via im2col/col2im.
+//! 2-D convolution via im2col/gemm with batch-parallel dispatch.
 //!
-//! Valid padding, stride 1, square kernels — exactly the configuration of
-//! the Carlini–Wagner architecture the paper evaluates (3×3 kernels).
+//! Valid padding, arbitrary rectangular kernels and stride. The paper's
+//! Carlini–Wagner victims only need square 3×3 stride-1 kernels
+//! ([`Conv2d::new_random`]); the general geometry
+//! ([`Conv2d::new_random_strided`]) exists so the batched pipeline can
+//! be property-tested on shapes the fast paths do not privilege
+//! (non-square kernels, stride > 1 — see `tests/conv_oracle.rs`).
+//!
+//! The forward pass is the hot path of attack feature extraction: a
+//! batch of images is dispatched through
+//! [`fsa_tensor::parallel::plan_nested`], which decides per call —
+//! from the batch size, output-channel count, and active thread
+//! budget — whether to run images on item-level scoped workers (each
+//! with pooled scratch from the shared workspace) or serially with
+//! row-block parallel kernels. Either way each image's im2col + GEMM
+//! is the same operation sequence, so outputs are bit-identical for
+//! every `FSA_THREADS`.
 
 use crate::init;
 use crate::layer::{check_batch_input, Layer};
 use fsa_tensor::linalg::{gemm, gemm_nt, gemm_tn};
-use fsa_tensor::workspace::with_thread_workspace;
-use fsa_tensor::{Prng, Tensor};
+use fsa_tensor::workspace::{give_shared, take_shared, with_thread_workspace};
+use fsa_tensor::{parallel, Prng, Tensor};
 
 /// Spatial dimensions of an activation volume.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,25 +50,37 @@ impl VolumeDims {
     }
 }
 
-/// Copies the `k×k` patches of one sample into column-major patch matrix
-/// `cols` of shape `[c·k·k, out_h·out_w]` (row-major storage).
+/// Minimum kernel output rows per batch-level worker (same spirit as the
+/// kernel engine's row-block minimum): batches whose total work is
+/// smaller run serially and never pay thread-spawn overhead.
+const PAR_MIN_ROWS: usize = 8;
+
+/// Copies the `kh×kw` patches of one sample (sampled every `stride`
+/// pixels, valid padding) into the patch matrix `cols` of shape
+/// `[c·kh·kw, oh·ow]` (row-major storage).
 ///
 /// `x` is one sample, `[c, h, w]` flattened row-major.
-pub fn im2col(x: &[f32], dims: VolumeDims, k: usize, cols: &mut [f32]) {
+pub fn im2col(x: &[f32], dims: VolumeDims, kh: usize, kw: usize, stride: usize, cols: &mut [f32]) {
     let (c, h, w) = (dims.channels, dims.height, dims.width);
-    let (oh, ow) = (h - k + 1, w - k + 1);
+    let (oh, ow) = out_hw(dims, kh, kw, stride);
     debug_assert_eq!(x.len(), dims.features());
-    debug_assert_eq!(cols.len(), c * k * k * oh * ow);
+    debug_assert_eq!(cols.len(), c * kh * kw * oh * ow);
     let p = oh * ow;
     for ch in 0..c {
-        for ki in 0..k {
-            for kj in 0..k {
-                let row = ((ch * k + ki) * k + kj) * p;
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((ch * kh + ki) * kw + kj) * p;
                 for oi in 0..oh {
-                    // Source pixels x[ch, oi+ki, kj .. kj+ow] are contiguous.
-                    let src = (ch * h + oi + ki) * w + kj;
+                    let src = (ch * h + oi * stride + ki) * w + kj;
                     let dst = row + oi * ow;
-                    cols[dst..dst + ow].copy_from_slice(&x[src..src + ow]);
+                    if stride == 1 {
+                        // Source pixels x[ch, oi+ki, kj..kj+ow] are contiguous.
+                        cols[dst..dst + ow].copy_from_slice(&x[src..src + ow]);
+                    } else {
+                        for oj in 0..ow {
+                            cols[dst + oj] = x[src + oj * stride];
+                        }
+                    }
                 }
             }
         }
@@ -63,21 +89,21 @@ pub fn im2col(x: &[f32], dims: VolumeDims, k: usize, cols: &mut [f32]) {
 
 /// Adjoint of [`im2col`]: scatters-adds patch-matrix gradients back to the
 /// input gradient of one sample.
-pub fn col2im(cols: &[f32], dims: VolumeDims, k: usize, dx: &mut [f32]) {
+pub fn col2im(cols: &[f32], dims: VolumeDims, kh: usize, kw: usize, stride: usize, dx: &mut [f32]) {
     let (c, h, w) = (dims.channels, dims.height, dims.width);
-    let (oh, ow) = (h - k + 1, w - k + 1);
+    let (oh, ow) = out_hw(dims, kh, kw, stride);
     debug_assert_eq!(dx.len(), dims.features());
-    debug_assert_eq!(cols.len(), c * k * k * oh * ow);
+    debug_assert_eq!(cols.len(), c * kh * kw * oh * ow);
     let p = oh * ow;
     for ch in 0..c {
-        for ki in 0..k {
-            for kj in 0..k {
-                let row = ((ch * k + ki) * k + kj) * p;
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = ((ch * kh + ki) * kw + kj) * p;
                 for oi in 0..oh {
-                    let dst = (ch * h + oi + ki) * w + kj;
+                    let dst = (ch * h + oi * stride + ki) * w + kj;
                     let src = row + oi * ow;
-                    for j in 0..ow {
-                        dx[dst + j] += cols[src + j];
+                    for oj in 0..ow {
+                        dx[dst + oj * stride] += cols[src + oj];
                     }
                 }
             }
@@ -85,15 +111,25 @@ pub fn col2im(cols: &[f32], dims: VolumeDims, k: usize, dx: &mut [f32]) {
     }
 }
 
-/// 2-D convolution layer (valid padding, stride 1).
+/// Valid-padding output height/width for the given kernel and stride.
+fn out_hw(dims: VolumeDims, kh: usize, kw: usize, stride: usize) -> (usize, usize) {
+    (
+        (dims.height - kh) / stride + 1,
+        (dims.width - kw) / stride + 1,
+    )
+}
+
+/// 2-D convolution layer (valid padding).
 ///
-/// Weights are stored `[out_channels, in_channels·k·k]`, bias
+/// Weights are stored `[out_channels, in_channels·kh·kw]`, bias
 /// `[out_channels]`; activations flow as `[batch, features]` slices of the
 /// flattened `[c, h, w]` volumes.
 #[derive(Debug, Clone)]
 pub struct Conv2d {
     in_dims: VolumeDims,
-    kernel: usize,
+    kernel_h: usize,
+    kernel_w: usize,
+    stride: usize,
     out_channels: usize,
     weight: Tensor,
     bias: Tensor,
@@ -103,7 +139,8 @@ pub struct Conv2d {
 }
 
 impl Conv2d {
-    /// Creates a convolution with He-initialized weights.
+    /// Creates a square stride-1 convolution with He-initialized weights
+    /// (the paper's C&W configuration).
     ///
     /// # Panics
     ///
@@ -115,22 +152,42 @@ impl Conv2d {
         kernel: usize,
         rng: &mut Prng,
     ) -> Self {
+        Self::new_random_strided(in_dims, out_channels, (kernel, kernel), 1, rng)
+    }
+
+    /// Creates a convolution with a rectangular `(kh, kw)` kernel and the
+    /// given stride, He-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the input or any dimension
+    /// (including the stride) is zero.
+    pub fn new_random_strided(
+        in_dims: VolumeDims,
+        out_channels: usize,
+        kernel: (usize, usize),
+        stride: usize,
+        rng: &mut Prng,
+    ) -> Self {
+        let (kh, kw) = kernel;
         assert!(
-            kernel > 0 && out_channels > 0,
+            kh > 0 && kw > 0 && out_channels > 0 && stride > 0,
             "conv2d dimensions must be positive"
         );
         assert!(
-            kernel <= in_dims.height && kernel <= in_dims.width,
-            "kernel {kernel} does not fit input {}x{}",
+            kh <= in_dims.height && kw <= in_dims.width,
+            "kernel {kh}x{kw} does not fit input {}x{}",
             in_dims.height,
             in_dims.width
         );
-        let fan_in = in_dims.channels * kernel * kernel;
+        let fan_in = in_dims.channels * kh * kw;
         let weight = init::he_normal(&[out_channels, fan_in], fan_in, rng);
         let bias = Tensor::zeros(&[out_channels]);
         Self {
             in_dims,
-            kernel,
+            kernel_h: kh,
+            kernel_w: kw,
+            stride,
             out_channels,
             grad_weight: Tensor::zeros(&[out_channels, fan_in]),
             grad_bias: Tensor::zeros(&[out_channels]),
@@ -142,11 +199,8 @@ impl Conv2d {
 
     /// Output volume dimensions.
     pub fn out_dims(&self) -> VolumeDims {
-        VolumeDims::new(
-            self.out_channels,
-            self.in_dims.height - self.kernel + 1,
-            self.in_dims.width - self.kernel + 1,
-        )
+        let (oh, ow) = out_hw(self.in_dims, self.kernel_h, self.kernel_w, self.stride);
+        VolumeDims::new(self.out_channels, oh, ow)
     }
 
     /// Input volume dimensions.
@@ -154,7 +208,17 @@ impl Conv2d {
         self.in_dims
     }
 
-    /// The weight matrix `[out_channels, in_channels·k·k]`.
+    /// Kernel height and width.
+    pub fn kernel(&self) -> (usize, usize) {
+        (self.kernel_h, self.kernel_w)
+    }
+
+    /// Spatial stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The weight matrix `[out_channels, in_channels·kh·kw]`.
     pub fn weight(&self) -> &Tensor {
         &self.weight
     }
@@ -169,39 +233,54 @@ impl Conv2d {
         &self.bias
     }
 
+    /// Mutable bias access (used by model deserialization and tests).
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias
+    }
+
     fn forward_impl(&self, x: &Tensor) -> Tensor {
         let batch = check_batch_input("conv2d", x, self.in_features());
         let out = self.out_dims();
-        let (oh, ow) = (out.height, out.width);
-        let p = oh * ow;
-        let kk = self.in_dims.channels * self.kernel * self.kernel;
-        // The patch matrix is borrowed from the thread workspace: feature
-        // extraction calls this once per batch and the pool keeps the
-        // buffer hot across layers and batches.
-        let mut cols = with_thread_workspace(|ws| ws.take(kk * p));
-        let mut y = Tensor::zeros(&[batch, out.features()]);
-        for n in 0..batch {
-            im2col(x.row(n), self.in_dims, self.kernel, &mut cols);
-            let y_row = y.row_mut(n);
-            // y_n = W (oc×kk) · cols (kk×p)
-            gemm(
-                self.out_channels,
-                kk,
-                p,
-                self.weight.as_slice(),
-                &cols,
-                y_row,
-                1.0,
-                0.0,
-            );
-            for oc in 0..self.out_channels {
-                let b = self.bias.as_slice()[oc];
-                for v in &mut y_row[oc * p..(oc + 1) * p] {
-                    *v += b;
+        let p = out.height * out.width;
+        let kk = self.in_dims.channels * self.kernel_h * self.kernel_w;
+        let row_len = out.features();
+        let mut y = Tensor::zeros(&[batch, row_len]);
+        // Batch-level vs row-block parallelism, decided per call from the
+        // problem shape and the active thread budget. Each worker owns a
+        // disjoint range of output rows and a pooled patch matrix; the
+        // per-image arithmetic is identical under every plan.
+        let plan = parallel::plan_nested(batch, self.out_channels, PAR_MIN_ROWS);
+        parallel::nested_row_blocks(y.as_mut_slice(), row_len, plan, |first, block| {
+            let mut cols = take_shared(kk * p);
+            for (i, y_row) in block.chunks_exact_mut(row_len).enumerate() {
+                im2col(
+                    x.row(first + i),
+                    self.in_dims,
+                    self.kernel_h,
+                    self.kernel_w,
+                    self.stride,
+                    &mut cols,
+                );
+                // y_n = W (oc×kk) · cols (kk×p)
+                gemm(
+                    self.out_channels,
+                    kk,
+                    p,
+                    self.weight.as_slice(),
+                    &cols,
+                    y_row,
+                    1.0,
+                    0.0,
+                );
+                for oc in 0..self.out_channels {
+                    let b = self.bias.as_slice()[oc];
+                    for v in &mut y_row[oc * p..(oc + 1) * p] {
+                        *v += b;
+                    }
                 }
             }
-        }
-        with_thread_workspace(|ws| ws.give(cols));
+            give_shared(cols);
+        });
         y
     }
 }
@@ -238,20 +317,31 @@ impl Layer for Conv2d {
         let batch = x.shape()[0];
         let out = self.out_dims();
         let p = out.height * out.width;
-        let kk = self.in_dims.channels * self.kernel * self.kernel;
+        let kk = self.in_dims.channels * self.kernel_h * self.kernel_w;
         assert_eq!(
             grad_out.shape(),
             &[batch, out.features()],
             "conv2d backward shape mismatch"
         );
 
+        // Serial per image: the weight gradient accumulates across the
+        // batch, and a thread-count-dependent partition of that reduction
+        // would regroup float additions. Training convs is not on the
+        // attack's hot path; determinism is.
         let mut cols = with_thread_workspace(|ws| ws.take(kk * p));
         let mut dcols = with_thread_workspace(|ws| ws.take(kk * p));
         let mut dx = Tensor::zeros(&[batch, self.in_features()]);
         for n in 0..batch {
             let dy = grad_out.row(n); // [oc, p] flattened
                                       // Recompute the patch matrix (cheaper than caching it per batch).
-            im2col(x.row(n), self.in_dims, self.kernel, &mut cols);
+            im2col(
+                x.row(n),
+                self.in_dims,
+                self.kernel_h,
+                self.kernel_w,
+                self.stride,
+                &mut cols,
+            );
             // dW += dY (oc×p) · colsᵀ (p×kk)
             gemm_nt(
                 self.out_channels,
@@ -279,7 +369,14 @@ impl Layer for Conv2d {
                 1.0,
                 0.0,
             );
-            col2im(&dcols, self.in_dims, self.kernel, dx.row_mut(n));
+            col2im(
+                &dcols,
+                self.in_dims,
+                self.kernel_h,
+                self.kernel_w,
+                self.stride,
+                dx.row_mut(n),
+            );
         }
         with_thread_workspace(|ws| {
             ws.give(cols);
@@ -310,26 +407,31 @@ mod tests {
     #[test]
     fn im2col_col2im_are_adjoint() {
         // <im2col(x), c> == <x, col2im(c)> for all x, c — the defining
-        // property that makes the conv backward pass correct.
-        let dims = VolumeDims::new(2, 5, 4);
-        let k = 3;
-        let p = (dims.height - k + 1) * (dims.width - k + 1);
-        let cols_len = dims.channels * k * k * p;
-        let mut rng = Prng::new(7);
-        let x: Vec<f32> = (0..dims.features())
-            .map(|_| rng.uniform(-1.0, 1.0))
-            .collect();
-        let c: Vec<f32> = (0..cols_len).map(|_| rng.uniform(-1.0, 1.0)).collect();
+        // property that makes the conv backward pass correct — including
+        // under rectangular kernels and stride > 1.
+        for &(kh, kw, stride) in &[(3usize, 3usize, 1usize), (2, 3, 1), (3, 2, 2)] {
+            let dims = VolumeDims::new(2, 7, 6);
+            let (oh, ow) = out_hw(dims, kh, kw, stride);
+            let cols_len = dims.channels * kh * kw * oh * ow;
+            let mut rng = Prng::new(7);
+            let x: Vec<f32> = (0..dims.features())
+                .map(|_| rng.uniform(-1.0, 1.0))
+                .collect();
+            let c: Vec<f32> = (0..cols_len).map(|_| rng.uniform(-1.0, 1.0)).collect();
 
-        let mut ix = vec![0.0; cols_len];
-        im2col(&x, dims, k, &mut ix);
-        let lhs: f64 = ix.iter().zip(&c).map(|(&a, &b)| a as f64 * b as f64).sum();
+            let mut ix = vec![0.0; cols_len];
+            im2col(&x, dims, kh, kw, stride, &mut ix);
+            let lhs: f64 = ix.iter().zip(&c).map(|(&a, &b)| a as f64 * b as f64).sum();
 
-        let mut cx = vec![0.0; dims.features()];
-        col2im(&c, dims, k, &mut cx);
-        let rhs: f64 = cx.iter().zip(&x).map(|(&a, &b)| a as f64 * b as f64).sum();
+            let mut cx = vec![0.0; dims.features()];
+            col2im(&c, dims, kh, kw, stride, &mut cx);
+            let rhs: f64 = cx.iter().zip(&x).map(|(&a, &b)| a as f64 * b as f64).sum();
 
-        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+            assert!(
+                (lhs - rhs).abs() < 1e-4,
+                "{kh}x{kw}/s{stride}: {lhs} vs {rhs}"
+            );
+        }
     }
 
     #[test]
@@ -357,6 +459,45 @@ mod tests {
         let y = conv.forward_infer(&x);
         assert_eq!(y.shape(), &[1, 1]);
         assert_eq!(y.as_slice()[0], 45.0);
+    }
+
+    #[test]
+    fn strided_rectangular_geometry() {
+        let dims = VolumeDims::new(1, 7, 6);
+        let mut rng = Prng::new(9);
+        let conv = Conv2d::new_random_strided(dims, 2, (3, 2), 2, &mut rng);
+        // oh = (7-3)/2 + 1 = 3, ow = (6-2)/2 + 1 = 3.
+        assert_eq!(conv.out_dims(), VolumeDims::new(2, 3, 3));
+        assert_eq!(conv.kernel(), (3, 2));
+        assert_eq!(conv.stride(), 2);
+        assert_eq!(conv.weight().shape(), &[2, 6]);
+    }
+
+    #[test]
+    fn stride_2_subsamples_stride_1() {
+        // A strided conv's outputs are the stride-aligned subset of the
+        // stride-1 outputs under identical weights.
+        let dims = VolumeDims::new(2, 6, 6);
+        let mut rng = Prng::new(10);
+        let dense = Conv2d::new_random_strided(dims, 3, (3, 3), 1, &mut rng);
+        let mut strided = Conv2d::new_random_strided(dims, 3, (3, 3), 2, &mut rng);
+        strided
+            .weight_mut()
+            .as_mut_slice()
+            .copy_from_slice(dense.weight().as_slice());
+        let x = Tensor::randn(&[1, dims.features()], 1.0, &mut rng);
+        let yd = dense.forward_infer(&x); // [3, 4, 4] per image
+        let ys = strided.forward_infer(&x); // [3, 2, 2]
+        let (od, os) = (dense.out_dims(), strided.out_dims());
+        for oc in 0..3 {
+            for oi in 0..os.height {
+                for oj in 0..os.width {
+                    let s = ys.as_slice()[(oc * os.height + oi) * os.width + oj];
+                    let d = yd.as_slice()[(oc * od.height + oi * 2) * od.width + oj * 2];
+                    assert_eq!(s, d, "oc {oc} ({oi},{oj})");
+                }
+            }
+        }
     }
 
     #[test]
@@ -391,5 +532,12 @@ mod tests {
     fn oversized_kernel_rejected() {
         let mut rng = Prng::new(5);
         let _ = Conv2d::new_random(VolumeDims::new(1, 2, 2), 1, 3, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_stride_rejected() {
+        let mut rng = Prng::new(5);
+        let _ = Conv2d::new_random_strided(VolumeDims::new(1, 4, 4), 1, (3, 3), 0, &mut rng);
     }
 }

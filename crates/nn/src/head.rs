@@ -15,6 +15,7 @@ use crate::linear::Linear;
 use crate::loss::argmax_slice;
 use fsa_tensor::io::{DecodeError, Decoder, Encoder};
 use fsa_tensor::linalg::{gemm, gemm_tn};
+use fsa_tensor::workspace::with_thread_workspace;
 use fsa_tensor::{Prng, Tensor};
 
 /// A stack of fully connected layers with ReLU between them (none after the
@@ -205,24 +206,47 @@ impl FcHead {
     /// Computes the inputs to layer `start` for a batch of head inputs
     /// (applying all earlier layers and their ReLUs).
     ///
-    /// `activations_before(0, x)` is `x` itself.
+    /// `activations_before(0, x)` is `x` itself. This is the bridge from
+    /// the batched conv feature-extraction pipeline into the ADMM loop
+    /// (the solver caches its result for every iteration), so the layer
+    /// chain ping-pongs through pooled workspace buffers instead of
+    /// allocating a tensor per layer; the final buffer becomes the
+    /// returned tensor's storage outright.
     ///
     /// # Panics
     ///
     /// Panics if `start` is out of range.
     pub fn activations_before(&self, start: usize, x: &Tensor) -> Tensor {
+        use crate::layer::Layer as _;
         assert!(
             start < self.layers.len(),
             "start layer {start} out of range"
         );
-        let mut h = x.clone();
-        for layer in self.layers.iter().take(start) {
-            h = linear_forward(layer, &h);
+        if start == 0 {
+            return x.clone();
+        }
+        assert_eq!(
+            x.shape()[1],
+            self.in_features(),
+            "head forward width mismatch: {} vs {}",
+            x.shape()[1],
+            self.in_features()
+        );
+        let batch = x.shape()[0];
+        let mut cur = with_thread_workspace(|ws| ws.take(0));
+        let mut prev = with_thread_workspace(|ws| ws.take(0));
+        let mut width = 0;
+        for (i, layer) in self.layers.iter().take(start).enumerate() {
+            let src: &[f32] = if i == 0 { x.as_slice() } else { &prev };
+            linear_forward_slices(layer, src, batch, &mut cur);
             // Every layer strictly before a valid `start` is followed by a
             // ReLU (only the final layer lacks one, and start <= last).
-            Relu::apply_slice(h.as_mut_slice());
+            Relu::apply_slice(&mut cur);
+            width = layer.out_features();
+            std::mem::swap(&mut cur, &mut prev);
         }
-        h
+        with_thread_workspace(|ws| ws.give(cur));
+        Tensor::from_vec(prev, &[batch, width])
     }
 
     /// Predicted class per sample.
@@ -649,5 +673,14 @@ mod tests {
         let mut rng = Prng::new(6);
         let head = small_head(&mut rng);
         let _ = head.forward_from(3, &Tensor::zeros(&[1, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn activations_before_validates_width() {
+        let mut rng = Prng::new(7);
+        let head = small_head(&mut rng);
+        // One column too wide: must panic, not silently misread rows.
+        let _ = head.activations_before(1, &Tensor::zeros(&[2, 7]));
     }
 }

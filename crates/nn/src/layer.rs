@@ -12,7 +12,11 @@ use fsa_tensor::Tensor;
 ///
 /// Implementations own their parameters *and* the caches needed for the
 /// backward pass; `forward_train` must be called before `backward`.
-pub trait Layer: std::fmt::Debug {
+///
+/// `Send + Sync` is a supertrait so networks can be shared with the
+/// scoped workers of the batch-parallel inference pipeline; layers are
+/// plain parameter/cache data, so this costs implementations nothing.
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Short human-readable layer kind (e.g. `"linear"`, `"conv2d"`).
     fn name(&self) -> &'static str;
 

@@ -48,6 +48,14 @@ const NR: usize = 8;
 /// so tiny matrices never pay thread-spawn overhead.
 const PAR_MIN_ROWS: usize = 8;
 
+/// `j`-dimension tile of [`gemm_nt`]: output columns (= rows of `B`)
+/// per panel. A panel of `NC` B-rows stays cache-resident while every
+/// `A` row of the block streams over it, so wide-output NT no longer
+/// re-reads all of `B` from memory once per `C` row. Public so the
+/// tile-boundary unit tests (and benchmarks) can pin widths to
+/// `NC − 1 / NC / NC + 1 / 2·NC`.
+pub const NC: usize = 32;
+
 /// The `[start, end)` tiles covering `0..k` in [`KC`] steps.
 fn k_tiles(k: usize) -> impl Iterator<Item = (usize, usize)> {
     (0..k).step_by(KC).map(move |kb| (kb, (kb + KC).min(k)))
@@ -389,13 +397,21 @@ pub fn gemm_nt(
 /// element is one eight-chain [`dot_slices`] — the layout the attack's
 /// hottest call (`x·Wᵀ` with few output classes) vectorizes best as.
 /// No `k` tiling: one pass per element already streams both operands
-/// linearly.
+/// linearly. The `j` loop is tiled by [`NC`] so a panel of `B` rows
+/// stays in cache across the block's `A` rows instead of the whole of
+/// `B` being re-streamed per `C` row; tiling only reorders *whole-dot*
+/// evaluations, so every element's operation sequence — and therefore
+/// every bit of the result — is unchanged.
 fn nt_block(r0: usize, k: usize, n: usize, a: &[f32], b: &[f32], block: &mut [f32], alpha: f32) {
-    for (i, c_row) in block.chunks_exact_mut(n).enumerate() {
-        let row = r0 + i;
-        let a_row = &a[row * k..row * k + k];
-        for (j, cv) in c_row.iter_mut().enumerate() {
-            *cv += alpha * dot_slices(a_row, &b[j * k..j * k + k]);
+    for jb in (0..n).step_by(NC) {
+        let je = (jb + NC).min(n);
+        for (i, c_row) in block.chunks_exact_mut(n).enumerate() {
+            let row = r0 + i;
+            let a_row = &a[row * k..row * k + k];
+            for (j, cv) in c_row[jb..je].iter_mut().enumerate() {
+                let j = jb + j;
+                *cv += alpha * dot_slices(a_row, &b[j * k..j * k + k]);
+            }
         }
     }
 }
@@ -595,6 +611,47 @@ mod tests {
             gemm_naive(m, k, n, &a, &bt, &mut c_ref);
             assert_close(&c, &c_ref, 1e-5);
         }
+    }
+
+    #[test]
+    fn gemm_nt_j_tile_boundary_widths_match_naive() {
+        // Widths straddling the j-tile: NC−1 (tail only), NC (one exact
+        // tile), NC+1 (tile + 1-column tail), 2·NC (two exact tiles) —
+        // and a k crossing the dot-product unroll (NR) boundary.
+        let mut rng = Prng::new(31);
+        for &n in &[NC - 1, NC, NC + 1, 2 * NC] {
+            for &(m, k) in &[(1usize, 9usize), (5, 64), (13, 130)] {
+                let a = rand_vec(m * k, &mut rng);
+                let b = rand_vec(n * k, &mut rng);
+                let mut c = vec![0.0; m * n];
+                gemm_nt(m, k, n, &a, &b, &mut c, 1.0, 0.0);
+                let bt = transpose(&b, n, k);
+                let mut c_ref = vec![0.0; m * n];
+                gemm_naive(m, k, n, &a, &bt, &mut c_ref);
+                assert_close(&c, &c_ref, 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_j_tiling_accumulates_into_c() {
+        // beta = 1 with a pre-filled C: every tile must add exactly once.
+        let mut rng = Prng::new(32);
+        let (m, k, n) = (3, 17, 2 * NC + 5);
+        let a = rand_vec(m * k, &mut rng);
+        let b = rand_vec(n * k, &mut rng);
+        let c0 = rand_vec(m * n, &mut rng);
+        let mut c = c0.clone();
+        gemm_nt(m, k, n, &a, &b, &mut c, 2.0, 1.0);
+        let bt = transpose(&b, n, k);
+        let mut ab = vec![0.0; m * n];
+        gemm_naive(m, k, n, &a, &bt, &mut ab);
+        let expect: Vec<f32> = ab
+            .iter()
+            .zip(c0.iter())
+            .map(|(&p, &q)| 2.0 * p + q)
+            .collect();
+        assert_close(&c, &expect, 1e-5);
     }
 
     #[test]

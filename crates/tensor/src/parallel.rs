@@ -11,13 +11,34 @@
 //!
 //! The thread count resolves, in priority order:
 //!
-//! 1. an explicit [`set_threads`] call (test hooks, embedders);
-//! 2. the `FSA_THREADS` environment variable;
-//! 3. [`std::thread::available_parallelism`].
+//! 1. a thread-local budget installed by [`with_budget`] (how nested
+//!    dispatch shares the machine — see below);
+//! 2. an explicit [`set_threads`] call (test hooks, embedders);
+//! 3. the `FSA_THREADS` environment variable;
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! # Nested parallelism
+//!
+//! Batched workloads (conv feature extraction over a batch of images)
+//! contain two levels of parallelism: across independent items (images)
+//! and across the output rows of each item's kernels. The
+//! [`NestedPlan`] scheduler decides the split per call site from the
+//! problem shape and the **active** thread budget: [`plan_nested`]
+//! returns how many scoped workers to dispatch at the item level and how
+//! many threads each worker's inner kernels may use. Workers run under
+//! [`with_budget`], so inner row-block dispatch never oversubscribes the
+//! machine, and nested calls compose (a batch-parallel network forward
+//! whose conv layers would also batch-dispatch simply sees a smaller
+//! budget and degrades toward serial).
+//!
+//! Plans never change results: items are independent, each item's
+//! kernels are bit-identical for any thread count, so the whole nested
+//! pipeline is bit-identical for any `FSA_THREADS`.
 //!
 //! With the crate's `parallel` feature disabled everything here degrades
 //! to inline serial execution of the same code paths.
 
+use std::cell::Cell;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -43,17 +64,50 @@ fn default_threads() -> usize {
     })
 }
 
-/// The number of worker threads kernel dispatch may use.
+thread_local! {
+    /// Per-thread budget cap installed by [`with_budget`]; 0 = uncapped.
+    static BUDGET: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of worker threads kernel dispatch may use **on the calling
+/// thread** (the active budget).
 ///
-/// Always ≥ 1; exactly 1 when the `parallel` feature is disabled.
+/// Always ≥ 1; exactly 1 when the `parallel` feature is disabled. Inside
+/// a [`with_budget`] scope — e.g. on a worker dispatched by
+/// [`nested_row_blocks`] — this is the worker's share of the machine,
+/// not the global setting.
 pub fn max_threads() -> usize {
     if !cfg!(feature = "parallel") {
         return 1;
     }
-    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
-        0 => default_threads(),
-        n => n,
+    match BUDGET.with(Cell::get) {
+        0 => match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+            0 => default_threads(),
+            n => n,
+        },
+        b => b,
     }
+}
+
+/// Runs `f` with this thread's budget set to `cap` threads (≥ 1),
+/// shadowing the global setting for the duration.
+///
+/// The previous budget is restored afterwards (also on panic). Nested
+/// dispatch uses this to hand each item-level worker its share of the
+/// machine — the share is always derived from the dispatching thread's
+/// own [`max_threads`], so budgets only ever shrink down a dispatch
+/// tree. Embedders can likewise wall off a latency-sensitive thread
+/// with `with_budget(1, ..)`.
+pub fn with_budget<R>(cap: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            BUDGET.with(|b| b.set(self.0));
+        }
+    }
+    let _restore = Restore(BUDGET.with(Cell::get));
+    BUDGET.with(|b| b.set(cap.max(1)));
+    f()
 }
 
 /// Overrides the worker thread count process-wide (0 restores the
@@ -82,6 +136,149 @@ pub fn split_ranges(n: usize, pieces: usize) -> Vec<Range<usize>> {
         start += len;
     }
     out
+}
+
+/// How a batch of independent items should be dispatched across the two
+/// parallelism levels (item-level scoped workers vs row-block threads
+/// inside each item's kernels).
+///
+/// Produced by [`plan_nested`]; executed by [`run_nested`] /
+/// [`nested_row_blocks`]. The plan only schedules work — it never
+/// changes what is computed, so results are identical for every plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NestedPlan {
+    /// Run items inline on the calling thread; inner kernels keep the
+    /// caller's full thread budget (row-block parallelism only).
+    Serial,
+    /// Split items into `workers` contiguous ranges, one scoped thread
+    /// each, with every worker's inner kernels capped at `inner_budget`
+    /// threads.
+    Batch {
+        /// Item-level scoped worker threads (≥ 2).
+        workers: usize,
+        /// Thread budget each worker's inner kernels run under (≥ 1).
+        inner_budget: usize,
+    },
+}
+
+impl NestedPlan {
+    /// The contiguous item ranges this plan dispatches over `0..items`
+    /// (a single full range when serial). Empty when `items == 0`.
+    pub fn ranges(&self, items: usize) -> Vec<Range<usize>> {
+        match *self {
+            NestedPlan::Serial => split_ranges(items, 1),
+            NestedPlan::Batch { workers, .. } => split_ranges(items, workers),
+        }
+    }
+
+    /// The thread budget item work runs under (the caller's full budget
+    /// when serial).
+    pub fn inner_budget(&self) -> usize {
+        match *self {
+            NestedPlan::Serial => max_threads(),
+            NestedPlan::Batch { inner_budget, .. } => inner_budget,
+        }
+    }
+}
+
+/// Decides batch-level vs row-block parallelism for `items` independent
+/// work items whose inner kernels each span about `rows_per_item`
+/// parallelizable rows, requiring at least `min_rows` rows of work per
+/// scoped worker (so tiny batches never pay spawn overhead).
+///
+/// The decision is keyed on the problem shape and the **active** thread
+/// budget ([`max_threads`], which honors [`with_budget`]): item-level
+/// workers are preferred — they amortize every layer of work per item,
+/// not just one kernel — and any budget left over (`budget / workers`)
+/// flows to each worker's inner kernels. With a single item, a budget
+/// of 1, or less than two workers' worth of rows, the plan is
+/// [`NestedPlan::Serial`] and row-block parallelism alone applies.
+pub fn plan_nested(items: usize, rows_per_item: usize, min_rows: usize) -> NestedPlan {
+    let budget = max_threads();
+    if budget <= 1 || items <= 1 {
+        return NestedPlan::Serial;
+    }
+    let total_rows = items.saturating_mul(rows_per_item.max(1));
+    let workers = budget.min(total_rows / min_rows.max(1)).min(items).max(1);
+    if workers <= 1 {
+        return NestedPlan::Serial;
+    }
+    NestedPlan::Batch {
+        workers,
+        inner_budget: (budget / workers).max(1),
+    }
+}
+
+/// Executes `plan` over `0..items`: `f(range)` runs once per worker
+/// range, under the plan's inner thread budget.
+///
+/// `f` must treat items independently (disjoint outputs per item); any
+/// cross-item reduction belongs to the caller, folded in item order —
+/// the same contract as [`par_items`], which keeps every nested
+/// pipeline bit-identical for any thread count.
+pub fn run_nested(items: usize, plan: NestedPlan, f: impl Fn(Range<usize>) + Sync) {
+    match plan {
+        NestedPlan::Serial => {
+            if items > 0 {
+                f(0..items);
+            }
+        }
+        NestedPlan::Batch { inner_budget, .. } => {
+            par_items(plan.ranges(items), |range| {
+                with_budget(inner_budget, || f(range));
+            });
+        }
+    }
+}
+
+/// Item-level variant of [`par_row_blocks`]: partitions the rows of a
+/// row-major `[items, row_len]` buffer according to `plan` and runs
+/// `f(first_item, block)` per partition, each under the plan's inner
+/// thread budget.
+///
+/// This is the batched-pipeline executor: `buf` is the per-item output
+/// (one row per image), and `f` computes its block's items with full
+/// mutable ownership while reading shared inputs by index.
+///
+/// # Panics
+///
+/// Panics if `buf.len()` is not a multiple of `row_len` (for
+/// `row_len > 0`).
+pub fn nested_row_blocks(
+    buf: &mut [f32],
+    row_len: usize,
+    plan: NestedPlan,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    if buf.is_empty() {
+        return;
+    }
+    assert!(
+        row_len > 0,
+        "row_len must be positive for a non-empty buffer"
+    );
+    assert_eq!(
+        buf.len() % row_len,
+        0,
+        "buffer is not a whole number of item rows"
+    );
+    let items = buf.len() / row_len;
+    match plan {
+        NestedPlan::Serial => f(0, buf),
+        NestedPlan::Batch { inner_budget, .. } => {
+            let ranges = plan.ranges(items);
+            let mut work = Vec::with_capacity(ranges.len());
+            let mut rest = buf;
+            for r in &ranges {
+                let (head, tail) = rest.split_at_mut(r.len() * row_len);
+                work.push((r.start, head));
+                rest = tail;
+            }
+            par_items(work, |(first_item, block)| {
+                with_budget(inner_budget, || f(first_item, block));
+            });
+        }
+    }
 }
 
 /// Runs `f` over every item, one scoped thread per item (serially when
@@ -206,5 +403,112 @@ mod tests {
     #[test]
     fn max_threads_is_positive() {
         assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn with_budget_caps_and_restores() {
+        let outside = max_threads();
+        with_budget(1, || {
+            assert_eq!(max_threads(), 1);
+            // Nested scopes re-cap freely; the cap is per-scope.
+            with_budget(1, || assert_eq!(max_threads(), 1));
+            assert_eq!(max_threads(), 1);
+        });
+        assert_eq!(max_threads(), outside);
+    }
+
+    #[test]
+    fn plan_nested_degenerate_cases_are_serial() {
+        with_budget(8, || {
+            assert_eq!(plan_nested(0, 100, 1), NestedPlan::Serial);
+            assert_eq!(plan_nested(1, 100, 1), NestedPlan::Serial);
+            // Two items of one row each under min_rows = 8: not worth
+            // spawning.
+            assert_eq!(plan_nested(2, 1, 8), NestedPlan::Serial);
+        });
+        with_budget(1, || {
+            assert_eq!(plan_nested(64, 100, 1), NestedPlan::Serial);
+        });
+    }
+
+    #[test]
+    fn plan_nested_splits_budget_between_levels() {
+        if !cfg!(feature = "parallel") {
+            return; // budget is pinned to 1; plans are always serial
+        }
+        with_budget(8, || {
+            // More items than budget: all threads go to the item level.
+            assert_eq!(
+                plan_nested(100, 32, 8),
+                NestedPlan::Batch {
+                    workers: 8,
+                    inner_budget: 1
+                }
+            );
+            // Fewer items than budget: the leftover flows inward.
+            assert_eq!(
+                plan_nested(2, 64, 8),
+                NestedPlan::Batch {
+                    workers: 2,
+                    inner_budget: 4
+                }
+            );
+        });
+    }
+
+    #[test]
+    fn run_nested_covers_all_items_under_any_plan() {
+        use std::sync::atomic::AtomicU64;
+        for plan in [
+            NestedPlan::Serial,
+            NestedPlan::Batch {
+                workers: 3,
+                inner_budget: 2,
+            },
+        ] {
+            let hits = AtomicU64::new(0);
+            run_nested(23, plan, |range| {
+                for i in range {
+                    hits.fetch_add(i as u64 + 1, Ordering::Relaxed);
+                }
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 23 * 24 / 2, "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn nested_row_blocks_partitions_items() {
+        let items = 13;
+        let row_len = 3;
+        for plan in [
+            NestedPlan::Serial,
+            NestedPlan::Batch {
+                workers: 4,
+                inner_budget: 1,
+            },
+        ] {
+            let mut buf = vec![0.0f32; items * row_len];
+            nested_row_blocks(&mut buf, row_len, plan, |first, block| {
+                for (i, row) in block.chunks_exact_mut(row_len).enumerate() {
+                    row.fill((first + i) as f32);
+                }
+            });
+            for (i, row) in buf.chunks_exact(row_len).enumerate() {
+                assert!(row.iter().all(|&v| v == i as f32), "{plan:?} item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn workers_inherit_the_inner_budget() {
+        let plan = NestedPlan::Batch {
+            workers: 2,
+            inner_budget: 1,
+        };
+        let seen = std::sync::Mutex::new(Vec::new());
+        run_nested(2, plan, |_range| {
+            seen.lock().unwrap().push(max_threads());
+        });
+        assert!(seen.lock().unwrap().iter().all(|&t| t == 1));
     }
 }

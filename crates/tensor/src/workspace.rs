@@ -9,12 +9,18 @@
 //!
 //! A process-wide thread-local instance is available through
 //! [`with_thread_workspace`] for call sites (like layer `forward_infer`)
-//! that have no caller-owned workspace to thread through.
+//! that have no caller-owned workspace to thread through. Scoped worker
+//! threads spawned by [`crate::parallel`] are short-lived — their
+//! thread-local pools die with them — so batch-parallel call sites
+//! borrow from the mutex-guarded **shared** pool instead
+//! ([`take_shared`] / [`give_shared`]): one lock per worker per batch,
+//! and capacity survives across batches no matter which thread asks.
 //!
 //! [`take`]: Workspace::take
 //! [`give`]: Workspace::give
 
 use std::cell::RefCell;
+use std::sync::Mutex;
 
 /// A pool of reusable `f32` buffers.
 ///
@@ -72,6 +78,21 @@ thread_local! {
     static TLS_WORKSPACE: RefCell<Workspace> = const { RefCell::new(Workspace::new()) };
 }
 
+/// Process-wide pool shared by short-lived scoped worker threads.
+static SHARED_WORKSPACE: Mutex<Workspace> = Mutex::new(Workspace::new());
+
+/// Borrows a zeroed buffer of exactly `len` elements from the shared
+/// process-wide pool (see the module docs for when to prefer this over
+/// [`with_thread_workspace`]).
+pub fn take_shared(len: usize) -> Vec<f32> {
+    SHARED_WORKSPACE.lock().unwrap().take(len)
+}
+
+/// Returns a buffer to the shared process-wide pool.
+pub fn give_shared(buf: Vec<f32>) {
+    SHARED_WORKSPACE.lock().unwrap().give(buf)
+}
+
 /// Runs `f` with this thread's shared [`Workspace`].
 ///
 /// Re-entrant callers must not call back into `with_thread_workspace`
@@ -111,5 +132,18 @@ mod tests {
         let buf = with_thread_workspace(|ws| ws.take(32));
         assert_eq!(buf.len(), 32);
         with_thread_workspace(|ws| ws.give(buf));
+    }
+
+    #[test]
+    fn shared_pool_recycles_across_threads() {
+        let mut buf = take_shared(16);
+        buf.iter_mut().for_each(|x| *x = 3.0);
+        std::thread::scope(|s| {
+            s.spawn(move || give_shared(buf));
+        });
+        // Whatever thread takes next gets zeroed storage.
+        let again = take_shared(8);
+        assert_eq!(again, vec![0.0; 8]);
+        give_shared(again);
     }
 }

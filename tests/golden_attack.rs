@@ -1,0 +1,175 @@
+//! Golden-artifact regression: the quickstart attack spec (seed 2024,
+//! `examples/quickstart.rs`) run end-to-end and asserted against the
+//! committed fixture `tests/golden_quickstart.txt`, so solver or
+//! kernel refactors cannot silently drift the attack's accuracy
+//! behaviour. The whole stack is bit-deterministic in the thread count,
+//! so the fixture pins exact predictions and support size; only the
+//! float magnitudes carry a tolerance.
+//!
+//! Regenerate (after an *intentional* behaviour change) with:
+//!
+//! ```text
+//! GOLDEN_REGEN=1 cargo test --test golden_attack
+//! ```
+
+use fault_sneaking::attack::{eval, AttackConfig, AttackSpec, FaultSneakingAttack, ParamSelection};
+use fault_sneaking::nn::head::FcHead;
+use fault_sneaking::nn::head_train::{train_head, HeadTrainConfig};
+use fault_sneaking::tensor::{Prng, Tensor};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Class-clustered Gaussian features, exactly as in the quickstart.
+fn clustered_features(n: usize, d: usize, classes: usize, rng: &mut Prng) -> (Tensor, Vec<usize>) {
+    let mut x = Tensor::zeros(&[n, d]);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        labels.push(class);
+        for j in 0..d {
+            let center = if j % classes == class { 2.0 } else { 0.0 };
+            x.row_mut(i)[j] = rng.normal(center, 0.4);
+        }
+    }
+    (x, labels)
+}
+
+fn sub_rows(x: &Tensor, from: usize, to: usize) -> Tensor {
+    let d = x.shape()[1];
+    let mut out = Tensor::zeros(&[to - from, d]);
+    for r in from..to {
+        out.row_mut(r - from).copy_from_slice(x.row(r));
+    }
+    out
+}
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden_quickstart.txt")
+}
+
+#[test]
+fn quickstart_attack_matches_golden_fixture() {
+    let mut rng = Prng::new(2024);
+    let (features, labels) = clustered_features(120, 12, 3, &mut rng);
+    let mut head = FcHead::from_dims(&[12, 24, 3], &mut rng);
+    train_head(
+        &mut head,
+        &features,
+        &labels,
+        &HeadTrainConfig {
+            epochs: 30,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let victim_accuracy = head.accuracy(&features, &labels);
+
+    let working = sub_rows(&features, 0, 20);
+    let working_labels = labels[..20].to_vec();
+    let target = (working_labels[0] + 1) % 3;
+    let spec =
+        AttackSpec::new(working, working_labels.clone(), vec![target]).with_weights(10.0, 1.0);
+
+    let selection = ParamSelection::last_layer(&head);
+    let attack = FaultSneakingAttack::new(&head, selection.clone(), AttackConfig::default());
+    let result = attack.run(&spec);
+
+    let mut attacked = head.clone();
+    eval::apply_delta(&mut attacked, &selection, attack.theta0(), &result.delta);
+    let attacked_accuracy = attacked.accuracy(&features, &labels);
+    let post_preds = attacked.predict(&features);
+
+    // Semantic constraints first — these hold regardless of the fixture.
+    assert_eq!(result.s_success, 1, "designated fault must land");
+    assert_eq!(
+        post_preds[0], target,
+        "image 0 must be misrouted to its target"
+    );
+    let keep_hits = (1..20).filter(|&i| post_preds[i] == labels[i]).count();
+    assert_eq!(
+        keep_hits, result.keep_unchanged,
+        "keep accounting disagrees with full-model predictions"
+    );
+    assert!(
+        result.unchanged_rate() >= 0.9,
+        "classification-preserving constraint broken: {result:?}"
+    );
+    assert!(
+        result.l0 > 0 && result.l0 < result.delta.len(),
+        "δ support must be sparse and non-empty"
+    );
+
+    let rendered = format!(
+        "# Golden fixture for the quickstart attack spec (seed 2024).\n\
+         # Written by `GOLDEN_REGEN=1 cargo test --test golden_attack`.\n\
+         s_success={}\n\
+         keep_unchanged={}\n\
+         l0={}\n\
+         l2={:.6}\n\
+         victim_accuracy={:.6}\n\
+         attacked_accuracy={:.6}\n\
+         post_attack_preds={}\n",
+        result.s_success,
+        result.keep_unchanged,
+        result.l0,
+        result.l2,
+        victim_accuracy,
+        attacked_accuracy,
+        post_preds
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+
+    let path = fixture_path();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::write(&path, rendered).expect("failed to write golden fixture");
+        return;
+    }
+    let committed = std::fs::read_to_string(&path)
+        .expect("missing tests/golden_quickstart.txt — run with GOLDEN_REGEN=1 once");
+    let fields: HashMap<&str, &str> = committed
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .filter_map(|l| l.split_once('='))
+        .collect();
+    let get = |k: &str| -> &str {
+        fields
+            .get(k)
+            .unwrap_or_else(|| panic!("fixture is missing field {k}"))
+    };
+
+    assert_eq!(get("s_success"), result.s_success.to_string(), "s_success");
+    assert_eq!(
+        get("keep_unchanged"),
+        result.keep_unchanged.to_string(),
+        "keep_unchanged"
+    );
+    assert_eq!(get("l0"), result.l0.to_string(), "l0 support size drifted");
+    let l2_expect: f32 = get("l2").parse().unwrap();
+    assert!(
+        (result.l2 - l2_expect).abs() <= 1e-4 * (1.0 + l2_expect.abs()),
+        "l2 drifted: {} vs fixture {}",
+        result.l2,
+        l2_expect
+    );
+    for (key, got) in [
+        ("victim_accuracy", victim_accuracy),
+        ("attacked_accuracy", attacked_accuracy),
+    ] {
+        let expect: f32 = get(key).parse().unwrap();
+        assert!(
+            (got - expect).abs() <= 1e-6 + 1e-4 * expect.abs(),
+            "{key} drifted: {got} vs fixture {expect}"
+        );
+    }
+    let preds_expect: Vec<usize> = get("post_attack_preds")
+        .split(',')
+        .map(|s| s.parse().unwrap())
+        .collect();
+    assert_eq!(
+        post_preds, preds_expect,
+        "post-attack predictions drifted from the committed fixture"
+    );
+}

@@ -5,8 +5,11 @@
 //! perturbing any experiment.
 
 use fault_sneaking::attack::{AttackConfig, AttackSpec, FaultSneakingAttack, ParamSelection};
+use fault_sneaking::nn::conv::{Conv2d, VolumeDims};
+use fault_sneaking::nn::cw::{CwConfig, CwModel};
 use fault_sneaking::nn::head::FcHead;
 use fault_sneaking::nn::head_train::{train_head, HeadTrainConfig};
+use fault_sneaking::nn::layer::Layer;
 use fault_sneaking::tensor::{parallel, Prng, Tensor};
 use std::sync::Mutex;
 
@@ -77,6 +80,69 @@ fn attack_is_bit_identical_for_any_thread_count() {
         assert!(
             single == multi,
             "δ differs between 1 and {threads} threads — kernel partitioning leaked into results"
+        );
+    }
+}
+
+/// The batched conv feature-extraction pipeline (network-level batch
+/// dispatch → per-conv batch dispatch → row-block kernels, all routed
+/// through the nested scheduler) produces byte-identical features at
+/// every thread count — including a strided non-square conv the C&W
+/// stack never exercises.
+#[test]
+fn batched_conv_pipeline_is_bit_identical_for_any_thread_count() {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let mut rng = Prng::new(909);
+    // Paper-scale extractor so the network-level batch dispatch engages.
+    let cfg = CwConfig::mnist();
+    let model = CwModel::new_random(cfg, &mut rng);
+    let images = Tensor::rand_uniform(&[6, cfg.input.features()], 0.0, 1.0, &mut rng);
+    // Odd geometry exercising the general im2col paths.
+    let dims = VolumeDims::new(3, 11, 9);
+    let odd_conv = Conv2d::new_random_strided(dims, 5, (3, 2), 2, &mut rng);
+    let odd_x = Tensor::rand_uniform(&[13, dims.features()], -1.0, 1.0, &mut rng);
+
+    let run = |threads: usize| {
+        parallel::set_threads(threads);
+        let feats = model.extract_features(&images);
+        let odd = odd_conv.forward_infer(&odd_x);
+        parallel::set_threads(0);
+        (feats, odd)
+    };
+    let base = run(1);
+    assert!(
+        base.0.as_slice().iter().any(|&v| v != 0.0),
+        "extractor produced all-zero features; fixture is vacuous"
+    );
+    for threads in [2, 3, 8] {
+        let got = run(threads);
+        assert!(
+            base == got,
+            "batched conv pipeline changed bits at {threads} threads"
+        );
+    }
+}
+
+/// The nested scheduler itself: explicit batch plans with different
+/// worker/inner-budget splits must compute identical results.
+#[test]
+fn nested_scheduler_plans_do_not_change_results() {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let mut rng = Prng::new(910);
+    let dims = VolumeDims::new(2, 12, 12);
+    let conv = Conv2d::new_random(dims, 8, 3, &mut rng);
+    let x = Tensor::rand_uniform(&[9, dims.features()], -1.0, 1.0, &mut rng);
+    let run = |threads: usize, budget: usize| {
+        parallel::set_threads(threads);
+        let y = parallel::with_budget(budget, || conv.forward_infer(&x));
+        parallel::set_threads(0);
+        y
+    };
+    let base = run(1, 1);
+    for (threads, budget) in [(1, 2), (2, 3), (3, 8), (8, 2), (8, 8)] {
+        assert!(
+            base == run(threads, budget),
+            "plan for threads={threads} budget={budget} changed conv bits"
         );
     }
 }
