@@ -20,7 +20,12 @@
 //! cargo run --release -p fsa-bench --bin fig3
 //! cargo run --release -p fsa-bench --bin baseline_cmp
 //! cargo run --release -p fsa-bench --bin fault_plan
+//! cargo run --release -p fsa-bench --bin campaign
 //! ```
+//!
+//! `campaign` runs the concurrent attack-campaign sweep (shared feature
+//! cache, serial-vs-concurrent bit-identity checks) and writes
+//! `BENCH_PR3.json`; pass `--smoke` for the fast CI variant.
 //!
 //! The first run builds `artifacts/{digits,objects}.bin` (a couple of
 //! minutes); later runs load them in milliseconds.

@@ -1,0 +1,565 @@
+//! Concurrent attack-campaign engine: a scenario matrix of fault
+//! sneaking attacks served over one shared victim.
+//!
+//! The paper's evaluation is not one attack but a *grid* of them —
+//! sweeps over the number of sneaked images `S`, the preserved-set size
+//! `K` (working set `R = S + K`), and the `ℓ0`/`ℓ2` sparsity budgets
+//! (Tables 1–4). A [`Campaign`] runs that grid as one unit:
+//!
+//! * the victim's penultimate activations are extracted **once** into a
+//!   shared read-only [`FeatureCache`] (the batched
+//!   `Network::forward_infer` pipeline), and every scenario's working
+//!   set is a row-gather from it — the conv stack never re-runs;
+//! * scenarios dispatch through the nested-parallelism scheduler
+//!   ([`fsa_tensor::parallel::plan_nested`] /
+//!   [`fsa_tensor::parallel::nested_map`]): attack-level workers get the
+//!   outer share of the thread budget and each attack's kernel-level
+//!   parallelism runs under the remainder, so the two levels compose
+//!   without oversubscription;
+//! * every scenario is derived purely from its own parameters (seed,
+//!   `S`, `K`, budget), so the full [`CampaignReport`] is **bit-identical**
+//!   whether scenarios run serially or concurrently, at any
+//!   `FSA_THREADS` — `tests/campaign_determinism.rs` locks this in.
+//!
+//! # Examples
+//!
+//! ```
+//! use fsa_attack::campaign::{Campaign, CampaignSpec, SparsityBudget};
+//! use fsa_attack::{AttackConfig, ParamSelection};
+//! use fsa_nn::head::FcHead;
+//! use fsa_nn::FeatureCache;
+//! use fsa_tensor::{Prng, Tensor};
+//!
+//! let mut rng = Prng::new(9);
+//! let head = FcHead::from_dims(&[8, 16, 4], &mut rng);
+//! // A 10-image pool; in a real campaign these rows come from one
+//! // batched conv extraction over the victim (`FeatureCache::build`).
+//! let pool = Tensor::randn(&[10, 8], 1.0, &mut rng);
+//! let labels = head.predict(&pool);
+//! let cache = FeatureCache::from_features(pool);
+//!
+//! // A 2×2 (S × K) scenario grid under the default ℓ0 budget.
+//! let spec = CampaignSpec::grid(vec![1, 2], vec![2, 4])
+//!     .with_config(AttackConfig {
+//!         iterations: 60,
+//!         ..AttackConfig::default()
+//!     });
+//! let campaign = Campaign::new(&head, ParamSelection::last_layer(&head), cache, labels);
+//! let report = campaign.run(&spec);
+//! assert_eq!(report.len(), 4);
+//! assert!(report.outcomes.iter().all(|o| o.result.delta.iter().all(|d| d.is_finite())));
+//! ```
+
+use crate::selection::ParamSelection;
+use crate::solver::{AttackConfig, AttackResult, FaultSneakingAttack, Norm};
+use crate::spec::AttackSpec;
+use fsa_nn::head::FcHead;
+use fsa_nn::FeatureCache;
+use fsa_tensor::{parallel, Prng};
+
+/// One point on the sparsity axis: which norm `D(δ)` minimizes and the
+/// weight `λ` on it (larger `λ` → tighter budget).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityBudget {
+    /// Norm minimized as `D(δ)`.
+    pub norm: Norm,
+    /// Weight `λ` on `D(δ)` (see [`AttackConfig::lambda`]).
+    pub lambda: f32,
+}
+
+impl SparsityBudget {
+    /// An `ℓ0` budget (number of modified parameters).
+    pub fn l0(lambda: f32) -> Self {
+        Self {
+            norm: Norm::L0,
+            lambda,
+        }
+    }
+
+    /// An `ℓ2` budget (modification magnitude).
+    pub fn l2(lambda: f32) -> Self {
+        Self {
+            norm: Norm::L2,
+            lambda,
+        }
+    }
+}
+
+/// The scenario matrix: every combination of the four sweep axes becomes
+/// one attack instance.
+///
+/// Scenario order is fixed and documented — nested loops with `seeds`
+/// outermost, then `budgets`, then `s_values`, then `k_values`
+/// innermost — so scenario indices (and therefore reports) are stable
+/// across runs and machines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Numbers of sneaked images `S` to sweep.
+    pub s_values: Vec<usize>,
+    /// Preserved-set sizes `K` to sweep (working set `R = S + K`).
+    pub k_values: Vec<usize>,
+    /// Sparsity budgets to sweep.
+    pub budgets: Vec<SparsityBudget>,
+    /// Working-set sampling seeds (one full grid per seed).
+    pub seeds: Vec<u64>,
+    /// Base attack configuration; each scenario overrides its
+    /// `norm`/`lambda` from its [`SparsityBudget`].
+    pub base: AttackConfig,
+    /// Weight on the `S` misclassification terms (paper eq. 5).
+    pub c_attack: f32,
+    /// Weight on the `K` keep terms (paper eq. 6).
+    pub c_keep: f32,
+}
+
+impl CampaignSpec {
+    /// A plain `S × K` grid under the default `ℓ0` budget, one seed, and
+    /// the experiment-standard weights (`c_attack = 10`, `c_keep = 1`).
+    pub fn grid(s_values: Vec<usize>, k_values: Vec<usize>) -> Self {
+        let base = AttackConfig::default();
+        Self {
+            s_values,
+            k_values,
+            budgets: vec![SparsityBudget::l0(base.lambda)],
+            seeds: vec![42],
+            base,
+            c_attack: 10.0,
+            c_keep: 1.0,
+        }
+    }
+
+    /// Replaces the sparsity-budget axis.
+    pub fn with_budgets(mut self, budgets: Vec<SparsityBudget>) -> Self {
+        self.budgets = budgets;
+        self
+    }
+
+    /// Replaces the seed axis.
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Replaces the base attack configuration (its `norm`/`lambda` are
+    /// still overridden per scenario by the budget axis).
+    pub fn with_config(mut self, base: AttackConfig) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Sets the misclassification/keep weights.
+    pub fn with_weights(mut self, c_attack: f32, c_keep: f32) -> Self {
+        self.c_attack = c_attack;
+        self.c_keep = c_keep;
+        self
+    }
+
+    /// Number of scenarios in the matrix.
+    pub fn len(&self) -> usize {
+        self.seeds.len() * self.budgets.len() * self.s_values.len() * self.k_values.len()
+    }
+
+    /// Whether the matrix is empty (any axis empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materializes the scenario matrix in its fixed order.
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.len());
+        for &seed in &self.seeds {
+            for &budget in &self.budgets {
+                for &s in &self.s_values {
+                    for &k in &self.k_values {
+                        out.push(Scenario {
+                            index: out.len(),
+                            s,
+                            k,
+                            budget,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One cell of the scenario matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Position in the campaign's fixed scenario order.
+    pub index: usize,
+    /// Number of sneaked images.
+    pub s: usize,
+    /// Preserved-set size.
+    pub k: usize,
+    /// Sparsity budget.
+    pub budget: SparsityBudget,
+    /// Working-set sampling seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// Working-set size `R = S + K`.
+    pub fn r(&self) -> usize {
+        self.s + self.k
+    }
+}
+
+/// A scenario's sampled working set: which pool rows it attacks, their
+/// reference labels, and the target labels for the first `S`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioDraw {
+    /// Feature-cache row indices of the working set (`R` entries).
+    pub rows: Vec<usize>,
+    /// Reference labels, row-aligned.
+    pub labels: Vec<usize>,
+    /// Target labels for the first `S` rows.
+    pub targets: Vec<usize>,
+}
+
+/// One finished scenario: the matrix cell and its attack result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// The scenario that ran.
+    pub scenario: Scenario,
+    /// Target labels the scenario's `S` sneaked images were pushed to.
+    pub targets: Vec<usize>,
+    /// The attack's result.
+    pub result: AttackResult,
+}
+
+/// Structured output of [`Campaign::run`]: one outcome per scenario, in
+/// scenario order.
+///
+/// The report is `PartialEq` down to every δ coordinate (ordinary `f32`
+/// equality — see [`AttackResult`]): two reports compare equal iff every
+/// scenario produced identical results, which is exactly the property
+/// the determinism tests assert between serial and concurrent execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// Per-scenario outcomes, index-aligned with
+    /// [`CampaignSpec::scenarios`].
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+impl CampaignReport {
+    /// Number of scenarios in the report.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Mean designated-fault success rate over all scenarios.
+    pub fn mean_success_rate(&self) -> f64 {
+        self.mean(|o| o.result.success_rate() as f64)
+    }
+
+    /// Mean keep-set unchanged rate over all scenarios.
+    pub fn mean_unchanged_rate(&self) -> f64 {
+        self.mean(|o| o.result.unchanged_rate() as f64)
+    }
+
+    /// Mean `‖δ‖₀` over all scenarios.
+    pub fn mean_l0(&self) -> f64 {
+        self.mean(|o| o.result.l0 as f64)
+    }
+
+    fn mean(&self, f: impl Fn(&ScenarioOutcome) -> f64) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().map(f).sum::<f64>() / self.outcomes.len() as f64
+    }
+
+    /// Order-sensitive FNV-1a digest of every outcome's *final* state:
+    /// scenario parameters, targets, and the δ bit patterns with their
+    /// summary counters. Iteration histories and the `converged` flags
+    /// are deliberately excluded (they are diagnostics, not results), so
+    /// equal fingerprints mean — up to hash collision — identical attack
+    /// outcomes, while full-report equality is what `PartialEq` checks.
+    /// Handy for cross-process determinism checks and bench logs.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for o in &self.outcomes {
+            mix(o.scenario.index as u64);
+            mix(o.scenario.s as u64);
+            mix(o.scenario.k as u64);
+            mix(o.scenario.seed);
+            mix(match o.scenario.budget.norm {
+                Norm::L0 => 0,
+                Norm::L2 => 1,
+            });
+            mix(u64::from(o.scenario.budget.lambda.to_bits()));
+            for &t in &o.targets {
+                mix(t as u64);
+            }
+            mix(o.result.l0 as u64);
+            mix(u64::from(o.result.l2.to_bits()));
+            mix(o.result.s_success as u64);
+            mix(o.result.keep_unchanged as u64);
+            for &d in &o.result.delta {
+                mix(u64::from(d.to_bits()));
+            }
+        }
+        h
+    }
+}
+
+/// A campaign bound to one victim: shared head, parameter selection, and
+/// feature cache.
+///
+/// The head and cache are read-only for the whole run; every concurrent
+/// attack worker reads the same activations and clones only the small
+/// head it perturbs.
+#[derive(Debug)]
+pub struct Campaign<'a> {
+    head: &'a FcHead,
+    selection: ParamSelection,
+    cache: FeatureCache,
+    labels: Vec<usize>,
+    /// Pool rows the victim classifies correctly (scenarios sample from
+    /// these, as the paper implicitly attacks correct images).
+    usable: Vec<usize>,
+}
+
+impl<'a> Campaign<'a> {
+    /// Binds a campaign to a victim head, a parameter selection, and the
+    /// shared feature cache with its pool labels.
+    ///
+    /// Runs one batched forward over the cache to find the
+    /// correctly-classified pool rows scenarios may sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `labels.len()` differs from the cache pool size, the
+    /// cache width differs from the head input, or the selection names
+    /// layers outside the head.
+    pub fn new(
+        head: &'a FcHead,
+        selection: ParamSelection,
+        cache: FeatureCache,
+        labels: Vec<usize>,
+    ) -> Self {
+        assert_eq!(
+            labels.len(),
+            cache.len(),
+            "pool labels/feature-cache size mismatch"
+        );
+        assert_eq!(
+            cache.dim(),
+            head.in_features(),
+            "feature cache width must match head input"
+        );
+        selection.validate(head);
+        let preds = head.predict(cache.features());
+        let usable = (0..labels.len())
+            .filter(|&i| preds[i] == labels[i])
+            .collect();
+        Self {
+            head,
+            selection,
+            cache,
+            labels,
+            usable,
+        }
+    }
+
+    /// The pool rows scenarios sample working sets from.
+    pub fn usable(&self) -> &[usize] {
+        &self.usable
+    }
+
+    /// The shared feature cache.
+    pub fn cache(&self) -> &FeatureCache {
+        &self.cache
+    }
+
+    /// The deterministic working-set draw for one scenario — a function
+    /// of the scenario parameters alone (never of execution order),
+    /// which is what makes concurrent campaigns bit-identical to serial
+    /// ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the usable pool is smaller than the scenario's `R`, or
+    /// the victim has a single class (no wrong target exists).
+    pub fn scenario_draw(&self, sc: &Scenario) -> ScenarioDraw {
+        let r = sc.r();
+        assert!(
+            r <= self.usable.len(),
+            "scenario {} needs R = {r} but only {} pool rows are usable",
+            sc.index,
+            self.usable.len()
+        );
+        let classes = self.head.classes();
+        assert!(classes >= 2, "need at least two classes to mistarget");
+        // Mix S and K into the stream so scenarios sharing a seed still
+        // draw distinct working sets per (S, K) cell — but NOT the
+        // budget axis: budgets under the same (seed, S, K) attack the
+        // *same* draw on purpose, giving paired ℓ0-vs-ℓ2 comparisons
+        // (the Table 3 shape).
+        let mut rng = Prng::new(sc.seed ^ 0xA77A).fork(((sc.s as u64) << 32) | sc.k as u64);
+        let chosen = rng.choose_distinct(self.usable.len(), r);
+        let rows: Vec<usize> = chosen.iter().map(|&ci| self.usable[ci]).collect();
+        let labels: Vec<usize> = rows.iter().map(|&i| self.labels[i]).collect();
+        let targets: Vec<usize> = labels[..sc.s]
+            .iter()
+            .map(|&l| {
+                let mut t = rng.below(classes - 1);
+                if t >= l {
+                    t += 1;
+                }
+                t
+            })
+            .collect();
+        ScenarioDraw {
+            rows,
+            labels,
+            targets,
+        }
+    }
+
+    /// Builds the attack spec for one scenario: the scenario's
+    /// [`Campaign::scenario_draw`] gathered out of the shared cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Campaign::scenario_draw`].
+    pub fn scenario_spec(&self, sc: &Scenario, c_attack: f32, c_keep: f32) -> AttackSpec {
+        let draw = self.scenario_draw(sc);
+        AttackSpec::from_cache(&self.cache, &draw.rows, draw.labels, draw.targets)
+            .with_weights(c_attack, c_keep)
+    }
+
+    /// Runs the whole scenario matrix and returns its report.
+    ///
+    /// Scenarios dispatch through the nested scheduler: with `N`
+    /// scenarios and an active budget of `T` threads, `min(N, T)`
+    /// attack-level workers run concurrently and each attack's inner
+    /// kernels see `T / workers` threads — the same budget-shrinking
+    /// contract every other nesting level uses, so a campaign inside a
+    /// `with_budget(1, ..)` wall degrades to a serial sweep of the same
+    /// bits.
+    pub fn run(&self, spec: &CampaignSpec) -> CampaignReport {
+        let scenarios = spec.scenarios();
+        // Every scenario is a full ADMM attack — always worth a worker.
+        let plan = parallel::plan_nested(scenarios.len(), 1, 1);
+        let outcomes = parallel::nested_map(scenarios.len(), plan, |i| {
+            let sc = scenarios[i];
+            let aspec = self.scenario_spec(&sc, spec.c_attack, spec.c_keep);
+            let targets = aspec.targets.clone();
+            let config = AttackConfig {
+                norm: sc.budget.norm,
+                lambda: sc.budget.lambda,
+                ..spec.base.clone()
+            };
+            let attack = FaultSneakingAttack::new(self.head, self.selection.clone(), config);
+            ScenarioOutcome {
+                scenario: sc,
+                targets,
+                result: attack.run(&aspec),
+            }
+        });
+        CampaignReport { outcomes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsa_tensor::Tensor;
+
+    fn fixture() -> (FcHead, FeatureCache, Vec<usize>) {
+        let mut rng = Prng::new(31);
+        let head = FcHead::from_dims(&[6, 12, 3], &mut rng);
+        let pool = Tensor::randn(&[14, 6], 1.0, &mut rng);
+        let labels = head.predict(&pool);
+        (head, FeatureCache::from_features(pool), labels)
+    }
+
+    #[test]
+    fn scenario_order_is_the_documented_nesting() {
+        let spec = CampaignSpec::grid(vec![1, 2], vec![0, 3])
+            .with_budgets(vec![SparsityBudget::l0(0.001), SparsityBudget::l2(0.001)])
+            .with_seeds(vec![7, 8]);
+        let scs = spec.scenarios();
+        assert_eq!(scs.len(), spec.len());
+        assert_eq!(scs.len(), 2 * 2 * 2 * 2);
+        // seeds outermost … k innermost.
+        assert_eq!((scs[0].seed, scs[0].s, scs[0].k), (7, 1, 0));
+        assert_eq!((scs[1].seed, scs[1].s, scs[1].k), (7, 1, 3));
+        assert_eq!(scs[0].budget.norm, Norm::L0);
+        assert_eq!(scs[4].budget.norm, Norm::L2);
+        assert_eq!(scs[8].seed, 8);
+        for (i, sc) in scs.iter().enumerate() {
+            assert_eq!(sc.index, i);
+        }
+    }
+
+    #[test]
+    fn scenario_spec_is_deterministic_and_well_formed() {
+        let (head, cache, labels) = fixture();
+        let campaign = Campaign::new(&head, ParamSelection::last_layer(&head), cache, labels);
+        let sc = Scenario {
+            index: 3,
+            s: 2,
+            k: 4,
+            budget: SparsityBudget::l0(0.001),
+            seed: 11,
+        };
+        let a = campaign.scenario_spec(&sc, 10.0, 1.0);
+        let b = campaign.scenario_spec(&sc, 10.0, 1.0);
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.targets, b.targets);
+        assert_eq!(a.r(), 6);
+        assert_eq!(a.s(), 2);
+        // Different (S, K) cells under the same seed draw different sets.
+        let other = campaign.scenario_spec(&Scenario { s: 1, k: 5, ..sc }, 10.0, 1.0);
+        assert_ne!(a.features, other.features);
+    }
+
+    #[test]
+    fn report_fingerprint_tracks_equality() {
+        let (head, cache, labels) = fixture();
+        let campaign = Campaign::new(&head, ParamSelection::last_layer(&head), cache, labels);
+        let spec = CampaignSpec::grid(vec![1], vec![2]).with_config(AttackConfig {
+            iterations: 30,
+            ..AttackConfig::default()
+        });
+        let a = campaign.run(&spec);
+        let b = campaign.run(&spec);
+        assert_eq!(a, b, "repeat campaign runs must be bit-identical");
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "usable")]
+    fn oversized_scenario_is_rejected() {
+        let (head, cache, labels) = fixture();
+        let campaign = Campaign::new(&head, ParamSelection::last_layer(&head), cache, labels);
+        let sc = Scenario {
+            index: 0,
+            s: 1,
+            k: 1000,
+            budget: SparsityBudget::l0(0.001),
+            seed: 1,
+        };
+        let _ = campaign.scenario_spec(&sc, 10.0, 1.0);
+    }
+}

@@ -42,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod eval;
 pub mod objective;
 pub mod refine;
@@ -49,6 +50,9 @@ pub mod selection;
 pub mod solver;
 pub mod spec;
 
+pub use campaign::{
+    Campaign, CampaignReport, CampaignSpec, Scenario, ScenarioDraw, SparsityBudget,
+};
 pub use eval::AttackOutcome;
 pub use selection::{ParamKind, ParamSelection};
 pub use solver::{AttackConfig, AttackResult, FaultSneakingAttack, Norm};

@@ -50,7 +50,7 @@ impl Stiffness {
 }
 
 /// Hyperparameters of the fault sneaking attack.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackConfig {
     /// Norm minimized as `D(δ)`.
     pub norm: Norm,
@@ -97,7 +97,13 @@ impl AttackConfig {
 }
 
 /// Outcome of one attack run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field, δ included, with ordinary `f32`
+/// equality (so a NaN anywhere — which the solver never produces for
+/// finite inputs — would compare unequal even to itself). The campaign
+/// determinism tests rely on this to assert serial and concurrent runs
+/// agree.
+#[derive(Debug, Clone, PartialEq)]
 pub struct AttackResult {
     /// The parameter modification (the structured ADMM variable `z`,
     /// exactly sparse under `ℓ0`), over the selection's flat layout.

@@ -77,6 +77,27 @@ impl AttackSpec {
         Self::new(model.extract_features(images), labels, targets)
     }
 
+    /// Builds a spec from a shared [`fsa_nn::FeatureCache`]: the named
+    /// pool rows become the working set, copied (never recomputed) out
+    /// of activations the cache extracted once through the batched conv
+    /// pipeline. This is the campaign path — many concurrent attacks
+    /// slice one read-only cache instead of each re-running
+    /// [`AttackSpec::from_model`]'s extraction, and the resulting spec
+    /// is bit-identical to the `from_model` one for the same images.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same label/shape conditions as
+    /// [`AttackSpec::new`], or if any row index is outside the cache.
+    pub fn from_cache(
+        cache: &fsa_nn::FeatureCache,
+        rows: &[usize],
+        labels: Vec<usize>,
+        targets: Vec<usize>,
+    ) -> Self {
+        Self::new(cache.gather(rows), labels, targets)
+    }
+
     /// Sets the misclassification/keep weights.
     pub fn with_weights(mut self, c_attack: f32, c_keep: f32) -> Self {
         self.c_attack = c_attack;

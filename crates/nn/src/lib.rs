@@ -14,7 +14,10 @@
 //!   the attack modifies, with *truncated* forward/backward from any layer
 //!   (exact, and the key to running R=1000 experiments on one CPU core);
 //! * [`cw`] — builders for the Carlini–Wagner architecture used by the
-//!   paper (4 conv + 2 maxpool + FC 200/200/10).
+//!   paper (4 conv + 2 maxpool + FC 200/200/10);
+//! * [`feature_cache`] — penultimate-layer activations extracted once
+//!   through the batched pipeline and shared read-only across a
+//!   campaign of concurrent attacks.
 //!
 //! # Examples
 //!
@@ -34,6 +37,7 @@
 pub mod activation;
 pub mod conv;
 pub mod cw;
+pub mod feature_cache;
 pub mod gradcheck;
 pub mod head;
 pub mod head_train;
@@ -46,6 +50,7 @@ pub mod optimizer;
 pub mod pool;
 pub mod trainer;
 
+pub use feature_cache::FeatureCache;
 pub use head::FcHead;
 pub use layer::Layer;
 pub use network::Network;

@@ -281,6 +281,57 @@ pub fn nested_row_blocks(
     }
 }
 
+/// Deterministic parallel map over `0..items` under a [`NestedPlan`]:
+/// returns `f(i)` for every item, **in item order**, regardless of how
+/// the plan partitioned the work.
+///
+/// This is the dispatch primitive for coarse nesting levels whose items
+/// produce structured results rather than rows of a flat `f32` buffer —
+/// e.g. a campaign of independent attack runs, each returning a report.
+/// Worker closures run under the plan's inner thread budget
+/// ([`with_budget`]), so an item's own kernel-level parallelism composes
+/// with item-level dispatch without oversubscribing the machine. Each
+/// worker writes its results into the disjoint slot range it owns; the
+/// output vector is assembled in index order, so the returned value is
+/// identical for every plan (and hence every `FSA_THREADS`) as long as
+/// `f` itself is deterministic per item.
+pub fn nested_map<T: Send>(
+    items: usize,
+    plan: NestedPlan,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(items);
+    slots.resize_with(items, || None);
+    match plan {
+        NestedPlan::Serial => {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                *slot = Some(f(i));
+            }
+        }
+        NestedPlan::Batch { inner_budget, .. } => {
+            let ranges = plan.ranges(items);
+            let mut work = Vec::with_capacity(ranges.len());
+            let mut rest = slots.as_mut_slice();
+            for r in &ranges {
+                let (head, tail) = rest.split_at_mut(r.len());
+                work.push((r.start, head));
+                rest = tail;
+            }
+            par_items(work, |(first, chunk)| {
+                with_budget(inner_budget, || {
+                    for (local, slot) in chunk.iter_mut().enumerate() {
+                        *slot = Some(f(first + local));
+                    }
+                });
+            });
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("nested_map worker left a slot unfilled"))
+        .collect()
+}
+
 /// Runs `f` over every item, one scoped thread per item (serially when
 /// there is a single item, the `parallel` feature is off, or the thread
 /// budget is 1).
@@ -497,6 +548,36 @@ mod tests {
                 assert!(row.iter().all(|&v| v == i as f32), "{plan:?} item {i}");
             }
         }
+    }
+
+    #[test]
+    fn nested_map_preserves_item_order_under_any_plan() {
+        for plan in [
+            NestedPlan::Serial,
+            NestedPlan::Batch {
+                workers: 3,
+                inner_budget: 2,
+            },
+            NestedPlan::Batch {
+                workers: 8,
+                inner_budget: 1,
+            },
+        ] {
+            let got = nested_map(17, plan, |i| i * i);
+            let want: Vec<usize> = (0..17).map(|i| i * i).collect();
+            assert_eq!(got, want, "{plan:?} permuted or dropped items");
+        }
+        assert!(nested_map(0, NestedPlan::Serial, |i| i).is_empty());
+    }
+
+    #[test]
+    fn nested_map_runs_items_under_the_inner_budget() {
+        let plan = NestedPlan::Batch {
+            workers: 2,
+            inner_budget: 1,
+        };
+        let budgets = nested_map(4, plan, |_| max_threads());
+        assert!(budgets.iter().all(|&b| b == 1), "{budgets:?}");
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! This facade re-exports the workspace crates:
 //!
 //! * [`attack`] — the paper's contribution: the ADMM-based fault sneaking
-//!   attack with `ℓ0`/`ℓ2` minimization;
+//!   attack with `ℓ0`/`ℓ2` minimization, plus the concurrent
+//!   [`attack::campaign`] engine that serves whole scenario grids
+//!   (sweeps over `S`, `K`, and sparsity budgets) over one shared
+//!   victim and feature cache;
 //! * [`nn`] — the neural-network substrate (manual gradients, the C&W
 //!   victim architecture, the FC head the attack perturbs);
 //! * [`data`] — synthetic MNIST-like / CIFAR-like datasets;
@@ -32,6 +35,13 @@
 //! [`nn::head::HeadBuffers`] and a pooled
 //! [`tensor::workspace::Workspace`] (`take`/`give` zeroed scratch
 //! buffers) instead of allocating tensors per iteration.
+//!
+//! Campaigns (many attacks over one victim) extract the victim's pool
+//! activations once into a shared [`nn::feature_cache::FeatureCache`]
+//! and dispatch scenarios through the same nested scheduler, so
+//! attack-level and kernel-level parallelism compose — and the whole
+//! `CampaignReport` stays bit-identical at every thread count
+//! (`tests/campaign_determinism.rs`).
 //!
 //! See `examples/quickstart.rs` for a three-minute tour and `DESIGN.md`
 //! for the experiment index.

@@ -1,0 +1,120 @@
+//! Integration: the concurrent attack-campaign engine is
+//! **bit-deterministic in the thread count** — the full
+//! `CampaignReport` (every scenario's δ, counters, and histories) is
+//! identical whether the scenario matrix runs serially or concurrently,
+//! at `FSA_THREADS` = 1, 2, 3, and 8. This extends the single-attack
+//! guarantee of `tests/thread_determinism.rs` up one nesting level:
+//! attack-level workers and kernel-level row blocks must compose
+//! without leaking the partition into any result.
+
+use fault_sneaking::attack::campaign::{Campaign, CampaignSpec, SparsityBudget};
+use fault_sneaking::attack::{AttackConfig, ParamSelection};
+use fault_sneaking::nn::feature_cache::FeatureCache;
+use fault_sneaking::nn::head::FcHead;
+use fault_sneaking::nn::head_train::{train_head, HeadTrainConfig};
+use fault_sneaking::tensor::{parallel, Prng, Tensor};
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: both mutate the process-global
+/// thread override.
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+/// A trained head over clustered features plus its feature-cache pool.
+fn victim() -> (FcHead, FeatureCache, Vec<usize>) {
+    let mut rng = Prng::new(515151);
+    let n = 140;
+    let d = 16;
+    let classes = 4;
+    let mut x = Tensor::zeros(&[n, d]);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        labels.push(class);
+        for j in 0..d {
+            let center = if j % classes == class { 1.5 } else { 0.0 };
+            x.row_mut(i)[j] = rng.normal(center, 0.4);
+        }
+    }
+    let mut head = FcHead::from_dims(&[d, 24, 24, classes], &mut rng);
+    train_head(
+        &mut head,
+        &x,
+        &labels,
+        &HeadTrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    (head, FeatureCache::from_features(x), labels)
+}
+
+fn sweep() -> CampaignSpec {
+    CampaignSpec::grid(vec![1, 2], vec![2, 6])
+        .with_budgets(vec![SparsityBudget::l0(0.001), SparsityBudget::l2(0.001)])
+        .with_seeds(vec![42, 43])
+        .with_config(AttackConfig {
+            iterations: 80,
+            ..AttackConfig::default()
+        })
+}
+
+#[test]
+fn campaign_report_is_bit_identical_for_any_thread_count() {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let (head, cache, labels) = victim();
+    let campaign = Campaign::new(&head, ParamSelection::last_layer(&head), cache, labels);
+    let spec = sweep();
+    assert_eq!(spec.len(), 16, "fixture sweep should cover 16 scenarios");
+
+    parallel::set_threads(1);
+    let reference = campaign.run(&spec);
+    assert_eq!(reference.len(), 16);
+    assert!(
+        reference
+            .outcomes
+            .iter()
+            .any(|o| o.result.delta.iter().any(|&v| v != 0.0)),
+        "fixture campaign produced only empty δs; the comparison is vacuous"
+    );
+    assert!(
+        reference.mean_success_rate() > 0.8,
+        "fixture campaign mostly failed: {}",
+        reference.mean_success_rate()
+    );
+
+    for threads in [2, 3, 8] {
+        parallel::set_threads(threads);
+        let got = campaign.run(&spec);
+        assert!(
+            got == reference,
+            "campaign report changed bits at {threads} threads — \
+             attack-level dispatch leaked into results"
+        );
+        assert_eq!(got.fingerprint(), reference.fingerprint());
+    }
+    parallel::set_threads(0);
+}
+
+/// A campaign walled off under `with_budget(1, ..)` must degrade to a
+/// serial sweep of the same bits — the budget contract of the nesting
+/// level the campaign adds.
+#[test]
+fn campaign_respects_thread_budget_walls() {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let (head, cache, labels) = victim();
+    let campaign = Campaign::new(&head, ParamSelection::last_layer(&head), cache, labels);
+    let spec = CampaignSpec::grid(vec![1], vec![3]).with_config(AttackConfig {
+        iterations: 50,
+        ..AttackConfig::default()
+    });
+
+    parallel::set_threads(8);
+    let wide = campaign.run(&spec);
+    let walled = parallel::with_budget(1, || campaign.run(&spec));
+    parallel::set_threads(0);
+    assert!(
+        wide == walled,
+        "budget-walled campaign diverged from the wide-budget run"
+    );
+}

@@ -1,0 +1,108 @@
+//! Property tests pitting the shared `FeatureCache` against direct
+//! extraction — the cache analogue of `tests/conv_oracle.rs`.
+//!
+//! The campaign engine's contract is that cached activations are
+//! *exactly* what the victim would compute per attack: one batched
+//! `Network::forward_infer` over the pool, then row gathers, must be
+//! bit-identical to running each working image through the conv stack
+//! and `FcHead::activations_before` directly. Cases sweep seeded random
+//! shapes (channels, geometry, batch, conv widths, head depths) and
+//! thread budgets, so serial, batch-level, and mixed scheduler plans
+//! all face the oracle.
+
+use fault_sneaking::nn::activation::Relu;
+use fault_sneaking::nn::conv::{Conv2d, VolumeDims};
+use fault_sneaking::nn::feature_cache::FeatureCache;
+use fault_sneaking::nn::head::FcHead;
+use fault_sneaking::nn::network::Network;
+use fault_sneaking::tensor::{parallel, Prng, Tensor};
+
+/// `(channels, height, width, conv1_out, conv2_out, pool_images)`.
+type CacheCase = (usize, usize, usize, usize, usize, usize);
+
+/// Seeded shape grid: single-channel minima, odd geometry, and a
+/// paper-shaped two-block stack.
+const SHAPES: &[CacheCase] = &[
+    (1, 6, 6, 2, 2, 1),   // pool of one image
+    (1, 8, 5, 3, 2, 7),   // non-square frame
+    (2, 7, 7, 4, 3, 9),   // multi-channel
+    (3, 9, 11, 4, 4, 13), // wide odd geometry
+    (1, 12, 12, 8, 8, 6), // enough per-image work to trigger batch plans
+];
+
+/// Builds a two-conv extractor for the case.
+fn extractor(case: CacheCase, rng: &mut Prng) -> (Network, usize) {
+    let (c, h, w, o1, o2, _) = case;
+    let mut net = Network::new();
+    let c1 = Conv2d::new_random(VolumeDims::new(c, h, w), o1, 3, rng);
+    let d1 = c1.out_dims();
+    net.push(Box::new(c1));
+    net.push(Box::new(Relu::new(d1.features())));
+    let c2 = Conv2d::new_random(d1, o2, 3, rng);
+    let features = c2.out_dims().features();
+    net.push(Box::new(c2));
+    (net, features)
+}
+
+#[test]
+fn cached_features_match_per_image_extraction_bit_for_bit() {
+    for (case_idx, &case) in SHAPES.iter().enumerate() {
+        let (c, h, w, _, _, pool) = case;
+        let mut rng = Prng::new(0xCAC4E ^ case_idx as u64);
+        let (net, feat_dim) = extractor(case, &mut rng);
+        let images = Tensor::rand_uniform(&[pool, c * h * w], -1.0, 1.0, &mut rng);
+
+        for budget in [1usize, 2, 3, 8] {
+            let cache =
+                parallel::with_budget(budget, || FeatureCache::build_from_network(&net, &images));
+            assert_eq!(cache.len(), pool);
+            assert_eq!(cache.dim(), feat_dim);
+            // Oracle: every pool row individually through the stack.
+            for i in 0..pool {
+                let mut one = Tensor::zeros(&[1, c * h * w]);
+                one.row_mut(0).copy_from_slice(images.row(i));
+                let direct = net.forward_infer(&one);
+                assert!(
+                    cache.features().row(i) == direct.row(0),
+                    "case {case_idx} budget {budget}: cached row {i} \
+                     diverged from direct extraction"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn cache_gather_plus_activations_before_matches_direct_pass() {
+    for (case_idx, &case) in SHAPES.iter().enumerate() {
+        let (c, h, w, _, _, pool) = case;
+        let mut rng = Prng::new(0xAC7 ^ ((case_idx as u64) << 8));
+        let (net, feat_dim) = extractor(case, &mut rng);
+        let images = Tensor::rand_uniform(&[pool, c * h * w], -1.0, 1.0, &mut rng);
+        let head = FcHead::from_dims(&[feat_dim, 10, 8, 3], &mut rng);
+        let cache = FeatureCache::build_from_network(&net, &images);
+
+        // A scattered working set, repeats allowed (campaigns may draw
+        // overlapping sets across scenarios).
+        let rows: Vec<usize> = (0..pool.min(4)).map(|k| (k * 3 + 1) % pool).collect();
+        for budget in [1usize, 3] {
+            parallel::with_budget(budget, || {
+                for start in 0..head.num_layers() {
+                    // Campaign path: gather cached rows, truncate to `start`.
+                    let via_cache = head.activations_before(start, &cache.gather(&rows));
+                    // Direct path: each image through conv + head prefix.
+                    for (r, &i) in rows.iter().enumerate() {
+                        let mut one = Tensor::zeros(&[1, c * h * w]);
+                        one.row_mut(0).copy_from_slice(images.row(i));
+                        let direct = head.activations_before(start, &net.forward_infer(&one));
+                        assert!(
+                            via_cache.row(r) == direct.row(0),
+                            "case {case_idx} budget {budget} start {start}: \
+                             cached activation row {r} (pool {i}) diverged"
+                        );
+                    }
+                }
+            });
+        }
+    }
+}
