@@ -16,11 +16,19 @@
 //!   smallest elements while the attack still succeeds). Unlike the fault
 //!   sneaking attack there is no keep-set constraint, so model accuracy
 //!   degrades more — the effect quantified in the paper's §5.4.
+//!
+//! Both baselines also run as first-class campaign methods
+//! ([`campaign`]): `Campaign::run_method` sweeps them over the same
+//! scenario matrix (same working-set draws, same targets) as the fault
+//! sneaking attack, which is how the stealth arena scores all three
+//! methods on one attack×detector matrix.
 
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod gda;
 pub mod sba;
 
+pub use campaign::{GdaMethod, SbaMethod};
 pub use gda::{GdaAttack, GdaConfig, GdaResult};
 pub use sba::{SbaAttack, SbaResult};

@@ -19,7 +19,12 @@
 //! * every scenario is derived purely from its own parameters (seed,
 //!   `S`, `K`, budget), so the full [`CampaignReport`] is **bit-identical**
 //!   whether scenarios run serially or concurrently, at any
-//!   `FSA_THREADS` — `tests/campaign_determinism.rs` locks this in.
+//!   `FSA_THREADS` — `tests/campaign_determinism.rs` locks this in;
+//! * the *attack* is pluggable: [`Campaign::run_method`] sweeps any
+//!   [`AttackMethod`] (the fault sneaking attack, or the ICCAD'17
+//!   SBA/GDA baselines from `fsa-baselines`) over the **same** matrix
+//!   and draws, so cross-method comparisons are cell-aligned by
+//!   construction.
 //!
 //! # Examples
 //!
@@ -219,6 +224,69 @@ pub struct ScenarioDraw {
     pub targets: Vec<usize>,
 }
 
+/// A parameter-modification attack the campaign engine can sweep over a
+/// scenario matrix.
+///
+/// The engine owns working-set sampling, spec construction, and the
+/// deterministic concurrent dispatch; a method only turns one scenario's
+/// [`AttackSpec`] into an [`AttackResult`]. This is how the ICCAD'17
+/// baselines (`fsa-baselines`' SBA and GDA) run through the same matrix
+/// as the fault sneaking attack — the §5.4 comparison, and the stealth
+/// arena's three-method scoring, are `run_method` calls over one
+/// [`CampaignSpec`].
+///
+/// Contract: `run_scenario` must be a pure function of its arguments
+/// (no interior mutability reachable from `&self`, no ambient
+/// randomness), and every parameter it modifies must lie inside
+/// `selection` — the campaign report's `δ` is interpreted over the
+/// selection's flat layout, and downstream consumers (the stealth
+/// arena) reconstruct the attacked model as `θ_sel + δ`.
+pub trait AttackMethod: Sync {
+    /// Short method identifier recorded in reports (`"fsa"`, `"sba"`,
+    /// `"gda"`).
+    fn name(&self) -> String;
+
+    /// Runs one scenario: `aspec` is the scenario's sampled working set
+    /// (gathered from the shared cache), `sc` its matrix cell, and
+    /// `spec` the whole campaign (for base hyperparameters).
+    fn run_scenario(
+        &self,
+        head: &FcHead,
+        selection: &ParamSelection,
+        spec: &CampaignSpec,
+        sc: &Scenario,
+        aspec: &AttackSpec,
+    ) -> AttackResult;
+}
+
+/// The paper's own attack as a campaign method: one ADMM
+/// [`FaultSneakingAttack`] per scenario, with the scenario's sparsity
+/// budget overriding the base config's `norm`/`lambda`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsaMethod;
+
+impl AttackMethod for FsaMethod {
+    fn name(&self) -> String {
+        "fsa".to_string()
+    }
+
+    fn run_scenario(
+        &self,
+        head: &FcHead,
+        selection: &ParamSelection,
+        spec: &CampaignSpec,
+        sc: &Scenario,
+        aspec: &AttackSpec,
+    ) -> AttackResult {
+        let config = AttackConfig {
+            norm: sc.budget.norm,
+            lambda: sc.budget.lambda,
+            ..spec.base.clone()
+        };
+        FaultSneakingAttack::new(head, selection.clone(), config).run(aspec)
+    }
+}
+
 /// One finished scenario: the matrix cell and its attack result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioOutcome {
@@ -239,6 +307,9 @@ pub struct ScenarioOutcome {
 /// the determinism tests assert between serial and concurrent execution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
+    /// Identifier of the [`AttackMethod`] that produced the outcomes
+    /// (`"fsa"` for [`Campaign::run`]).
+    pub method: String,
     /// Per-scenario outcomes, index-aligned with
     /// [`CampaignSpec::scenarios`].
     pub outcomes: Vec<ScenarioOutcome>,
@@ -285,15 +356,9 @@ impl CampaignReport {
     /// outcomes, while full-report equality is what `PartialEq` checks.
     /// Handy for cross-process determinism checks and bench logs.
     pub fn fingerprint(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut mix = |v: u64| {
-            for b in v.to_le_bytes() {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(PRIME);
-            }
-        };
+        let mut h = fsa_tensor::hash::Fnv1a::new();
+        h.write_bytes(self.method.as_bytes());
+        let mut mix = |v: u64| h.write_u64(v);
         for o in &self.outcomes {
             mix(o.scenario.index as u64);
             mix(o.scenario.s as u64);
@@ -315,7 +380,7 @@ impl CampaignReport {
                 mix(u64::from(d.to_bits()));
             }
         }
-        h
+        h.finish()
     }
 }
 
@@ -445,7 +510,20 @@ impl<'a> Campaign<'a> {
             .with_weights(c_attack, c_keep)
     }
 
-    /// Runs the whole scenario matrix and returns its report.
+    /// Runs the whole scenario matrix under the fault sneaking attack
+    /// ([`FsaMethod`]) and returns its report.
+    pub fn run(&self, spec: &CampaignSpec) -> CampaignReport {
+        self.run_method(spec, &FsaMethod)
+    }
+
+    /// Runs the whole scenario matrix under an arbitrary
+    /// [`AttackMethod`] and returns its report.
+    ///
+    /// The matrix, working-set draws, and dispatch are identical for
+    /// every method — same scenarios, same sampled images, same targets
+    /// — so reports from different methods over one spec are directly
+    /// comparable cell by cell (the §5.4 comparison, and the stealth
+    /// arena's attack×detector matrix).
     ///
     /// Scenarios dispatch through the nested scheduler: with `N`
     /// scenarios and an active budget of `T` threads, `min(N, T)`
@@ -454,27 +532,25 @@ impl<'a> Campaign<'a> {
     /// contract every other nesting level uses, so a campaign inside a
     /// `with_budget(1, ..)` wall degrades to a serial sweep of the same
     /// bits.
-    pub fn run(&self, spec: &CampaignSpec) -> CampaignReport {
+    pub fn run_method(&self, spec: &CampaignSpec, method: &dyn AttackMethod) -> CampaignReport {
         let scenarios = spec.scenarios();
-        // Every scenario is a full ADMM attack — always worth a worker.
+        // Every scenario is a full attack — always worth a worker.
         let plan = parallel::plan_nested(scenarios.len(), 1, 1);
         let outcomes = parallel::nested_map(scenarios.len(), plan, |i| {
             let sc = scenarios[i];
             let aspec = self.scenario_spec(&sc, spec.c_attack, spec.c_keep);
             let targets = aspec.targets.clone();
-            let config = AttackConfig {
-                norm: sc.budget.norm,
-                lambda: sc.budget.lambda,
-                ..spec.base.clone()
-            };
-            let attack = FaultSneakingAttack::new(self.head, self.selection.clone(), config);
+            let result = method.run_scenario(self.head, &self.selection, spec, &sc, &aspec);
             ScenarioOutcome {
                 scenario: sc,
                 targets,
-                result: attack.run(&aspec),
+                result,
             }
         });
-        CampaignReport { outcomes }
+        CampaignReport {
+            method: method.name(),
+            outcomes,
+        }
     }
 }
 

@@ -51,7 +51,8 @@ pub mod solver;
 pub mod spec;
 
 pub use campaign::{
-    Campaign, CampaignReport, CampaignSpec, Scenario, ScenarioDraw, SparsityBudget,
+    AttackMethod, Campaign, CampaignReport, CampaignSpec, FsaMethod, Scenario, ScenarioDraw,
+    ScenarioOutcome, SparsityBudget,
 };
 pub use eval::AttackOutcome;
 pub use selection::{ParamKind, ParamSelection};

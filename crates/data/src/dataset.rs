@@ -101,6 +101,41 @@ impl Dataset {
         self.subset(&idx)
     }
 
+    /// Splits off a deterministic held-out **probe set** of `n` samples;
+    /// returns `(probe, rest)`.
+    ///
+    /// The draw is a pure function of `(seed, n, self.len())` — never of
+    /// any RNG shared with attack/keep sampling — so detectors
+    /// calibrated on the probe set are guaranteed disjoint from any
+    /// working set drawn from `rest`, and the same `(seed, n)` always
+    /// yields the same split. Both halves preserve the original sample
+    /// order.
+    ///
+    /// This is the defense suite's data contract: the accuracy and
+    /// activation-drift detectors measure on `probe`, attacks draw from
+    /// `rest`, and the two never overlap by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.len()`.
+    pub fn split_probe(&self, seed: u64, n: usize) -> (Dataset, Dataset) {
+        assert!(
+            n <= self.len(),
+            "probe size {n} exceeds {} samples",
+            self.len()
+        );
+        // Domain-separate from every other sampling stream ("prob").
+        let mut rng = Prng::new(seed ^ 0x7072_6f62);
+        let mut probe_idx = rng.choose_distinct(self.len(), n);
+        probe_idx.sort_unstable();
+        let mut in_probe = vec![false; self.len()];
+        for &i in &probe_idx {
+            in_probe[i] = true;
+        }
+        let rest_idx: Vec<usize> = (0..self.len()).filter(|&i| !in_probe[i]).collect();
+        (self.subset(&probe_idx), self.subset(&rest_idx))
+    }
+
     /// Samples a target label per sample, uniformly among labels different
     /// from the true one — the attack's "any target labels" setting.
     pub fn random_targets(&self, rng: &mut Prng) -> Vec<usize> {
@@ -244,6 +279,40 @@ mod tests {
     fn new_validates_lengths() {
         let images = Tensor::zeros(&[3, 4]);
         Dataset::new(images, vec![0, 1], VolumeDims::new(1, 2, 2), 2);
+    }
+
+    #[test]
+    fn split_probe_is_deterministic_and_disjoint() {
+        // 10 samples with globally unique pixel values, so row identity
+        // proves index identity.
+        let images = Tensor::from_vec((0..40).map(|v| v as f32).collect(), &[10, 4]);
+        let labels: Vec<usize> = (0..10).map(|i| i % 2).collect();
+        let d = Dataset::new(images, labels, VolumeDims::new(1, 2, 2), 2);
+        let (probe, rest) = d.split_probe(7, 3);
+        assert_eq!(probe.len(), 3);
+        assert_eq!(rest.len(), 7);
+        // Deterministic: same (seed, n) → same split.
+        let (probe2, rest2) = d.split_probe(7, 3);
+        assert_eq!(probe, probe2);
+        assert_eq!(rest, rest2);
+        // Disjoint and jointly exhaustive: every original row appears in
+        // exactly one half.
+        for i in 0..d.len() {
+            let row = d.image(i);
+            let in_probe = (0..probe.len()).any(|r| probe.image(r) == row);
+            let in_rest = (0..rest.len()).any(|r| rest.image(r) == row);
+            assert!(in_probe != in_rest, "row {i} must be in exactly one half");
+        }
+        // A different seed draws a different probe set (10 choose 3 is
+        // large enough that a collision would be a red flag).
+        let (probe3, _) = d.split_probe(8, 3);
+        assert_ne!(probe, probe3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn split_probe_rejects_oversized_probe() {
+        let _ = toy().split_probe(1, 4);
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! Block-granular parameter-integrity checksums with a bounded audit
+//! budget.
+//!
+//! The strongest integrity defense — re-hash every parameter before
+//! every inference — would catch any `δ`, but at 250k parameters per
+//! model and millions of inferences it is never deployed that way.
+//! Real monitors checksum the parameter buffer in **blocks** and audit
+//! a **budget** of randomly chosen blocks per pass. That turns
+//! integrity into a measurable game the ℓ0 attack plays well: a sparse
+//! `δ` dirties few blocks, so a bounded audit usually misses it, while
+//! a dense ℓ2 `δ` dirties almost every block and is caught immediately.
+//!
+//! [`ChecksumDetector::score`] is the exact probability that a uniform
+//! without-replacement audit of `audit_blocks` blocks hits at least one
+//! dirty block (hypergeometric, closed form) — deterministic, no
+//! sampling — so granularity sweeps quantify evasion instead of
+//! asserting it.
+
+use crate::detector::{flat_params, Detector, Observation};
+use fsa_nn::head::FcHead;
+use fsa_tensor::hash::fnv1a_f32_bits;
+
+/// Per-block checksums of a flat parameter vector (the last block may
+/// be short).
+fn block_checksums(params: &[f32], block_params: usize) -> Vec<u64> {
+    params.chunks(block_params).map(fnv1a_f32_bits).collect()
+}
+
+/// A block-granular integrity auditor calibrated on the clean model.
+#[derive(Debug, Clone)]
+pub struct ChecksumDetector {
+    block_params: usize,
+    audit_blocks: usize,
+    reference: Vec<u64>,
+    param_count: usize,
+}
+
+impl ChecksumDetector {
+    /// Calibrates block checksums of granularity `block_params` over the
+    /// reference model, with `audit_blocks` blocks inspected per audit
+    /// (clamped to the block count; pass `usize::MAX` for a full audit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_params` or `audit_blocks` is zero.
+    pub fn new(reference: &FcHead, block_params: usize, audit_blocks: usize) -> Self {
+        assert!(block_params > 0, "block granularity must be positive");
+        assert!(audit_blocks > 0, "audit budget must be positive");
+        let params = flat_params(reference);
+        let checksums = block_checksums(&params, block_params);
+        Self {
+            block_params,
+            audit_blocks: audit_blocks.min(checksums.len()),
+            reference: checksums,
+            param_count: params.len(),
+        }
+    }
+
+    /// Block granularity (parameters per checksum block).
+    pub fn block_params(&self) -> usize {
+        self.block_params
+    }
+
+    /// Blocks inspected per audit.
+    pub fn audit_blocks(&self) -> usize {
+        self.audit_blocks
+    }
+
+    /// Total checksum blocks.
+    pub fn blocks(&self) -> usize {
+        self.reference.len()
+    }
+
+    /// Number of blocks whose checksum mismatches the reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observed head's parameter count differs from the
+    /// calibrated one (a different architecture is not a tampered
+    /// model — it is a caller bug).
+    pub fn dirty_blocks(&self, head: &FcHead) -> usize {
+        let params = flat_params(head);
+        assert_eq!(
+            params.len(),
+            self.param_count,
+            "observed model has a different parameter count than calibrated"
+        );
+        block_checksums(&params, self.block_params)
+            .iter()
+            .zip(&self.reference)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Probability a uniform without-replacement audit of
+    /// [`ChecksumDetector::audit_blocks`] blocks hits at least one of
+    /// `dirty` mismatched blocks:
+    /// `1 − Π_{i=0}^{B−1} (N − d − i) / (N − i)`.
+    ///
+    /// Computed in `f64` with a fixed-order product — deterministic.
+    pub fn detection_probability(&self, dirty: usize) -> f32 {
+        let n = self.reference.len();
+        if dirty == 0 {
+            return 0.0;
+        }
+        if dirty + self.audit_blocks > n {
+            // Too few clean blocks to fill the audit: a hit is certain.
+            return 1.0;
+        }
+        let mut miss = 1.0f64;
+        for i in 0..self.audit_blocks {
+            miss *= (n - dirty - i) as f64 / (n - i) as f64;
+        }
+        (1.0 - miss) as f32
+    }
+}
+
+impl Detector for ChecksumDetector {
+    fn name(&self) -> String {
+        format!("checksum_g{}_b{}", self.block_params, self.audit_blocks)
+    }
+
+    /// Alarm when the audit is more likely than not to hit a dirty
+    /// block.
+    fn threshold(&self) -> f32 {
+        0.5
+    }
+
+    fn score(&self, obs: &Observation<'_>) -> f32 {
+        self.detection_probability(self.dirty_blocks(obs.head))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::detect_at;
+    use fsa_tensor::Prng;
+
+    fn head() -> FcHead {
+        let mut rng = Prng::new(17);
+        // 4·6+6 + 6·3+3 = 51 parameters.
+        FcHead::from_dims(&[4, 6, 3], &mut rng)
+    }
+
+    /// Bumps flat parameter `index` of a copy of `head` by `amount`.
+    fn tampered(head: &FcHead, index: usize, amount: f32) -> FcHead {
+        let mut out = head.clone();
+        let mut off = 0;
+        for l in 0..out.num_layers() {
+            let count = out.layer_param_count(l);
+            if index < off + count {
+                let mut flat = out.layer_flat_params(l);
+                flat[index - off] += amount;
+                out.set_layer_flat_params(l, &flat);
+                return out;
+            }
+            off += count;
+        }
+        panic!("index {index} out of range");
+    }
+
+    #[test]
+    fn clean_model_scores_zero() {
+        let h = head();
+        let det = ChecksumDetector::new(&h, 8, 2);
+        assert_eq!(det.dirty_blocks(&h), 0);
+        assert_eq!(det.score(&Observation { head: &h }), 0.0);
+        assert!(!det.evaluate(&Observation { head: &h }).detected);
+    }
+
+    #[test]
+    fn full_audit_catches_any_single_change() {
+        let h = head();
+        let det = ChecksumDetector::new(&h, 8, usize::MAX);
+        assert_eq!(det.audit_blocks(), det.blocks());
+        let t = tampered(&h, 20, 0.5);
+        assert_eq!(det.dirty_blocks(&t), 1);
+        assert_eq!(det.score(&Observation { head: &t }), 1.0);
+    }
+
+    #[test]
+    fn block_edges_are_exact() {
+        // Granularity 8 over 51 params → blocks [0..8), [8..16), …
+        // A δ at index 7 (last slot of block 0) dirties only block 0; at
+        // index 8 (first slot of block 1) only block 1; touching both
+        // sides of the edge dirties exactly two blocks.
+        let h = head();
+        let det = ChecksumDetector::new(&h, 8, 1);
+        assert_eq!(det.blocks(), 7); // ceil(51 / 8), last block short
+        assert_eq!(det.dirty_blocks(&tampered(&h, 7, 0.5)), 1);
+        assert_eq!(det.dirty_blocks(&tampered(&h, 8, 0.5)), 1);
+        let both = tampered(&tampered(&h, 7, 0.5), 8, 0.5);
+        assert_eq!(det.dirty_blocks(&both), 2);
+        // The short tail block [48..51) is audited like any other.
+        assert_eq!(det.dirty_blocks(&tampered(&h, 50, 0.5)), 1);
+    }
+
+    #[test]
+    fn detection_probability_matches_hypergeometric() {
+        let h = head();
+        let det = ChecksumDetector::new(&h, 8, 2); // N = 7, B = 2
+                                                   // d = 1: P(hit) = 1 − (6/7)(5/6) = 2/7.
+        assert!((det.detection_probability(1) - 2.0 / 7.0).abs() < 1e-6);
+        // d = 3: P = 1 − (4/7)(3/6) = 5/7.
+        assert!((det.detection_probability(3) - 5.0 / 7.0).abs() < 1e-6);
+        // d = 6 with B = 2 leaves only one clean block: certain hit.
+        assert_eq!(det.detection_probability(6), 1.0);
+        assert_eq!(det.detection_probability(0), 0.0);
+        // Monotone in d.
+        for d in 1..7 {
+            assert!(det.detection_probability(d) >= det.detection_probability(d - 1));
+        }
+    }
+
+    #[test]
+    fn coarser_blocks_are_harder_to_evade_at_fixed_budget() {
+        // One modified word, one audited block: detection probability is
+        // B/N = 1/N, and coarser granularity means fewer blocks N — the
+        // trade-off the granularity sweep measures.
+        let h = head();
+        let t = tampered(&h, 20, 0.5);
+        let fine = ChecksumDetector::new(&h, 4, 1);
+        let coarse = ChecksumDetector::new(&h, 16, 1);
+        let p_fine = fine.score(&Observation { head: &t });
+        let p_coarse = coarse.score(&Observation { head: &t });
+        assert!(
+            p_coarse > p_fine,
+            "coarse {p_coarse} should beat fine {p_fine} at budget 1"
+        );
+    }
+
+    #[test]
+    fn threshold_tie_fires() {
+        // Construct a score exactly at the 0.5 threshold: N = 2 blocks,
+        // B = 1 audit, d = 1 dirty → P = 1/2 exactly.
+        let h = head();
+        let det = ChecksumDetector::new(&h, 26, 1); // ceil(51/26) = 2 blocks
+        assert_eq!(det.blocks(), 2);
+        let t = tampered(&h, 0, 0.5);
+        let v = det.evaluate(&Observation { head: &t });
+        assert_eq!(v.score, 0.5);
+        assert!(v.detected, "a score exactly at threshold must alarm");
+        assert!(detect_at(v.score, v.threshold));
+    }
+}

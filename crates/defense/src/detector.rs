@@ -1,0 +1,108 @@
+//! The [`Detector`] trait — what a deployed monitor can conclude from
+//! one look at a (possibly attacked) model.
+//!
+//! Every detector is *calibrated* at construction time against the
+//! clean reference model (checksums, probe accuracy, activation
+//! statistics, row parity) and afterwards only ever sees an
+//! [`Observation`] of the model under inspection. Scoring must be a
+//! pure fixed-order function of the observation — no RNG, no interior
+//! mutability — so arena matrices stay bit-identical at any
+//! `FSA_THREADS`.
+
+use fsa_nn::head::FcHead;
+
+/// One look at the model under inspection.
+///
+/// Detectors never receive the attack's `δ` or any other ground truth —
+/// only the deployed artifact itself, exactly what a real monitor sees.
+#[derive(Debug, Clone, Copy)]
+pub struct Observation<'a> {
+    /// The (possibly attacked) classifier head.
+    pub head: &'a FcHead,
+}
+
+/// One detector's judgement of one observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Detector name (unique within a suite).
+    pub detector: String,
+    /// Suspicion score; higher means more evidence of tampering. The
+    /// scale is detector-specific (a probability for the checksum
+    /// auditor, an accuracy drop for the probe, a violation count for
+    /// the parity monitor).
+    pub score: f32,
+    /// Decision threshold the verdict was taken at.
+    pub threshold: f32,
+    /// `score >= threshold` — ties alarm (a monitor that has exactly
+    /// reached its alarm level fires; `detect_at` is the single
+    /// tie-breaking rule everywhere, threshold sweeps included).
+    pub detected: bool,
+}
+
+/// The tie-breaking rule for every detection decision in the crate:
+/// a score exactly at the threshold **fires**.
+pub fn detect_at(score: f32, threshold: f32) -> bool {
+    score >= threshold
+}
+
+/// A calibrated tamper monitor.
+pub trait Detector: Sync {
+    /// Unique name within a suite (shows up in arena reports).
+    fn name(&self) -> String;
+
+    /// The default decision threshold on [`Detector::score`]'s scale.
+    fn threshold(&self) -> f32;
+
+    /// Suspicion score for one observation (pure and deterministic).
+    fn score(&self, obs: &Observation<'_>) -> f32;
+
+    /// Scores an observation and decides at the default threshold.
+    fn evaluate(&self, obs: &Observation<'_>) -> Verdict {
+        let score = self.score(obs);
+        let threshold = self.threshold();
+        Verdict {
+            detector: self.name(),
+            score,
+            threshold,
+            detected: detect_at(score, threshold),
+        }
+    }
+}
+
+/// Every parameter of the head as one flat vector: layers in order,
+/// weights (row-major) before bias within a layer — the byte surface
+/// the integrity detectors (checksum, parity) monitor.
+///
+/// This is deliberately the *whole* model, not any attack's selection:
+/// a real integrity monitor does not know which parameters an attacker
+/// chose.
+pub fn flat_params(head: &FcHead) -> Vec<f32> {
+    let mut out = Vec::with_capacity(head.param_count());
+    for i in 0..head.num_layers() {
+        out.extend_from_slice(&head.layer_flat_params(i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsa_tensor::Prng;
+
+    #[test]
+    fn flat_params_covers_every_layer_in_order() {
+        let mut rng = Prng::new(3);
+        let head = FcHead::from_dims(&[4, 3, 2], &mut rng);
+        let flat = flat_params(&head);
+        assert_eq!(flat.len(), head.param_count());
+        assert_eq!(flat[..4 * 3 + 3], head.layer_flat_params(0)[..]);
+        assert_eq!(flat[4 * 3 + 3..], head.layer_flat_params(1)[..]);
+    }
+
+    #[test]
+    fn ties_alarm() {
+        assert!(detect_at(0.5, 0.5));
+        assert!(detect_at(0.6, 0.5));
+        assert!(!detect_at(0.4999, 0.5));
+    }
+}

@@ -1,0 +1,157 @@
+//! Per-layer activation-statistic drift monitor.
+//!
+//! Between the byte-level integrity checks and the end-to-end accuracy
+//! probe sits a behavioural middle ground: watch the *distribution* of
+//! each layer's activations on a fixed probe batch. A modification that
+//! flips even one designated image must push some layer's activations
+//! somewhere; the question is whether it pushes them further than the
+//! monitor's tolerance. The statistics come from the
+//! [`fsa_nn::stats`] tap ([`head_forward_stats`]), so they are a
+//! fixed-order function of bit-deterministic layer outputs.
+//!
+//! Score: per layer, both the mean shift and the spread shift are
+//! normalized by the reference standard deviation
+//! (`|μ−μ₀| / σ₀` and `|σ−σ₀| / σ₀`); the score is the maximum over
+//! layers and both terms — "how many reference standard deviations has
+//! any layer's distribution moved".
+
+use crate::detector::{Detector, Observation};
+use fsa_nn::head::FcHead;
+use fsa_nn::stats::{head_forward_stats, ActivationStats};
+use fsa_nn::FeatureCache;
+
+/// Floor on the normalizing σ₀ so dead layers cannot divide by zero.
+const SIGMA_FLOOR: f64 = 1e-6;
+
+/// An activation-drift monitor over a fixed probe batch.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    probe: FeatureCache,
+    reference: Vec<ActivationStats>,
+    threshold: f32,
+}
+
+impl DriftDetector {
+    /// Calibrates per-layer reference statistics of the clean model on
+    /// the probe batch; alarms when any layer's normalized drift
+    /// reaches `threshold` (in units of reference standard deviations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probe is empty or its width differs from the head
+    /// input.
+    pub fn new(reference: &FcHead, probe: FeatureCache, threshold: f32) -> Self {
+        assert!(!probe.is_empty(), "drift probe needs at least one image");
+        let (_, stats) = head_forward_stats(reference, probe.features());
+        Self {
+            probe,
+            reference: stats,
+            threshold,
+        }
+    }
+
+    /// The calibrated per-layer reference statistics.
+    pub fn reference(&self) -> &[ActivationStats] {
+        &self.reference
+    }
+
+    /// Per-layer normalized drift of an observed head against the
+    /// reference (same order as the head's layers).
+    pub fn layer_drift(&self, head: &FcHead) -> Vec<f64> {
+        let (_, now) = head_forward_stats(head, self.probe.features());
+        assert_eq!(
+            now.len(),
+            self.reference.len(),
+            "observed model has a different layer count than calibrated"
+        );
+        now.iter()
+            .zip(&self.reference)
+            .map(|(n, r)| {
+                let sigma = r.std().max(SIGMA_FLOOR);
+                let mean_shift = (n.mean - r.mean).abs() / sigma;
+                let spread_shift = (n.std() - r.std()).abs() / sigma;
+                mean_shift.max(spread_shift)
+            })
+            .collect()
+    }
+}
+
+impl Detector for DriftDetector {
+    fn name(&self) -> String {
+        "activation_drift".to_string()
+    }
+
+    fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    fn score(&self, obs: &Observation<'_>) -> f32 {
+        self.layer_drift(obs.head)
+            .into_iter()
+            .fold(0.0f64, f64::max) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsa_tensor::{Prng, Tensor};
+
+    fn fixture() -> (FcHead, FeatureCache) {
+        let mut rng = Prng::new(29);
+        let head = FcHead::from_dims(&[6, 12, 4], &mut rng);
+        let x = Tensor::randn(&[32, 6], 1.0, &mut rng);
+        (head, FeatureCache::from_features(x))
+    }
+
+    #[test]
+    fn clean_model_has_zero_drift() {
+        let (head, probe) = fixture();
+        let det = DriftDetector::new(&head, probe, 0.25);
+        let v = det.evaluate(&Observation { head: &head });
+        assert_eq!(v.score, 0.0);
+        assert!(!v.detected);
+    }
+
+    #[test]
+    fn large_bias_shift_is_seen_only_downstream() {
+        let (head, probe) = fixture();
+        let det = DriftDetector::new(&head, probe, 0.25);
+        let mut shifted = head.clone();
+        let last = shifted.num_layers() - 1;
+        shifted.layer_mut(last).bias_mut().as_mut_slice()[0] += 50.0;
+        let drift = det.layer_drift(&shifted);
+        assert_eq!(drift[0], 0.0, "upstream layer must not drift");
+        assert!(
+            drift[last] > 1.0,
+            "a 50-logit shift must move the logit distribution: {drift:?}"
+        );
+        assert!(det.evaluate(&Observation { head: &shifted }).detected);
+    }
+
+    #[test]
+    fn tiny_perturbations_stay_under_threshold() {
+        let (head, probe) = fixture();
+        let det = DriftDetector::new(&head, probe, 0.25);
+        let mut nudged = head.clone();
+        let last = nudged.num_layers() - 1;
+        nudged.layer_mut(last).bias_mut().as_mut_slice()[0] += 1e-4;
+        let v = det.evaluate(&Observation { head: &nudged });
+        assert!(v.score > 0.0, "any real change shows *some* drift");
+        assert!(!v.detected, "a 1e-4 nudge must not alarm: {v:?}");
+    }
+
+    #[test]
+    fn threshold_tie_fires() {
+        let (head, probe) = fixture();
+        let det = DriftDetector::new(&head, probe.clone(), 0.25);
+        let mut shifted = head.clone();
+        let last = shifted.num_layers() - 1;
+        shifted.layer_mut(last).bias_mut().as_mut_slice()[1] += 10.0;
+        let score = det.score(&Observation { head: &shifted });
+        // Re-calibrate a detector whose threshold is exactly the score:
+        // the tie must alarm.
+        let exact = DriftDetector::new(&head, probe, score);
+        assert!(exact.evaluate(&Observation { head: &shifted }).detected);
+    }
+}

@@ -1,0 +1,180 @@
+//! Bundling detectors into one deployable monitor stack.
+
+use crate::accuracy::AccuracyProbe;
+use crate::checksum::ChecksumDetector;
+use crate::detector::{Detector, Observation, Verdict};
+use crate::drift::DriftDetector;
+use crate::parity::ParityDetector;
+use fsa_memfault::dram::DramGeometry;
+use fsa_nn::head::FcHead;
+use fsa_nn::FeatureCache;
+
+/// Checksum granularities (parameters per block) the standard suite
+/// sweeps — fine enough that a 2010-parameter last layer spans many
+/// blocks, coarse enough that audits stay cheap.
+pub const STANDARD_GRANULARITIES: [usize; 3] = [16, 64, 256];
+
+/// An ordered stack of calibrated detectors evaluated together.
+///
+/// Order is fixed at construction and defines the column order of every
+/// arena matrix built on the suite.
+pub struct DefenseSuite {
+    detectors: Vec<Box<dyn Detector>>,
+}
+
+impl DefenseSuite {
+    /// An empty suite.
+    pub fn new() -> Self {
+        Self {
+            detectors: Vec::new(),
+        }
+    }
+
+    /// The standard four-family stack the stealth arena runs:
+    ///
+    /// * block-granular integrity checksums at
+    ///   [`STANDARD_GRANULARITIES`], each auditing one eighth of its
+    ///   blocks per pass (at least one) — the granularity sweep that
+    ///   makes ℓ0 evasion measurable;
+    /// * the held-out [`AccuracyProbe`] at `accuracy_threshold`;
+    /// * the [`DriftDetector`] at `drift_threshold` reference standard
+    ///   deviations;
+    /// * the [`ParityDetector`] over `geometry`.
+    ///
+    /// `probe`/`probe_labels` must be disjoint from any attack working
+    /// set (`Dataset::split_probe` guarantees this by construction).
+    pub fn standard(
+        reference: &FcHead,
+        probe: &FeatureCache,
+        probe_labels: &[usize],
+        geometry: DramGeometry,
+        accuracy_threshold: f32,
+        drift_threshold: f32,
+    ) -> Self {
+        let mut suite = Self::new();
+        for g in STANDARD_GRANULARITIES {
+            let blocks = reference.param_count().div_ceil(g);
+            suite.push(Box::new(ChecksumDetector::new(
+                reference,
+                g,
+                (blocks / 8).max(1),
+            )));
+        }
+        suite.push(Box::new(AccuracyProbe::new(
+            reference,
+            probe.clone(),
+            probe_labels.to_vec(),
+            accuracy_threshold,
+        )));
+        suite.push(Box::new(DriftDetector::new(
+            reference,
+            probe.clone(),
+            drift_threshold,
+        )));
+        suite.push(Box::new(ParityDetector::new(reference, geometry)));
+        suite
+    }
+
+    /// Appends a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a detector with the same name is already present.
+    pub fn push(&mut self, detector: Box<dyn Detector>) {
+        let name = detector.name();
+        assert!(
+            self.detectors.iter().all(|d| d.name() != name),
+            "duplicate detector name {name:?}"
+        );
+        self.detectors.push(detector);
+    }
+
+    /// Number of detectors.
+    pub fn len(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// Whether the suite is empty.
+    pub fn is_empty(&self) -> bool {
+        self.detectors.is_empty()
+    }
+
+    /// Detector names, in evaluation order.
+    pub fn names(&self) -> Vec<String> {
+        self.detectors.iter().map(|d| d.name()).collect()
+    }
+
+    /// Evaluates every detector against one observation, in order.
+    pub fn evaluate(&self, obs: &Observation<'_>) -> Vec<Verdict> {
+        self.detectors.iter().map(|d| d.evaluate(obs)).collect()
+    }
+}
+
+impl Default for DefenseSuite {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for DefenseSuite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DefenseSuite")
+            .field("detectors", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsa_tensor::{Prng, Tensor};
+
+    fn fixture() -> (FcHead, FeatureCache, Vec<usize>) {
+        let mut rng = Prng::new(41);
+        let head = FcHead::from_dims(&[6, 12, 4], &mut rng);
+        let x = Tensor::randn(&[24, 6], 1.0, &mut rng);
+        let labels = head.predict(&x);
+        (head, FeatureCache::from_features(x), labels)
+    }
+
+    #[test]
+    fn standard_suite_has_all_four_families() {
+        let (head, probe, labels) = fixture();
+        let suite =
+            DefenseSuite::standard(&head, &probe, &labels, DramGeometry::default(), 0.02, 0.25);
+        let names = suite.names();
+        assert_eq!(names.len(), STANDARD_GRANULARITIES.len() + 3);
+        assert!(names.iter().any(|n| n.starts_with("checksum_g16")));
+        assert!(names.iter().any(|n| n.starts_with("checksum_g256")));
+        assert!(names.contains(&"accuracy_probe".to_string()));
+        assert!(names.contains(&"activation_drift".to_string()));
+        assert!(names.contains(&"dram_parity".to_string()));
+    }
+
+    #[test]
+    fn clean_model_passes_every_detector() {
+        let (head, probe, labels) = fixture();
+        let suite =
+            DefenseSuite::standard(&head, &probe, &labels, DramGeometry::default(), 0.02, 0.25);
+        let verdicts = suite.evaluate(&Observation { head: &head });
+        assert_eq!(verdicts.len(), suite.len());
+        for v in &verdicts {
+            assert!(!v.detected, "clean model tripped {}", v.detector);
+            assert_eq!(v.score, 0.0, "{} scored a clean model", v.detector);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate detector name")]
+    fn duplicate_names_rejected() {
+        let (head, probe, labels) = fixture();
+        let mut suite = DefenseSuite::new();
+        suite.push(Box::new(AccuracyProbe::new(
+            &head,
+            probe.clone(),
+            labels.clone(),
+            0.02,
+        )));
+        suite.push(Box::new(AccuracyProbe::new(&head, probe, labels, 0.05)));
+    }
+}

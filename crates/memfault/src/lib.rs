@@ -16,7 +16,10 @@
 //! * [`rowhammer`] — a row-granular probabilistic injector over a seeded
 //!   vulnerable-cell population;
 //! * [`plan`] — compiling an attack `δ` into a concrete bit-flip plan and
-//!   costing it under both injectors.
+//!   costing it under both injectors;
+//! * [`parity`] — the defense side: ECC-style per-row parity that flags
+//!   odd flip counts, the surface `fsa-defense`'s DRAM parity monitor
+//!   checks bit-flip plans against.
 //!
 //! The end-to-end `fault_plan` experiment binary uses this to compare the
 //! hardware realizability of `ℓ0`- vs `ℓ2`-minimized modifications.
@@ -26,10 +29,12 @@
 pub mod bits;
 pub mod dram;
 pub mod laser;
+pub mod parity;
 pub mod plan;
 pub mod rowhammer;
 
 pub use dram::{DramGeometry, ParamAddress};
 pub use laser::LaserInjector;
+pub use parity::RowParity;
 pub use plan::{FaultPlan, WordChange};
 pub use rowhammer::{HammerOutcome, RowhammerInjector};

@@ -1,0 +1,266 @@
+//! DRAM-row parity — the ECC-style defense surface bit-flip plans are
+//! checked against.
+//!
+//! Commodity ECC DRAM guards each protected region with parity/syndrome
+//! bits: an **odd** number of flipped bits in a region raises an alarm,
+//! while an **even** number cancels in the parity and slips through (the
+//! classic single-error-detect limitation rowhammer double-flips
+//! exploit). This module models the cheapest such defense at the
+//! granularity the [`crate::dram`] mapping already exposes — one parity
+//! bit per (bank, row):
+//!
+//! * [`RowParity`] captures the reference parity of every row a
+//!   [`ParamLayout`] covers and reports which rows violate it for a
+//!   modified parameter buffer;
+//! * [`plan_row_flips`] folds a compiled [`FaultPlan`] down to per-row
+//!   flip counts, so a plan's detectability is known *before* any
+//!   injection: rows with odd counts trip the parity, rows with even
+//!   counts evade it.
+//!
+//! Everything here is a pure fixed-order function of its inputs —
+//! deterministic regardless of thread count, as the defense suite's
+//! bit-identical arena requires.
+
+use crate::dram::ParamLayout;
+use crate::plan::FaultPlan;
+
+/// Reference per-row parity of a parameter buffer under a layout.
+///
+/// Rows are identified by `(bank, row)` and stored sorted; parity is the
+/// XOR of all bit positions of the `f32` words the layout places in that
+/// row (words outside the layout — e.g. co-resident allocations — are
+/// not modeled and assumed untouched).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowParity {
+    /// Sorted `((bank, row), parity)` pairs for every covered row.
+    rows: Vec<((usize, usize), bool)>,
+}
+
+impl RowParity {
+    /// Captures the reference parity of `params` under `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` differs from the layout's length.
+    pub fn capture(layout: &ParamLayout, params: &[f32]) -> Self {
+        assert_eq!(params.len(), layout.len(), "params/layout length mismatch");
+        Self {
+            rows: row_parities(layout, params),
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the captured layout was empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The `(bank, row)` pairs whose parity no longer matches the
+    /// reference — i.e. rows holding an odd number of flipped bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` differs from the captured layout's
+    /// length.
+    pub fn violations(&self, layout: &ParamLayout, params: &[f32]) -> Vec<(usize, usize)> {
+        let now = row_parities(layout, params);
+        assert_eq!(
+            now.len(),
+            self.rows.len(),
+            "parity check layout differs from the captured one"
+        );
+        self.rows
+            .iter()
+            .zip(&now)
+            .filter_map(|(&(id, before), &(id2, after))| {
+                debug_assert_eq!(id, id2, "row order diverged");
+                (before != after).then_some(id)
+            })
+            .collect()
+    }
+}
+
+/// Folds a stream of `(row_id, value)` pairs into one entry per row,
+/// sorted by `(bank, row)`.
+///
+/// Sequential parameter indices share a row until a boundary, so the
+/// common case merges into the *last* entry in O(1); a post-sort pass
+/// merges any runs of the same row that were not adjacent in input
+/// order, keeping the fold linear instead of O(items × rows).
+fn fold_rows<T>(
+    items: impl Iterator<Item = ((usize, usize), T)>,
+    merge: impl Fn(&mut T, T),
+) -> Vec<((usize, usize), T)> {
+    let mut acc: Vec<((usize, usize), T)> = Vec::new();
+    for (id, v) in items {
+        match acc.last_mut() {
+            Some((last, slot)) if *last == id => merge(slot, v),
+            _ => acc.push((id, v)),
+        }
+    }
+    acc.sort_unstable_by_key(|&(id, _)| id);
+    let mut out: Vec<((usize, usize), T)> = Vec::with_capacity(acc.len());
+    for (id, v) in acc {
+        match out.last_mut() {
+            Some((last, slot)) if *last == id => merge(slot, v),
+            _ => out.push((id, v)),
+        }
+    }
+    out
+}
+
+/// Per-row parity (XOR of all word bits) of `params` under `layout`,
+/// sorted by `(bank, row)`.
+fn row_parities(layout: &ParamLayout, params: &[f32]) -> Vec<((usize, usize), bool)> {
+    fold_rows(
+        params.iter().enumerate().map(|(i, &p)| {
+            let id = layout.address(i).row_id();
+            (id, p.to_bits().count_ones() % 2 == 1)
+        }),
+        |parity, bit| *parity ^= bit,
+    )
+}
+
+/// Distinct rows a compiled plan touches, with the total bit flips the
+/// plan lands in each — sorted by `(bank, row)`.
+///
+/// A row with an **odd** flip count trips a per-row parity check; an
+/// even count cancels and evades it. See
+/// [`FaultPlan::parity_evading_rows`].
+///
+/// # Panics
+///
+/// Panics if the plan addresses parameters outside the layout.
+pub fn plan_row_flips(plan: &FaultPlan, layout: &ParamLayout) -> Vec<((usize, usize), u64)> {
+    fold_rows(
+        plan.changes.iter().map(|change| {
+            let id = layout.address(change.index).row_id();
+            (id, change.flipped_bits.len() as u64)
+        }),
+        |count, flips| *count += flips,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::flip_bits;
+    use crate::dram::DramGeometry;
+
+    fn small_layout(len: usize) -> ParamLayout {
+        // 16 words per row: parameter i lives in global row i / 16.
+        let g = DramGeometry {
+            banks: 2,
+            rows_per_bank: 64,
+            row_bytes: 64,
+        };
+        ParamLayout::new(g, 0, len)
+    }
+
+    #[test]
+    fn clean_buffer_has_no_violations() {
+        let layout = small_layout(48);
+        let params = vec![1.25f32; 48];
+        let parity = RowParity::capture(&layout, &params);
+        assert_eq!(parity.len(), 3);
+        assert!(parity.violations(&layout, &params).is_empty());
+    }
+
+    #[test]
+    fn single_bit_flip_trips_exactly_its_row() {
+        let layout = small_layout(48);
+        let mut params = vec![1.0f32; 48];
+        let parity = RowParity::capture(&layout, &params);
+        params[20] = flip_bits(params[20], &[3]); // word 20 → row 1
+        let v = parity.violations(&layout, &params);
+        assert_eq!(v, vec![layout.address(20).row_id()]);
+    }
+
+    #[test]
+    fn even_flips_in_one_row_evade_parity() {
+        let layout = small_layout(32);
+        let mut params = vec![1.0f32; 32];
+        let parity = RowParity::capture(&layout, &params);
+        // Two single-bit flips in the same row cancel in its parity.
+        params[4] = flip_bits(params[4], &[7]);
+        params[9] = flip_bits(params[9], &[12]);
+        assert_eq!(layout.address(4).row_id(), layout.address(9).row_id());
+        assert!(
+            parity.violations(&layout, &params).is_empty(),
+            "an even flip count must cancel in the row parity"
+        );
+        // A third flip makes the count odd again — detected.
+        params[4] = flip_bits(params[4], &[8]);
+        assert_eq!(parity.violations(&layout, &params).len(), 1);
+    }
+
+    #[test]
+    fn plan_row_flips_counts_per_row() {
+        let layout = small_layout(64);
+        let theta0 = vec![1.0f32; 64];
+        let mut delta = vec![0.0f32; 64];
+        delta[0] = 0.5; // row 0
+        delta[1] = -0.25; // row 0
+        delta[40] = 2.0; // row 2
+        let plan = FaultPlan::compile(&theta0, &delta);
+        let rows = plan_row_flips(&plan, &layout);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, layout.address(0).row_id());
+        assert_eq!(rows[1].0, layout.address(40).row_id());
+        assert_eq!(
+            rows.iter().map(|&(_, c)| c).sum::<u64>(),
+            plan.total_bit_flips
+        );
+    }
+
+    #[test]
+    fn non_adjacent_runs_of_one_row_still_merge() {
+        // A hand-built plan whose changes revisit row 0 after touching
+        // row 1: the linear fold must still produce one entry per row.
+        let layout = small_layout(64);
+        let change = |index: usize, bits: usize| crate::plan::WordChange {
+            index,
+            old: 1.0,
+            new: 2.0,
+            flipped_bits: (0..bits as u8).collect(),
+        };
+        let plan = FaultPlan {
+            changes: vec![change(0, 1), change(16, 2), change(1, 4)],
+            total_bit_flips: 7,
+        };
+        let rows = plan_row_flips(&plan, &layout);
+        assert_eq!(
+            rows,
+            vec![
+                (layout.address(0).row_id(), 5),
+                (layout.address(16).row_id(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn parity_agrees_with_plan_prediction() {
+        let layout = small_layout(64);
+        let theta0: Vec<f32> = (0..64).map(|i| 0.5 + i as f32 * 0.125).collect();
+        let mut delta = vec![0.0f32; 64];
+        delta[3] = 0.5;
+        delta[17] = -1.0;
+        delta[18] = 0.75;
+        let plan = FaultPlan::compile(&theta0, &delta);
+        let parity = RowParity::capture(&layout, &theta0);
+        let after: Vec<f32> = theta0.iter().zip(&delta).map(|(&t, &d)| t + d).collect();
+        let predicted: Vec<(usize, usize)> = plan_row_flips(&plan, &layout)
+            .into_iter()
+            .filter_map(|(id, flips)| (flips % 2 == 1).then_some(id))
+            .collect();
+        assert_eq!(
+            parity.violations(&layout, &after),
+            predicted,
+            "plan-level parity prediction must match the realized buffer"
+        );
+    }
+}

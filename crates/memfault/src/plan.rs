@@ -102,6 +102,21 @@ impl FaultPlan {
         injector.apply(&self.changes, layout, params)
     }
 
+    /// Rows whose planned flip count is **even** (and nonzero) — the
+    /// rows where this plan slips past a per-row parity check (see
+    /// [`crate::parity`]): an odd number of flipped bits in a row trips
+    /// the parity, an even number cancels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan addresses parameters outside the layout.
+    pub fn parity_evading_rows(&self, layout: &ParamLayout) -> Vec<(usize, usize)> {
+        crate::parity::plan_row_flips(self, layout)
+            .into_iter()
+            .filter_map(|(id, flips)| (flips % 2 == 0).then_some(id))
+            .collect()
+    }
+
     /// The `δ'` actually realized given post-injection parameters —
     /// useful for re-evaluating attack success under hardware constraints.
     ///

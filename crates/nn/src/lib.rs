@@ -17,7 +17,10 @@
 //!   paper (4 conv + 2 maxpool + FC 200/200/10);
 //! * [`feature_cache`] — penultimate-layer activations extracted once
 //!   through the batched pipeline and shared read-only across a
-//!   campaign of concurrent attacks.
+//!   campaign of concurrent attacks;
+//! * [`stats`] — per-layer activation-statistics taps on the inference
+//!   pipeline (`Network::forward_infer_stats`, `head_forward_stats`),
+//!   the observable surface `fsa-defense`'s drift detector monitors.
 //!
 //! # Examples
 //!
@@ -48,6 +51,7 @@ pub mod loss;
 pub mod network;
 pub mod optimizer;
 pub mod pool;
+pub mod stats;
 pub mod trainer;
 
 pub use feature_cache::FeatureCache;

@@ -1,0 +1,198 @@
+//! Per-layer activation statistics — the observable surface drift
+//! detectors monitor.
+//!
+//! A deployed integrity monitor cannot diff 250k parameters per
+//! inference, but it *can* watch cheap summaries of what the network
+//! computes: the mean and variance of each layer's activations on a
+//! fixed probe batch. A parameter modification that matters must move
+//! the activations somewhere, so per-layer `(mean, var)` against a
+//! reference captured at deployment time is a classic drift monitor —
+//! and the fault sneaking attack's keep-set constraint is precisely an
+//! attempt to move them as little as possible.
+//!
+//! Statistics are accumulated in `f64` **in fixed element order** over
+//! the layer output buffer, so they are a pure function of the layer
+//! outputs — which are themselves bit-identical at every `FSA_THREADS`
+//! ([`Network::forward_infer`]'s contract). The hooks therefore never
+//! weaken any determinism guarantee:
+//!
+//! * [`Network::forward_infer_stats`] — the batched inference pipeline
+//!   with a per-layer statistics tap;
+//! * [`head_forward_stats`] — the same tap over an [`FcHead`]'s layer
+//!   chain (post-ReLU for hidden layers, raw logits for the last), the
+//!   surface attacked models are monitored on.
+
+use crate::activation::Relu;
+use crate::head::FcHead;
+use crate::layer::Layer as _;
+use crate::network::Network;
+use fsa_tensor::Tensor;
+
+/// Mean and (population) variance of one layer's activations on a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ActivationStats {
+    /// Mean activation.
+    pub mean: f64,
+    /// Population variance of the activations.
+    pub var: f64,
+}
+
+impl ActivationStats {
+    /// Standard deviation (`√var`).
+    pub fn std(&self) -> f64 {
+        self.var.sqrt()
+    }
+}
+
+/// Fixed-order two-pass mean/variance of a slice (empty slices yield
+/// zeros).
+///
+/// Two sequential `f64` passes: the result depends only on the element
+/// values and their order, never on any thread partition.
+pub fn slice_stats(values: &[f32]) -> ActivationStats {
+    if values.is_empty() {
+        return ActivationStats::default();
+    }
+    let n = values.len() as f64;
+    let mut sum = 0.0f64;
+    for &v in values {
+        sum += f64::from(v);
+    }
+    let mean = sum / n;
+    let mut sq = 0.0f64;
+    for &v in values {
+        let d = f64::from(v) - mean;
+        sq += d * d;
+    }
+    ActivationStats { mean, var: sq / n }
+}
+
+impl Network {
+    /// [`Network::forward_infer`] with a per-layer statistics tap: runs
+    /// the layer chain over the whole batch, recording
+    /// [`ActivationStats`] of every layer's output, and returns the
+    /// final output alongside them.
+    ///
+    /// The output tensor is bit-identical to [`Network::forward_infer`]
+    /// (each layer's own forward is deterministic per row and the chain
+    /// is the serial dispatch plan every batched plan must match); the
+    /// statistics are a fixed-order reduction of those same outputs, so
+    /// the whole pair is bit-identical at any `FSA_THREADS`.
+    pub fn forward_infer_stats(&self, x: &Tensor) -> (Tensor, Vec<ActivationStats>) {
+        let mut stats = Vec::with_capacity(self.len());
+        let mut h = x.clone();
+        for i in 0..self.len() {
+            h = self.layer(i).forward_infer(&h);
+            stats.push(slice_stats(h.as_slice()));
+        }
+        (h, stats)
+    }
+}
+
+/// [`FcHead::forward`] with a per-layer statistics tap: returns the
+/// logits and one [`ActivationStats`] per layer — post-ReLU outputs for
+/// hidden layers, the raw logits for the last.
+///
+/// This is the monitored surface for attacked models: the attack
+/// modifies head parameters, so any behavioural change must show up in
+/// some head layer's activation distribution on a fixed probe batch.
+/// Logits are bit-identical to [`FcHead::forward`].
+///
+/// # Panics
+///
+/// Panics if `x` is not `[batch, in_features]` for the head.
+pub fn head_forward_stats(head: &FcHead, x: &Tensor) -> (Tensor, Vec<ActivationStats>) {
+    assert_eq!(
+        x.shape()[1],
+        head.in_features(),
+        "probe batch width must match head input"
+    );
+    let mut stats = Vec::with_capacity(head.num_layers());
+    let last = head.num_layers() - 1;
+    let mut h = x.clone();
+    for i in 0..head.num_layers() {
+        let layer = head.layer(i);
+        let batch = h.shape()[0];
+        let mut y = Tensor::zeros(&[batch, layer.out_features()]);
+        layer.forward_into(h.as_slice(), batch, y.as_mut_slice());
+        if i < last {
+            Relu::apply_slice(y.as_mut_slice());
+        }
+        stats.push(slice_stats(y.as_slice()));
+        h = y;
+    }
+    (h, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use fsa_tensor::Prng;
+
+    #[test]
+    fn slice_stats_matches_closed_form() {
+        let s = slice_stats(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.var - 1.25).abs() < 1e-12);
+        assert_eq!(slice_stats(&[]), ActivationStats::default());
+        let c = slice_stats(&[3.0; 17]);
+        assert!((c.mean - 3.0).abs() < 1e-12);
+        assert!(c.var.abs() < 1e-12);
+    }
+
+    #[test]
+    fn network_stats_output_matches_forward_infer() {
+        let mut rng = Prng::new(8);
+        let mut net = Network::new();
+        net.push(Box::new(Linear::new_random(6, 9, &mut rng)));
+        net.push(Box::new(Relu::new(9)));
+        net.push(Box::new(Linear::new_random(9, 4, &mut rng)));
+        let x = Tensor::randn(&[5, 6], 1.0, &mut rng);
+        let plain = net.forward_infer(&x);
+        let (tapped, stats) = net.forward_infer_stats(&x);
+        assert_eq!(plain, tapped, "stats tap changed inference bits");
+        assert_eq!(stats.len(), 3);
+        // The final layer's stats are the stats of the output itself.
+        assert_eq!(stats[2], slice_stats(plain.as_slice()));
+        // The ReLU layer's output is non-negative, so its mean is too.
+        assert!(stats[1].mean >= 0.0);
+    }
+
+    #[test]
+    fn head_stats_logits_match_forward() {
+        let mut rng = Prng::new(9);
+        let head = FcHead::from_dims(&[5, 7, 6, 3], &mut rng);
+        let x = Tensor::randn(&[4, 5], 1.0, &mut rng);
+        let (logits, stats) = head_forward_stats(&head, &x);
+        assert_eq!(logits, head.forward(&x), "stats tap changed the logits");
+        assert_eq!(stats.len(), 3);
+        // Hidden layers are post-ReLU: their means cannot be negative.
+        assert!(stats[0].mean >= 0.0 && stats[1].mean >= 0.0);
+        assert_eq!(stats[2], slice_stats(logits.as_slice()));
+    }
+
+    #[test]
+    fn head_stats_move_when_parameters_move() {
+        let mut rng = Prng::new(10);
+        let mut head = FcHead::from_dims(&[5, 7, 3], &mut rng);
+        let x = Tensor::randn(&[6, 5], 1.0, &mut rng);
+        let (_, before) = head_forward_stats(&head, &x);
+        let last = head.num_layers() - 1;
+        head.layer_mut(last).bias_mut().as_mut_slice()[0] += 10.0;
+        let (_, after) = head_forward_stats(&head, &x);
+        assert_eq!(before[0], after[0], "untouched layer stats drifted");
+        assert!(
+            (after[last].mean - before[last].mean).abs() > 1.0,
+            "a 10-logit bias shift must move the logit mean"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probe batch width")]
+    fn head_stats_validate_width() {
+        let mut rng = Prng::new(11);
+        let head = FcHead::from_dims(&[5, 4, 3], &mut rng);
+        let _ = head_forward_stats(&head, &Tensor::zeros(&[2, 6]));
+    }
+}

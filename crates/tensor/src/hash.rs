@@ -1,0 +1,117 @@
+//! FNV-1a hashing — the workspace's one digest for fingerprints and
+//! checksums.
+//!
+//! Reports, arena matrices, and integrity detectors all need a cheap,
+//! portable, order-sensitive digest of exact bit patterns (never of
+//! rounded values). They must also *stay in sync*: a fingerprint
+//! computed by one crate is compared against logs and artifacts written
+//! by another, so the constants and mixing order live here once.
+
+/// Incremental 64-bit FNV-1a hasher.
+///
+/// # Examples
+///
+/// ```
+/// use fsa_tensor::hash::Fnv1a;
+///
+/// let mut h = Fnv1a::new();
+/// h.write_bytes(b"fsa");
+/// h.write_u64(7);
+/// h.write_f32_bits(1.5);
+/// let digest = h.finish();
+/// // Identical write sequences digest identically.
+/// let mut h2 = Fnv1a::new();
+/// h2.write_bytes(b"fsa");
+/// h2.write_u64(7);
+/// h2.write_f32_bits(1.5);
+/// assert_eq!(digest, h2.finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// The FNV-1a 64-bit offset basis.
+    pub const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    /// The FNV-1a 64-bit prime.
+    pub const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A hasher at the offset basis.
+    pub fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    /// Mixes raw bytes in order.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Mixes a `u64` as its little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Mixes an `f32`'s exact bit pattern (little-endian) — bitwise, so
+    /// `-0.0` and `0.0` digest differently and NaN payloads are
+    /// preserved.
+    pub fn write_f32_bits(&mut self, v: f32) {
+        self.write_bytes(&v.to_bits().to_le_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot FNV-1a over the bit patterns of an `f32` slice (the
+/// integrity-checksum primitive).
+pub fn fnv1a_f32_bits(values: &[f32]) -> u64 {
+    let mut h = Fnv1a::new();
+    for &v in values {
+        h.write_f32_bits(v);
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        let mut h = Fnv1a::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let mut a = Fnv1a::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv1a::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn f32_digest_is_bitwise() {
+        assert_ne!(fnv1a_f32_bits(&[0.0]), fnv1a_f32_bits(&[-0.0]));
+        assert_eq!(fnv1a_f32_bits(&[1.5, 2.5]), fnv1a_f32_bits(&[1.5, 2.5]));
+    }
+}

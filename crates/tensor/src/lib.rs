@@ -43,6 +43,7 @@
 
 #![warn(missing_docs)]
 
+pub mod hash;
 pub mod io;
 pub mod linalg;
 pub mod norms;

@@ -1,0 +1,172 @@
+//! Integration: the attack-vs-defense stealth arena is
+//! **bit-deterministic in the thread count** — for every attack method
+//! (FSA, SBA, GDA), both the campaign report and the full
+//! attack×detector [`ArenaReport`] (every verdict's score bits and
+//! decision) are identical whether scenario scoring runs serially or
+//! concurrently, at `FSA_THREADS` = 1, 2, 3, and 8. This extends the
+//! campaign guarantee of `tests/campaign_determinism.rs` across the
+//! defense layer: detector evaluation must be a pure fixed-order
+//! function of bit-deterministic model outputs at every nesting level.
+
+use fault_sneaking::attack::campaign::{AttackMethod, Campaign, CampaignSpec, FsaMethod};
+use fault_sneaking::attack::{AttackConfig, ParamSelection};
+use fault_sneaking::baselines::{GdaMethod, SbaMethod};
+use fault_sneaking::defense::{ArenaReport, DefenseSuite, StealthArena};
+use fault_sneaking::memfault::DramGeometry;
+use fault_sneaking::nn::feature_cache::FeatureCache;
+use fault_sneaking::nn::head::FcHead;
+use fault_sneaking::nn::head_train::{train_head, HeadTrainConfig};
+use fault_sneaking::tensor::{parallel, Prng, Tensor};
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: both mutate the process-global
+/// thread override.
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Class-clustered Gaussian features split into an attack pool and a
+/// disjoint probe set, plus a head trained on the pool.
+fn victim() -> (FcHead, FeatureCache, Vec<usize>, FeatureCache, Vec<usize>) {
+    let mut rng = Prng::new(616161);
+    let n = 160;
+    let d = 16;
+    let classes = 4;
+    let mut x = Tensor::zeros(&[n, d]);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        labels.push(class);
+        for j in 0..d {
+            let center = if j % classes == class { 1.5 } else { 0.0 };
+            x.row_mut(i)[j] = rng.normal(center, 0.5);
+        }
+    }
+    let mut head = FcHead::from_dims(&[d, 24, 24, classes], &mut rng);
+    train_head(
+        &mut head,
+        &x,
+        &labels,
+        &HeadTrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    // Pool rows 0..120 for attacks, 120..160 as the held-out probe.
+    let pool_idx: Vec<usize> = (0..120).collect();
+    let probe_idx: Vec<usize> = (120..160).collect();
+    let gather = |idx: &[usize]| {
+        let mut out = Tensor::zeros(&[idx.len(), d]);
+        let mut l = Vec::with_capacity(idx.len());
+        for (r, &i) in idx.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(x.row(i));
+            l.push(labels[i]);
+        }
+        (FeatureCache::from_features(out), l)
+    };
+    let (pool, pool_labels) = gather(&pool_idx);
+    let (probe, probe_labels) = gather(&probe_idx);
+    (head, pool, pool_labels, probe, probe_labels)
+}
+
+fn suite(head: &FcHead, probe: &FeatureCache, probe_labels: &[usize]) -> DefenseSuite {
+    DefenseSuite::standard(
+        head,
+        probe,
+        probe_labels,
+        // Small rows (16 params each) so the parity monitor has real
+        // granularity over this head's ~1.1k parameters.
+        DramGeometry {
+            banks: 2,
+            rows_per_bank: 256,
+            row_bytes: 64,
+        },
+        0.1,
+        0.75,
+    )
+}
+
+fn sweep() -> CampaignSpec {
+    CampaignSpec::grid(vec![1, 2], vec![4, 12])
+        .with_config(AttackConfig {
+            iterations: 80,
+            ..AttackConfig::default()
+        })
+        .with_weights(20.0, 1.0)
+}
+
+#[test]
+fn arena_matrix_is_bit_identical_for_any_thread_count() {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let (head, pool, pool_labels, probe, probe_labels) = victim();
+    let selection = ParamSelection::last_layer(&head);
+    let campaign = Campaign::new(&head, selection.clone(), pool, pool_labels);
+    let arena = StealthArena::new(&head, selection, suite(&head, &probe, &probe_labels));
+    let spec = sweep();
+    let sba = SbaMethod::default();
+    let gda = GdaMethod::default();
+    let methods: Vec<&dyn AttackMethod> = vec![&FsaMethod, &sba, &gda];
+
+    parallel::set_threads(1);
+    let reference: Vec<ArenaReport> = methods
+        .iter()
+        .map(|m| arena.score_report(&campaign.run_method(&spec, *m)))
+        .collect();
+    // The comparison must not be vacuous: some attack must trip some
+    // detector, and the clean row must trip none.
+    assert!(
+        reference.iter().any(|r| r
+            .rows
+            .iter()
+            .any(|row| row.verdicts.iter().any(|v| v.detected))),
+        "no attack tripped any detector; the fixture is too weak"
+    );
+    for r in &reference {
+        assert_eq!(r.len(), spec.len());
+        assert!(
+            r.clean.iter().all(|v| !v.detected),
+            "{}: clean model tripped a detector",
+            r.method
+        );
+    }
+
+    for threads in [2, 3, 8] {
+        parallel::set_threads(threads);
+        for (m, want) in methods.iter().zip(&reference) {
+            let got = arena.score_report(&campaign.run_method(&spec, *m));
+            assert!(
+                got == *want,
+                "{} arena report changed bits at {threads} threads — \
+                 scenario scoring leaked the partition into a verdict",
+                want.method
+            );
+            assert_eq!(got.fingerprint(), want.fingerprint());
+        }
+    }
+    parallel::set_threads(0);
+}
+
+/// An arena walled off under `with_budget(1, ..)` must degrade to a
+/// serial sweep of the same bits — the budget contract of the nesting
+/// level the arena adds on top of campaigns.
+#[test]
+fn arena_respects_thread_budget_walls() {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let (head, pool, pool_labels, probe, probe_labels) = victim();
+    let selection = ParamSelection::last_layer(&head);
+    let campaign = Campaign::new(&head, selection.clone(), pool, pool_labels);
+    let arena = StealthArena::new(&head, selection, suite(&head, &probe, &probe_labels));
+    let spec = CampaignSpec::grid(vec![1], vec![6]).with_config(AttackConfig {
+        iterations: 50,
+        ..AttackConfig::default()
+    });
+
+    parallel::set_threads(8);
+    let report = campaign.run(&spec);
+    let wide = arena.score_report(&report);
+    let walled = parallel::with_budget(1, || arena.score_report(&report));
+    parallel::set_threads(0);
+    assert!(
+        wide == walled,
+        "budget-walled arena diverged from the wide-budget run"
+    );
+}
