@@ -2,7 +2,7 @@
 //!
 //! `prox_{λf/ρ}(v) = argmin_z λ·f(z) + (ρ/2)‖z − v‖²` for the penalty
 //! functions the attack (and its diagnostics) need. Closed forms follow
-//! Parikh & Boyd, *Proximal Algorithms* (2014) — reference [34] of the
+//! Parikh & Boyd, *Proximal Algorithms* (2014) — reference \[34\] of the
 //! paper.
 
 /// Proximal operator of `λ‖·‖₀`: elementwise **hard thresholding**.

@@ -3,7 +3,7 @@
 //! Solves `min_δ D(z) + G(δ)  s.t. z = δ` by alternating a proximal z-step,
 //! a problem-defined δ-step, and the scaled dual update `s ← s + z − δ`
 //! (paper eqs. 10–12). Residual definitions follow Boyd et al. (2011),
-//! reference [32] of the paper.
+//! reference \[32\] of the paper.
 
 use crate::penalty::RhoPolicy;
 use fsa_tensor::norms;

@@ -6,7 +6,7 @@
 //! components of `δ` while a feasibility check (all faults still land)
 //! passes. There is **no keep-set**: nothing constrains the rest of the
 //! input space, which is why the fault sneaking paper measures a much
-//! larger accuracy drop for [16] under the same fault requirement (§5.4).
+//! larger accuracy drop for \[16\] under the same fault requirement (§5.4).
 
 use fsa_attack::objective::evaluate_hinge;
 use fsa_attack::{AttackSpec, ParamSelection};

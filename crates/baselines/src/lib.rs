@@ -1,6 +1,6 @@
 //! Baseline fault injection attacks from Liu et al.,
 //! *"Fault injection attack on deep neural network"* (ICCAD 2017) —
-//! reference [16] of the fault sneaking attack paper, reimplemented for
+//! reference \[16\] of the fault sneaking attack paper, reimplemented for
 //! the §5.4 comparison.
 //!
 //! Two schemes:

@@ -4,7 +4,7 @@
 //! The attack only ever modifies FC-head parameters (as in the paper's
 //! Sec. 5.1), so the conv stack acts as a fixed feature map; features are
 //! extracted once per dataset and reused by every table/figure binary.
-//! See `DESIGN.md` §4 for the substitution rationale.
+//! See `ARCHITECTURE.md` for the substitution rationale.
 
 use fsa_attack::AttackSpec;
 use fsa_data::dataset::{Dataset, Synthesizer};

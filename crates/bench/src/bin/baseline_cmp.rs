@@ -3,7 +3,7 @@
 //! single-fault requirement.
 //!
 //! Paper's claim: at `S = 1` the fault sneaking attack degrades MNIST
-//! accuracy by 0.8 points and CIFAR by 1.0 (at `R = 1000`), while [16]
+//! accuracy by 0.8 points and CIFAR by 1.0 (at `R = 1000`), while \[16\]
 //! degrades them by 3.86 and 2.35 points respectively in its best case —
 //! the keep-set constraint is what buys the stealth.
 

@@ -55,10 +55,12 @@
 //! assert!(report.outcomes.iter().all(|o| o.result.delta.iter().all(|d| d.is_finite())));
 //! ```
 
+use crate::precision::{Precision, QuantizedSelection};
 use crate::selection::ParamSelection;
 use crate::solver::{AttackConfig, AttackResult, FaultSneakingAttack, Norm};
 use crate::spec::AttackSpec;
 use fsa_nn::head::FcHead;
+use fsa_nn::quant::QuantizedHead;
 use fsa_nn::FeatureCache;
 use fsa_tensor::{parallel, Prng};
 
@@ -114,6 +116,11 @@ pub struct CampaignSpec {
     pub c_attack: f32,
     /// Weight on the `K` keep terms (paper eq. 6).
     pub c_keep: f32,
+    /// Storage format the campaign attacks. Under [`Precision::Int8`]
+    /// every scenario's victim is the quantized model, the optimized δ
+    /// is projected onto the int8 grid, and outcomes are re-measured
+    /// under int8 inference (see [`Campaign::run_method`]).
+    pub precision: Precision,
 }
 
 impl CampaignSpec {
@@ -129,7 +136,14 @@ impl CampaignSpec {
             base,
             c_attack: 10.0,
             c_keep: 1.0,
+            precision: Precision::F32,
         }
+    }
+
+    /// Sets the storage format the campaign attacks.
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 
     /// Replaces the sparsity-budget axis.
@@ -310,6 +324,10 @@ pub struct CampaignReport {
     /// Identifier of the [`AttackMethod`] that produced the outcomes
     /// (`"fsa"` for [`Campaign::run`]).
     pub method: String,
+    /// Storage format the campaign attacked (copied from the spec).
+    /// Under [`Precision::Int8`] every outcome's δ lies on the int8
+    /// grid and its counters were measured under int8 inference.
+    pub precision: Precision,
     /// Per-scenario outcomes, index-aligned with
     /// [`CampaignSpec::scenarios`].
     pub outcomes: Vec<ScenarioOutcome>,
@@ -358,6 +376,7 @@ impl CampaignReport {
     pub fn fingerprint(&self) -> u64 {
         let mut h = fsa_tensor::hash::Fnv1a::new();
         h.write_bytes(self.method.as_bytes());
+        h.write_u64(self.precision.tag());
         let mut mix = |v: u64| h.write_u64(v);
         for o in &self.outcomes {
             mix(o.scenario.index as u64);
@@ -512,6 +531,35 @@ impl<'a> Campaign<'a> {
 
     /// Runs the whole scenario matrix under the fault sneaking attack
     /// ([`FsaMethod`]) and returns its report.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fsa_attack::campaign::{Campaign, CampaignSpec};
+    /// use fsa_attack::{AttackConfig, ParamSelection};
+    /// use fsa_nn::head::FcHead;
+    /// use fsa_nn::FeatureCache;
+    /// use fsa_tensor::{Prng, Tensor};
+    ///
+    /// let mut rng = Prng::new(5);
+    /// let head = FcHead::from_dims(&[6, 12, 3], &mut rng);
+    /// let pool = Tensor::randn(&[12, 6], 1.0, &mut rng);
+    /// let labels = head.predict(&pool);
+    /// let campaign = Campaign::new(
+    ///     &head,
+    ///     ParamSelection::last_layer(&head),
+    ///     FeatureCache::from_features(pool),
+    ///     labels,
+    /// );
+    /// let spec = CampaignSpec::grid(vec![1], vec![2, 4]).with_config(AttackConfig {
+    ///     iterations: 40,
+    ///     ..AttackConfig::default()
+    /// });
+    /// let report = campaign.run(&spec);
+    /// assert_eq!(report.len(), 2);
+    /// // Reports are bit-deterministic: a rerun reproduces every δ.
+    /// assert_eq!(campaign.run(&spec), report);
+    /// ```
     pub fn run(&self, spec: &CampaignSpec) -> CampaignReport {
         self.run_method(spec, &FsaMethod)
     }
@@ -532,7 +580,31 @@ impl<'a> Campaign<'a> {
     /// contract every other nesting level uses, so a campaign inside a
     /// `with_budget(1, ..)` wall degrades to a serial sweep of the same
     /// bits.
+    ///
+    /// # Precision
+    ///
+    /// Under [`Precision::Int8`] the deployed victim is the
+    /// post-training-quantized model: the method optimizes over its
+    /// *dequantized* `f32` view (every parameter an exact grid point),
+    /// the resulting δ is projected onto the representable int8 grid
+    /// ([`QuantizedSelection::project`]), and success/keep counters are
+    /// re-measured under the actual int8 inference path. Working-set
+    /// draws still come from the `f32` reference predictions, so the
+    /// F32 and Int8 rows of a sweep attack the *same* images with the
+    /// same targets — cross-precision comparisons are cell-aligned by
+    /// construction.
     pub fn run_method(&self, spec: &CampaignSpec, method: &dyn AttackMethod) -> CampaignReport {
+        // Quantize once per run: the storage metadata is shared
+        // read-only by every scenario worker.
+        let quant = match spec.precision {
+            Precision::F32 => None,
+            Precision::Int8 => {
+                let qclean = QuantizedHead::quantize(self.head);
+                let deq = qclean.dequantized_head();
+                let qsel = QuantizedSelection::gather(&qclean, &self.selection);
+                Some((qclean, deq, qsel))
+            }
+        };
         let scenarios = spec.scenarios();
         // Every scenario is a full attack — always worth a worker.
         let plan = parallel::plan_nested(scenarios.len(), 1, 1);
@@ -540,7 +612,13 @@ impl<'a> Campaign<'a> {
             let sc = scenarios[i];
             let aspec = self.scenario_spec(&sc, spec.c_attack, spec.c_keep);
             let targets = aspec.targets.clone();
-            let result = method.run_scenario(self.head, &self.selection, spec, &sc, &aspec);
+            let result = match &quant {
+                None => method.run_scenario(self.head, &self.selection, spec, &sc, &aspec),
+                Some((qclean, deq, qsel)) => {
+                    let raw = method.run_scenario(deq, &self.selection, spec, &sc, &aspec);
+                    self.project_int8(qclean, qsel, &aspec, raw)
+                }
+            };
             ScenarioOutcome {
                 scenario: sc,
                 targets,
@@ -549,8 +627,37 @@ impl<'a> Campaign<'a> {
         });
         CampaignReport {
             method: method.name(),
+            precision: spec.precision,
             outcomes,
         }
+    }
+
+    /// Projects an optimized δ onto realizable int8 storage (weight
+    /// bytes snap to their grids, bias words pass through) and
+    /// re-measures the outcome under int8 inference: the realized δ
+    /// replaces the continuous one, its norms are recomputed, and
+    /// success/keep counters come from the quantized forward of the
+    /// attacked storage. Iteration histories and the convergence flag
+    /// are kept as diagnostics of the optimization that produced the
+    /// plan.
+    fn project_int8(
+        &self,
+        qclean: &QuantizedHead,
+        qsel: &QuantizedSelection,
+        aspec: &AttackSpec,
+        mut result: crate::solver::AttackResult,
+    ) -> crate::solver::AttackResult {
+        let (q_new, realized) = qsel.project(&result.delta);
+        let mut attacked = qclean.clone();
+        qsel.apply(&mut attacked, &self.selection, &q_new, &realized);
+        let logits = attacked.forward(&aspec.features);
+        let (s_hits, keep_hits) = crate::objective::count_satisfied(aspec, &logits);
+        result.l0 = fsa_tensor::norms::l0(&realized, 0.0);
+        result.l2 = fsa_tensor::norms::l2(&realized);
+        result.s_success = s_hits;
+        result.keep_unchanged = keep_hits;
+        result.delta = realized;
+        result
     }
 }
 
@@ -622,6 +729,48 @@ mod tests {
         assert_eq!(a, b, "repeat campaign runs must be bit-identical");
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn int8_campaign_realizes_grid_deltas() {
+        let (head, cache, labels) = fixture();
+        let campaign = Campaign::new(&head, ParamSelection::last_layer(&head), cache, labels);
+        let spec = CampaignSpec::grid(vec![1], vec![2])
+            .with_config(AttackConfig {
+                iterations: 40,
+                ..AttackConfig::default()
+            })
+            .with_precision(Precision::Int8);
+        let report = campaign.run(&spec);
+        assert_eq!(report.precision, Precision::Int8);
+        let qclean = QuantizedHead::quantize(&head);
+        let qsel = QuantizedSelection::gather(&qclean, &ParamSelection::last_layer(&head));
+        for o in &report.outcomes {
+            // Every realized δ must be an exact grid displacement:
+            // projecting it again changes nothing.
+            let (_, reprojected) = qsel.project(&o.result.delta);
+            assert_eq!(reprojected, o.result.delta, "δ left the int8 grid");
+            assert_eq!(
+                o.result.l0,
+                o.result.delta.iter().filter(|&&d| d != 0.0).count()
+            );
+        }
+        // Same matrix, different storage: the f32 report differs but is
+        // cell-aligned (same scenarios, same targets).
+        let f32_report = campaign.run(&CampaignSpec {
+            precision: Precision::F32,
+            ..spec.clone()
+        });
+        assert_eq!(f32_report.len(), report.len());
+        for (a, b) in f32_report.outcomes.iter().zip(&report.outcomes) {
+            assert_eq!(a.scenario, b.scenario);
+            assert_eq!(a.targets, b.targets);
+        }
+        assert_ne!(
+            f32_report.fingerprint(),
+            report.fingerprint(),
+            "precision must be part of the report identity"
+        );
     }
 
     #[test]

@@ -45,6 +45,7 @@
 pub mod campaign;
 pub mod eval;
 pub mod objective;
+pub mod precision;
 pub mod refine;
 pub mod selection;
 pub mod solver;
@@ -55,6 +56,7 @@ pub use campaign::{
     ScenarioOutcome, SparsityBudget,
 };
 pub use eval::AttackOutcome;
+pub use precision::{Precision, QuantizedSelection};
 pub use selection::{ParamKind, ParamSelection};
 pub use solver::{AttackConfig, AttackResult, FaultSneakingAttack, Norm};
 pub use spec::AttackSpec;

@@ -85,6 +85,23 @@ impl AttackSpec {
     /// [`AttackSpec::from_model`]'s extraction, and the resulting spec
     /// is bit-identical to the `from_model` one for the same images.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fsa_attack::AttackSpec;
+    /// use fsa_nn::FeatureCache;
+    /// use fsa_tensor::{Prng, Tensor};
+    ///
+    /// let mut rng = Prng::new(2);
+    /// // A 6-image pool of 4-wide head-input features.
+    /// let cache = FeatureCache::from_features(Tensor::randn(&[6, 4], 1.0, &mut rng));
+    /// // Working set: pool rows 4, 0, 2; flip the first to class 1.
+    /// let spec = AttackSpec::from_cache(&cache, &[4, 0, 2], vec![0, 0, 2], vec![1]);
+    /// assert_eq!(spec.s(), 1);
+    /// assert_eq!(spec.r(), 3);
+    /// assert_eq!(spec.features.as_slice(), cache.gather(&[4, 0, 2]).as_slice());
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics under the same label/shape conditions as

@@ -16,7 +16,7 @@
 //! The attack itself never inspects pixels — it operates on the logits of a
 //! trained model — so what matters is the existence of a high-accuracy
 //! victim (MNIST-like) and a moderate-accuracy victim (CIFAR-like), which
-//! Table 4 and Fig. 3 of the paper contrast. See `DESIGN.md` §4.
+//! Table 4 and Fig. 3 of the paper contrast (see `ARCHITECTURE.md`).
 //!
 //! # Examples
 //!

@@ -16,7 +16,7 @@
 //! outputs, so the whole [`ArenaReport`] is **bit-identical** serial vs
 //! concurrent at any `FSA_THREADS` (`tests/arena_determinism.rs`).
 //!
-//! Because [`Campaign::run_method`] sweeps the fault sneaking attack
+//! Because [`fsa_attack::campaign::Campaign::run_method`] sweeps the fault sneaking attack
 //! and the SBA/GDA baselines over the *same* matrix, arena reports for
 //! the three methods are cell-aligned: the §5.4 comparison is literally
 //! `fsa_report.detection_rate(d) < gda_report.detection_rate(d)` on the
@@ -26,7 +26,7 @@ use crate::detector::{detect_at, Observation, Verdict};
 use crate::suite::DefenseSuite;
 use fsa_attack::campaign::{CampaignReport, Scenario};
 use fsa_attack::eval::attacked_head;
-use fsa_attack::ParamSelection;
+use fsa_attack::{ParamSelection, Precision};
 use fsa_nn::head::FcHead;
 use fsa_tensor::parallel;
 
@@ -58,6 +58,12 @@ pub struct RocPoint {
 pub struct ArenaReport {
     /// Attack method the scored campaign ran (`"fsa"`, `"sba"`, …).
     pub method: String,
+    /// Storage format the scored campaign attacked (copied from the
+    /// campaign report). For [`Precision::Int8`] the arena must be
+    /// bound to the *dequantized clean quantized head* so the suite's
+    /// calibration matches the deployed artifact — see
+    /// [`StealthArena::new`].
+    pub precision: Precision,
     /// Detector names — the matrix columns, in suite order.
     pub detectors: Vec<String>,
     /// The clean reference model's verdicts (false-positive reference).
@@ -149,6 +155,7 @@ impl ArenaReport {
     pub fn fingerprint(&self) -> u64 {
         let mut h = fsa_tensor::hash::Fnv1a::new();
         h.write_bytes(self.method.as_bytes());
+        h.write_u64(self.precision.tag());
         for d in &self.detectors {
             h.write_bytes(d.as_bytes());
         }
@@ -177,11 +184,25 @@ pub struct StealthArena<'a> {
     selection: ParamSelection,
     suite: DefenseSuite,
     theta0: Vec<f32>,
+    /// Storage format this arena's reference/suite were calibrated for;
+    /// [`StealthArena::score_report`] rejects reports of any other
+    /// precision.
+    precision: Precision,
 }
 
 impl<'a> StealthArena<'a> {
     /// Binds the arena. `selection` must be the selection the scored
     /// campaigns ran under (δ vectors are interpreted over its layout).
+    ///
+    /// `reference` must be the clean deployed model the campaign
+    /// attacked: the original `f32` head for [`Precision::F32`]
+    /// campaigns, the **dequantized clean quantized head**
+    /// ([`fsa_nn::quant::QuantizedHead::dequantized_head`]) for
+    /// [`Precision::Int8`] campaigns — and the suite must be calibrated
+    /// on that same model, or the clean row will alarm spuriously. An
+    /// arena built with `new` scores [`Precision::F32`] reports; bind
+    /// an int8 arena with [`StealthArena::with_precision`], and
+    /// [`StealthArena::score_report`] rejects mismatched reports.
     ///
     /// # Panics
     ///
@@ -194,7 +215,15 @@ impl<'a> StealthArena<'a> {
             selection,
             suite,
             theta0,
+            precision: Precision::F32,
         }
+    }
+
+    /// Declares which storage format this arena's reference and suite
+    /// were calibrated for (default [`Precision::F32`]).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
     }
 
     /// The bound detector suite.
@@ -210,10 +239,59 @@ impl<'a> StealthArena<'a> {
     /// every cell is a pure function of its scenario's δ, so the report
     /// is bit-identical for any `FSA_THREADS`.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fsa_attack::campaign::{Campaign, CampaignSpec};
+    /// use fsa_attack::{AttackConfig, ParamSelection};
+    /// use fsa_defense::checksum::ChecksumDetector;
+    /// use fsa_defense::{DefenseSuite, StealthArena};
+    /// use fsa_nn::head::FcHead;
+    /// use fsa_nn::FeatureCache;
+    /// use fsa_tensor::{Prng, Tensor};
+    ///
+    /// let mut rng = Prng::new(8);
+    /// let head = FcHead::from_dims(&[6, 12, 3], &mut rng);
+    /// let pool = Tensor::randn(&[12, 6], 1.0, &mut rng);
+    /// let labels = head.predict(&pool);
+    /// let selection = ParamSelection::last_layer(&head);
+    /// let campaign = Campaign::new(
+    ///     &head,
+    ///     selection.clone(),
+    ///     FeatureCache::from_features(pool),
+    ///     labels,
+    /// );
+    /// let report = campaign.run(
+    ///     &CampaignSpec::grid(vec![1], vec![2]).with_config(AttackConfig {
+    ///         iterations: 40,
+    ///         ..AttackConfig::default()
+    ///     }),
+    /// );
+    ///
+    /// let mut suite = DefenseSuite::new();
+    /// suite.push(Box::new(ChecksumDetector::new(&head, 16, 2)));
+    /// let arena = StealthArena::new(&head, selection, suite);
+    /// let matrix = arena.score_report(&report);
+    /// assert_eq!(matrix.len(), report.len());
+    /// // The clean reference row never alarms on a calibrated suite.
+    /// assert!(matrix.clean.iter().all(|v| !v.detected));
+    /// ```
+    ///
     /// # Panics
     ///
-    /// Panics if any outcome's δ length differs from the selection.
+    /// Panics if the report's precision differs from the arena's
+    /// ([`StealthArena::with_precision`]) — the reference model and
+    /// suite calibration are precision-specific — or if any outcome's δ
+    /// length differs from the selection.
     pub fn score_report(&self, report: &CampaignReport) -> ArenaReport {
+        assert_eq!(
+            report.precision,
+            self.precision,
+            "arena calibrated for {} cannot score a {} campaign — bind a \
+             reference/suite for that precision (see StealthArena::new)",
+            self.precision.name(),
+            report.precision.name()
+        );
         let clean = self.suite.evaluate(&Observation {
             head: self.reference,
         });
@@ -233,6 +311,7 @@ impl<'a> StealthArena<'a> {
         });
         ArenaReport {
             method: report.method.clone(),
+            precision: report.precision,
             detectors: self.suite.names(),
             clean,
             rows,

@@ -53,36 +53,73 @@ impl ParamAddress {
     }
 }
 
-/// Maps a contiguous `f32` parameter buffer onto DRAM rows.
+/// Maps a contiguous parameter buffer onto DRAM rows.
 ///
 /// Rows are filled sequentially and striped across banks (row-interleaved
-/// mapping, the common open-page policy layout).
+/// mapping, the common open-page policy layout). The word size is the
+/// storage width of one parameter: 4 bytes for the `f32` pipeline
+/// ([`ParamLayout::new`]), 1 byte for the int8 backend
+/// ([`ParamLayout::with_word_bytes`]) — the same geometry holds 4× as
+/// many quantized parameters per row, which is precisely why the int8
+/// story changes the parity and audit arithmetic.
 #[derive(Debug, Clone)]
 pub struct ParamLayout {
     geometry: DramGeometry,
     base_byte: usize,
     len: usize,
+    word_bytes: usize,
 }
 
 impl ParamLayout {
-    /// Lays out `len` parameters starting at byte address `base_byte`.
+    /// Lays out `len` `f32` parameters (4-byte words) starting at byte
+    /// address `base_byte`.
     ///
     /// # Panics
     ///
     /// Panics if the buffer exceeds the device capacity or the base is
     /// not 4-byte aligned.
     pub fn new(geometry: DramGeometry, base_byte: usize, len: usize) -> Self {
-        assert_eq!(base_byte % 4, 0, "parameter base must be word aligned");
+        Self::with_word_bytes(geometry, base_byte, len, 4)
+    }
+
+    /// Lays out `len` parameters of `word_bytes` bytes each starting at
+    /// byte address `base_byte` — `word_bytes = 1` is the int8 backend's
+    /// one-byte-per-parameter storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word_bytes` is zero or does not divide the row size
+    /// (a word straddling a row boundary would belong to two rows,
+    /// which the per-row parity/flip arithmetic does not model), the
+    /// buffer exceeds the device capacity, or the base is not
+    /// word-aligned.
+    pub fn with_word_bytes(
+        geometry: DramGeometry,
+        base_byte: usize,
+        len: usize,
+        word_bytes: usize,
+    ) -> Self {
         assert!(
-            base_byte + 4 * len <= geometry.capacity(),
+            word_bytes > 0 && geometry.row_bytes % word_bytes == 0,
+            "word size {word_bytes} must divide the row size {}",
+            geometry.row_bytes
+        );
+        assert_eq!(
+            base_byte % word_bytes,
+            0,
+            "parameter base must be word aligned"
+        );
+        assert!(
+            base_byte + word_bytes * len <= geometry.capacity(),
             "parameter buffer ({} bytes at {base_byte}) exceeds DRAM capacity {}",
-            4 * len,
+            word_bytes * len,
             geometry.capacity()
         );
         Self {
             geometry,
             base_byte,
             len,
+            word_bytes,
         }
     }
 
@@ -101,6 +138,11 @@ impl ParamLayout {
         &self.geometry
     }
 
+    /// Storage width of one parameter in bytes.
+    pub fn word_bytes(&self) -> usize {
+        self.word_bytes
+    }
+
     /// Physical address of parameter `index`.
     ///
     /// # Panics
@@ -112,7 +154,7 @@ impl ParamLayout {
             "parameter index {index} out of range {}",
             self.len
         );
-        let byte_addr = self.base_byte + 4 * index;
+        let byte_addr = self.base_byte + self.word_bytes * index;
         let global_row = byte_addr / self.geometry.row_bytes;
         let bank = global_row % self.geometry.banks;
         let row = global_row / self.geometry.banks;
@@ -172,6 +214,40 @@ mod tests {
         // Params 0..8 share row (0,0); 8..16 share (1,0).
         let rows = layout.rows_touched(&[0, 1, 7, 8, 9]);
         assert_eq!(rows, vec![(0, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn byte_granular_layout_packs_four_times_as_many_words() {
+        let g = DramGeometry {
+            banks: 2,
+            rows_per_bank: 8,
+            row_bytes: 64,
+        };
+        let f32_layout = ParamLayout::new(g, 0, 32);
+        let i8_layout = ParamLayout::with_word_bytes(g, 0, 32, 1);
+        assert_eq!(i8_layout.word_bytes(), 1);
+        // 16 f32 words per row vs 64 bytes per row.
+        assert_eq!(f32_layout.address(16).row_id(), (1, 0));
+        assert_eq!(i8_layout.address(16).row_id(), (0, 0));
+        assert_eq!(i8_layout.address(16).byte, 16);
+        // The whole int8 buffer fits in the first row.
+        assert_eq!(
+            i8_layout.rows_touched(&(0..32).collect::<Vec<_>>()).len(),
+            1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide the row size")]
+    fn straddling_word_sizes_are_rejected() {
+        // A 3-byte word would straddle row boundaries of a 64-byte row;
+        // per-row flip accounting cannot attribute it to one row.
+        let g = DramGeometry {
+            banks: 2,
+            rows_per_bank: 8,
+            row_bytes: 64,
+        };
+        let _ = ParamLayout::with_word_bytes(g, 0, 16, 3);
     }
 
     #[test]

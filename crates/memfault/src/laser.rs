@@ -1,6 +1,6 @@
 //! Laser fault injection model.
 //!
-//! Laser injection (Selmke et al. [18]) flips any chosen bit precisely,
+//! Laser injection (Selmke et al. \[18\]) flips any chosen bit precisely,
 //! but each *target location* requires re-positioning and re-tuning the
 //! beam, which dominates the attack time; individual pulses are
 //! comparatively cheap. Cost therefore scales with the number of modified

@@ -3,11 +3,11 @@
 //! The fault sneaking attack paper motivates minimizing `‖δ‖₀` with the
 //! *hardware cost* of realizing parameter modifications: laser fault
 //! injection flips precisely-targeted SRAM bits but pays a per-target
-//! tuning cost [18], while rowhammer flips DRAM bits only in vulnerable
+//! tuning cost \[18\], while rowhammer flips DRAM bits only in vulnerable
 //! cells adjacent to aggressor rows, probabilistically, after many row
-//! activations [19]. Neither physical apparatus is available here, so this
+//! activations \[19\]. Neither physical apparatus is available here, so this
 //! crate simulates both with published cost characteristics (see
-//! `DESIGN.md` §4):
+//! `ARCHITECTURE.md` for how the plans feed the rest of the pipeline):
 //!
 //! * [`bits`] — IEEE-754 views of parameters and flip arithmetic;
 //! * [`dram`] — a DRAM geometry and the address mapping of a parameter
@@ -19,7 +19,12 @@
 //!   costing it under both injectors;
 //! * [`parity`] — the defense side: ECC-style per-row parity that flags
 //!   odd flip counts, the surface `fsa-defense`'s DRAM parity monitor
-//!   checks bit-flip plans against.
+//!   checks bit-flip plans against;
+//! * [`quant`] — the same planning against **int8 storage**: one byte
+//!   per parameter ([`dram::ParamLayout::with_word_bytes`]), at most 8
+//!   flips per modified word, 4× the parameters per DRAM row, and the
+//!   byte-block checksum surface — the physically-meaningful form of
+//!   the paper's ℓ0 budget on a quantized backend.
 //!
 //! The end-to-end `fault_plan` experiment binary uses this to compare the
 //! hardware realizability of `ℓ0`- vs `ℓ2`-minimized modifications.
@@ -31,10 +36,12 @@ pub mod dram;
 pub mod laser;
 pub mod parity;
 pub mod plan;
+pub mod quant;
 pub mod rowhammer;
 
 pub use dram::{DramGeometry, ParamAddress};
 pub use laser::LaserInjector;
 pub use parity::RowParity;
 pub use plan::{FaultPlan, WordChange};
+pub use quant::{QuantChange, QuantFaultPlan};
 pub use rowhammer::{HammerOutcome, RowhammerInjector};

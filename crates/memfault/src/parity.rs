@@ -91,7 +91,7 @@ impl RowParity {
 /// common case merges into the *last* entry in O(1); a post-sort pass
 /// merges any runs of the same row that were not adjacent in input
 /// order, keeping the fold linear instead of O(items × rows).
-fn fold_rows<T>(
+pub(crate) fn fold_rows<T>(
     items: impl Iterator<Item = ((usize, usize), T)>,
     merge: impl Fn(&mut T, T),
 ) -> Vec<((usize, usize), T)> {

@@ -1,6 +1,6 @@
 //! Rowhammer fault injection model.
 //!
-//! Rowhammer (Kim et al. [19]) flips DRAM bits by repeatedly activating
+//! Rowhammer (Kim et al. \[19\]) flips DRAM bits by repeatedly activating
 //! *aggressor* rows adjacent to a victim row. Only a device-specific
 //! population of vulnerable cells can flip, each with a fixed preferred
 //! direction (1→0 or 0→1), and each hammering round succeeds only

@@ -1,6 +1,6 @@
 //! Training the FC head directly on cached convolutional features.
 //!
-//! The experiment pipeline (DESIGN.md §4) freezes the conv stack and trains
+//! The experiment pipeline (see `ARCHITECTURE.md`) freezes the conv stack and trains
 //! only the head: features are extracted once, then the head is fit with
 //! Adam. Because [`FcHead::logit_backward`] computes gradients of
 //! `⟨G, Z⟩` for an arbitrary upstream matrix `G`, and the softmax

@@ -3,14 +3,14 @@
 //! The fault sneaking attack (DAC'19) perturbs the parameters of a trained
 //! CNN. This crate builds that CNN from scratch — no deep-learning crates:
 //!
-//! * [`layer`] — the [`Layer`](layer::Layer) trait and batch conventions;
+//! * [`layer`] — the [`Layer`] trait and batch conventions;
 //! * [`linear`], [`conv`], [`pool`], [`activation`] — layers with hand
 //!   derived backward passes (`Conv2d` uses im2col/col2im);
 //! * [`loss`] — fused softmax + cross-entropy;
 //! * [`network`] — a sequential container with save/load;
 //! * [`optimizer`], [`trainer`] — SGD(+momentum)/Adam and a training loop;
 //! * [`gradcheck`] — finite-difference verification used by the test suite;
-//! * [`head`] — [`FcHead`](head::FcHead), the three-FC-layer classifier head
+//! * [`head`] — [`FcHead`], the three-FC-layer classifier head
 //!   the attack modifies, with *truncated* forward/backward from any layer
 //!   (exact, and the key to running R=1000 experiments on one CPU core);
 //! * [`cw`] — builders for the Carlini–Wagner architecture used by the
@@ -20,7 +20,13 @@
 //!   campaign of concurrent attacks;
 //! * [`stats`] — per-layer activation-statistics taps on the inference
 //!   pipeline (`Network::forward_infer_stats`, `head_forward_stats`),
-//!   the observable surface `fsa-defense`'s drift detector monitors.
+//!   the observable surface `fsa-defense`'s drift detector monitors;
+//! * [`quant`] — the post-training int8 backend:
+//!   [`QuantizedHead`](quant::QuantizedHead) stores one byte per weight
+//!   on symmetric per-tensor grids (biases stay `f32`, as deployed int8
+//!   runtimes keep them) and runs inference through the
+//!   exact-accumulation i8×i8→i32 kernel — the storage model
+//!   `fsa-memfault`'s bit-level fault planner addresses.
 //!
 //! # Examples
 //!
@@ -51,6 +57,7 @@ pub mod loss;
 pub mod network;
 pub mod optimizer;
 pub mod pool;
+pub mod quant;
 pub mod stats;
 pub mod trainer;
 

@@ -4,9 +4,10 @@
 //! the workspace: a contiguous row-major [`Tensor`], the parallel tiled
 //! matrix kernel engine ([`linalg`]) with its thread dispatcher
 //! ([`parallel`]) and scratch-buffer arena ([`workspace`]), vector norms
-//! ([`norms`]) including the `ℓ0` pseudo-norm the paper minimizes, a
-//! deterministic random number generator ([`Prng`]) and a compact binary
-//! serialization format ([`io`]).
+//! ([`norms`]) including the `ℓ0` pseudo-norm the paper minimizes, the
+//! symmetric int8 quantization substrate with its exact-accumulation
+//! i8×i8→i32 kernel ([`quant`]), a deterministic random number generator
+//! ([`Prng`]) and a compact binary serialization format ([`io`]).
 //!
 //! # The `parallel` feature
 //!
@@ -48,6 +49,7 @@ pub mod io;
 pub mod linalg;
 pub mod norms;
 pub mod parallel;
+pub mod quant;
 pub mod rng;
 pub mod shape;
 pub mod tensor;

@@ -9,9 +9,9 @@
 //!    crate's `parallel` feature). Each block is written by exactly one
 //!    thread; no synchronization, no atomics.
 //! 2. **Cache blocking** — within a block the shared `k` dimension is
-//!    tiled by [`KC`] so the streamed panels of `A`/`B` stay resident in
+//!    tiled by the `KC` constant so the streamed panels of `A`/`B` stay resident in
 //!    L1/L2 while a register tile accumulates.
-//! 3. **Register-blocked micro-kernel** — [`MR`]`×`[`NR`] (4×8) output
+//! 3. **Register-blocked micro-kernel** — `MR`×`NR` (4×8) output
 //!    tiles are accumulated in local arrays the compiler keeps in vector
 //!    registers, with the column loop unrolled 8 wide; one pass over a
 //!    `k` panel performs 32 multiply-adds per 12 loads instead of the

@@ -193,6 +193,30 @@ impl NestedPlan {
 /// flows to each worker's inner kernels. With a single item, a budget
 /// of 1, or less than two workers' worth of rows, the plan is
 /// [`NestedPlan::Serial`] and row-block parallelism alone applies.
+///
+/// # Examples
+///
+/// ```
+/// use fsa_tensor::parallel::{plan_nested, with_budget, NestedPlan};
+///
+/// // Inside a budget wall of one thread every plan degrades to serial.
+/// with_budget(1, || {
+///     assert_eq!(plan_nested(16, 4, 1), NestedPlan::Serial);
+/// });
+/// // With threads to spend, item-level workers never exceed the item
+/// // count and the leftover budget flows to each worker's kernels.
+/// with_budget(8, || {
+///     match plan_nested(4, 64, 1) {
+///         NestedPlan::Batch { workers, inner_budget } => {
+///             assert!(workers <= 4);
+///             assert_eq!(inner_budget, 8 / workers);
+///         }
+///         // A serial build (`--no-default-features`) degrades every
+///         // plan to inline execution of the same work.
+///         NestedPlan::Serial => {}
+///     }
+/// });
+/// ```
 pub fn plan_nested(items: usize, rows_per_item: usize, min_rows: usize) -> NestedPlan {
     let budget = max_threads();
     if budget <= 1 || items <= 1 {
@@ -295,6 +319,18 @@ pub fn nested_row_blocks(
 /// output vector is assembled in index order, so the returned value is
 /// identical for every plan (and hence every `FSA_THREADS`) as long as
 /// `f` itself is deterministic per item.
+///
+/// # Examples
+///
+/// ```
+/// use fsa_tensor::parallel::{nested_map, plan_nested};
+///
+/// // Results come back in item order no matter how the plan split the
+/// // work across scoped threads.
+/// let plan = plan_nested(5, 1, 1);
+/// let squares = nested_map(5, plan, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
 pub fn nested_map<T: Send>(
     items: usize,
     plan: NestedPlan,
@@ -361,15 +397,19 @@ pub fn par_items<T: Send>(items: Vec<T>, f: impl Fn(T) + Sync) {
 /// Blocks hold at least `min_rows` rows (except possibly the only block),
 /// so tiny matrices never pay thread spawn overhead.
 ///
+/// Generic over the element type so integer kernels (the `i32`
+/// accumulators of [`crate::quant::gemm_i8_nt`]) route through the same
+/// dispatcher as the `f32` engine.
+///
 /// # Panics
 ///
 /// Panics if `buf.len()` is not a multiple of `row_len` (for
 /// `row_len > 0`).
-pub fn par_row_blocks(
-    buf: &mut [f32],
+pub fn par_row_blocks<T: Send>(
+    buf: &mut [T],
     row_len: usize,
     min_rows: usize,
-    f: impl Fn(usize, &mut [f32]) + Sync,
+    f: impl Fn(usize, &mut [T]) + Sync,
 ) {
     if buf.is_empty() {
         return;

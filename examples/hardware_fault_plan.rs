@@ -1,6 +1,16 @@
 //! From optimization to hardware: compile an attack δ into bit flips and
 //! cost it under the simulated laser and rowhammer injectors.
 //!
+//! This is the paper's §5.5 motivation made concrete: an `ℓ0`-minimized
+//! δ names few parameter words, so realizing it costs few precisely
+//! targeted laser flips and touches few DRAM rows for a rowhammer
+//! campaign. The example compiles the same attack under both budgets
+//! into [`FaultPlan`]s, prints words/bits/rows and per-injector cost,
+//! then actually *simulates* rowhammer injection and re-measures the
+//! attack on the corrupted parameters — the realized-δ loop. (For the
+//! int8 storage version of this pipeline see
+//! `examples/quantized_attack.rs`.)
+//!
 //! ```text
 //! cargo run --release --example hardware_fault_plan
 //! ```

@@ -1,6 +1,15 @@
 //! The `ℓ0` vs `ℓ2` trade-off (paper Table 3) on a small victim: the
 //! `ℓ0` attack touches fewer parameters, the `ℓ2` attack moves less mass.
 //!
+//! Both budgets solve the same fault requirement with the same ADMM
+//! machinery — only the z-step's proximal operator differs (hard
+//! thresholding for `ℓ0`, eq. 16; block soft thresholding for `ℓ2`,
+//! eq. 18) — so the printed comparison isolates exactly the paper's
+//! sparsity-vs-magnitude trade-off: how many parameters move, and by
+//! how much in total, to buy the same misclassification. This is the
+//! trade-off that later becomes *hardware cost* in
+//! `examples/hardware_fault_plan.rs`.
+//!
 //! ```text
 //! cargo run --release --example norm_tradeoff
 //! ```

@@ -1,5 +1,13 @@
 //! Quickstart: inject one sneaking fault into a small trained classifier.
 //!
+//! The smallest end-to-end tour of the paper's pipeline: train an FC
+//! head on separable synthetic features, pick one correctly-classified
+//! image and a wrong target label for it, let the ADMM attack compute a
+//! sparse parameter modification `δ` over the last layer, and verify
+//! that the fault landed while the rest of the working set kept its
+//! labels. Everything downstream (campaigns, the stealth arena, the
+//! int8 backend) is this loop at scale.
+//!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```

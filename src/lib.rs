@@ -20,7 +20,8 @@
 //! * [`baselines`] — Liu et al. ICCAD'17 SBA/GDA comparison attacks,
 //!   also runnable as campaign methods over the same scenario matrix;
 //! * [`memfault`] — simulated laser/rowhammer fault injection hardware,
-//!   plus the ECC-style row-parity defense surface;
+//!   the ECC-style row-parity defense surface, and byte-granular fault
+//!   planning against int8 storage;
 //! * [`defense`] — the detector suite and attack-vs-defense stealth
 //!   arena (see below);
 //! * [`tensor`] — the dense `f32` tensor substrate everything runs on.
@@ -46,6 +47,27 @@
 //! `cargo run --release -p fsa-bench --bin arena` for the full
 //! matrix (`BENCH_PR4.json`).
 //!
+//! # The int8 backend: attacking parameters as bytes
+//!
+//! The paper frames fault sneaking as modifying parameters *as stored
+//! in memory*; on a quantized inference backend that storage is one
+//! byte per weight, not an `f32` word. The workspace models this end to
+//! end: [`nn::quant::QuantizedHead`] is the deployed artifact
+//! (weight-only post-training quantization, symmetric per-tensor
+//! scales, i8×i8→i32 matmuls via [`tensor::quant::gemm_i8_nt`]);
+//! setting [`attack::Precision::Int8`] on a
+//! [`attack::campaign::CampaignSpec`] makes every scenario optimize
+//! over the dequantized model, **project** its δ onto the representable
+//! grid ([`attack::QuantizedSelection`]), and re-measure success and
+//! keep-set stealth under real int8 inference;
+//! [`memfault::quant::QuantFaultPlan`] then compiles the byte-image
+//! diff into concrete bit flips, DRAM rows, and parity predictions.
+//! Projection is a real constraint, not a formality: single-parameter
+//! baseline attacks saturate at the grid edge, and marginal faults can
+//! round away — `cargo run --release -p fsa-bench --bin quant`
+//! (`BENCH_PR5.json`) measures both precisions over one matrix and
+//! asserts the §5.4 separation holds in the int8 row.
+//!
 //! # Performance substrate
 //!
 //! All numeric work runs on `fsa-tensor`'s parallel tiled kernel engine:
@@ -68,8 +90,9 @@
 //! `CampaignReport` stays bit-identical at every thread count
 //! (`tests/campaign_determinism.rs`).
 //!
-//! See `examples/quickstart.rs` for a three-minute tour and `DESIGN.md`
-//! for the experiment index.
+//! See `examples/quickstart.rs` for a three-minute tour and
+//! `ARCHITECTURE.md` for the dataflow diagram, crate dependency map,
+//! and the module-to-paper-equation index.
 //!
 //! ```
 //! use fault_sneaking::attack::{AttackConfig, AttackSpec, FaultSneakingAttack, ParamSelection};

@@ -1,0 +1,179 @@
+//! Integration: the **int8 precision row** of the campaign/arena stack
+//! is bit-deterministic in the thread count. For every attack method
+//! (FSA, SBA, GDA) under `Precision::Int8` — grid projection of the
+//! optimized δ, re-measurement under the i8×i8→i32 inference path, and
+//! the full attack×detector arena matrix over the dequantized reference
+//! — reports are identical whether scenarios run serially or
+//! concurrently, at `FSA_THREADS` = 1, 2, 3, and 8. The quantization
+//! step itself (absmax calibration, rounding) happens once per run and
+//! is an exact fold, so this extends the f32 guarantees of
+//! `tests/campaign_determinism.rs` / `tests/arena_determinism.rs` to
+//! the quantized backend.
+
+use fault_sneaking::attack::campaign::{AttackMethod, Campaign, CampaignSpec, FsaMethod};
+use fault_sneaking::attack::{AttackConfig, ParamSelection, Precision};
+use fault_sneaking::baselines::{GdaMethod, SbaMethod};
+use fault_sneaking::defense::{ArenaReport, DefenseSuite, StealthArena};
+use fault_sneaking::memfault::DramGeometry;
+use fault_sneaking::nn::feature_cache::FeatureCache;
+use fault_sneaking::nn::head::FcHead;
+use fault_sneaking::nn::head_train::{train_head, HeadTrainConfig};
+use fault_sneaking::nn::quant::QuantizedHead;
+use fault_sneaking::tensor::{parallel, Prng, Tensor};
+use std::sync::Mutex;
+
+/// Serializes the tests in this binary: both mutate the process-global
+/// thread override.
+static THREAD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Class-clustered Gaussian features split into an attack pool and a
+/// disjoint probe set, plus a head trained on the pool.
+fn victim() -> (FcHead, FeatureCache, Vec<usize>, FeatureCache, Vec<usize>) {
+    let mut rng = Prng::new(818181);
+    let n = 150;
+    let d = 14;
+    let classes = 3;
+    let mut x = Tensor::zeros(&[n, d]);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        labels.push(class);
+        for j in 0..d {
+            let center = if j % classes == class { 1.5 } else { 0.0 };
+            x.row_mut(i)[j] = rng.normal(center, 0.5);
+        }
+    }
+    let mut head = FcHead::from_dims(&[d, 20, classes], &mut rng);
+    train_head(
+        &mut head,
+        &x,
+        &labels,
+        &HeadTrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let pool_idx: Vec<usize> = (0..110).collect();
+    let probe_idx: Vec<usize> = (110..150).collect();
+    let gather = |idx: &[usize]| {
+        let mut out = Tensor::zeros(&[idx.len(), d]);
+        let mut l = Vec::with_capacity(idx.len());
+        for (r, &i) in idx.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(x.row(i));
+            l.push(labels[i]);
+        }
+        (FeatureCache::from_features(out), l)
+    };
+    let (pool, pool_labels) = gather(&pool_idx);
+    let (probe, probe_labels) = gather(&probe_idx);
+    (head, pool, pool_labels, probe, probe_labels)
+}
+
+fn int8_sweep() -> CampaignSpec {
+    CampaignSpec::grid(vec![1, 2], vec![4, 10])
+        .with_config(AttackConfig {
+            iterations: 80,
+            ..AttackConfig::default()
+        })
+        .with_weights(20.0, 1.0)
+        .with_precision(Precision::Int8)
+}
+
+#[test]
+fn int8_campaign_and_arena_are_bit_identical_for_any_thread_count() {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let (head, pool, pool_labels, probe, probe_labels) = victim();
+    let selection = ParamSelection::last_layer(&head);
+    let campaign = Campaign::new(&head, selection.clone(), pool, pool_labels);
+
+    // The int8 arena is bound to the deployed artifact: the dequantized
+    // clean quantized head, with the suite calibrated on it.
+    let deq = QuantizedHead::quantize(&head).dequantized_head();
+    let suite = DefenseSuite::standard(
+        &deq,
+        &probe,
+        &probe_labels,
+        DramGeometry {
+            banks: 2,
+            rows_per_bank: 256,
+            row_bytes: 64,
+        },
+        0.1,
+        0.75,
+    );
+    let arena = StealthArena::new(&deq, selection, suite).with_precision(Precision::Int8);
+    let spec = int8_sweep();
+    let sba = SbaMethod::default();
+    let gda = GdaMethod::default();
+    let methods: Vec<&dyn AttackMethod> = vec![&FsaMethod, &sba, &gda];
+
+    parallel::set_threads(1);
+    let reference: Vec<ArenaReport> = methods
+        .iter()
+        .map(|m| arena.score_report(&campaign.run_method(&spec, *m)))
+        .collect();
+    for r in &reference {
+        assert_eq!(r.precision, Precision::Int8);
+        assert_eq!(r.len(), spec.len());
+        assert!(
+            r.clean.iter().all(|v| !v.detected),
+            "{}: clean dequantized model tripped a detector — \
+             the int8 arena must calibrate on the deployed artifact",
+            r.method
+        );
+    }
+    assert!(
+        reference.iter().any(|r| r
+            .rows
+            .iter()
+            .any(|row| row.verdicts.iter().any(|v| v.detected))),
+        "no attack tripped any detector; the fixture is too weak"
+    );
+
+    for threads in [2, 3, 8] {
+        parallel::set_threads(threads);
+        for (m, want) in methods.iter().zip(&reference) {
+            let campaign_report = campaign.run_method(&spec, *m);
+            let got = arena.score_report(&campaign_report);
+            assert!(
+                got == *want,
+                "{} int8 arena report changed bits at {threads} threads",
+                want.method
+            );
+            assert_eq!(got.fingerprint(), want.fingerprint());
+        }
+    }
+    parallel::set_threads(0);
+}
+
+/// The two precision rows of one sweep attack the same cells: same
+/// scenarios, same working-set draws, same targets — only the storage
+/// (and therefore the realized δ) differs.
+#[test]
+fn precision_rows_are_cell_aligned() {
+    let _guard = THREAD_LOCK.lock().unwrap();
+    let (head, pool, pool_labels, _, _) = victim();
+    let selection = ParamSelection::last_layer(&head);
+    let campaign = Campaign::new(&head, selection, pool, pool_labels);
+    let int8_spec = CampaignSpec::grid(vec![1], vec![4])
+        .with_config(AttackConfig {
+            iterations: 50,
+            ..AttackConfig::default()
+        })
+        .with_precision(Precision::Int8);
+    let f32_spec = CampaignSpec {
+        precision: Precision::F32,
+        ..int8_spec.clone()
+    };
+    let a = campaign.run(&f32_spec);
+    let b = campaign.run(&int8_spec);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+        assert_eq!(x.scenario, y.scenario);
+        assert_eq!(x.targets, y.targets);
+    }
+    assert_eq!(a.precision, Precision::F32);
+    assert_eq!(b.precision, Precision::Int8);
+    assert_ne!(a.fingerprint(), b.fingerprint());
+}
