@@ -31,10 +31,21 @@ fn main() {
         };
         let attack = FaultSneakingAttack::new(head, sel.clone(), cfg);
         let result = attack.run(&spec);
+        // Abort (non-zero exit) rather than cost a structurally invalid
+        // plan: the compiled flips must cover exactly the δ support.
+        assert!(
+            result.delta.iter().all(|v| v.is_finite()),
+            "{norm:?} attack produced non-finite δ"
+        );
         let theta0 = attack.theta0();
         let layout = ParamLayout::new(geometry, 0, theta0.len());
 
         let plan = FaultPlan::compile(theta0, &result.delta);
+        assert_eq!(
+            plan.words(),
+            result.delta.iter().filter(|&&v| v != 0.0).count(),
+            "fault plan word count disagrees with δ support"
+        );
         let lcost = plan.laser_cost(&laser);
 
         let mut hammered = theta0.to_vec();

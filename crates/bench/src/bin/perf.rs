@@ -21,6 +21,18 @@ fn gemm_pair(n: usize) -> (Sample, Sample, f64) {
     let b: Vec<f32> = (0..n * n).map(|_| rng.uniform(-1.0, 1.0)).collect();
     let mut out = vec![0.0f32; n * n];
     let flops = 2.0 * (n * n * n) as f64;
+    // Correctness gate before timing: the tiled engine must agree with
+    // the scalar oracle, or the bin aborts instead of benchmarking a
+    // wrong kernel.
+    let mut oracle = vec![0.0f32; n * n];
+    gemm_naive(n, n, n, &a, &b, &mut oracle);
+    gemm(n, n, n, &a, &b, &mut out, 1.0, 0.0);
+    for (i, (&got, &want)) in out.iter().zip(&oracle).enumerate() {
+        assert!(
+            (got - want).abs() <= 1e-3 * want.abs().max(1.0),
+            "gemm_{n} diverged from the scalar oracle at element {i}: {got} vs {want}"
+        );
+    }
     let naive = bench(&format!("gemm_naive_{n}"), || {
         gemm_naive(n, n, n, black_box(&a), black_box(&b), &mut out);
         black_box(out[0])
@@ -45,6 +57,18 @@ fn attack_run() -> Sample {
         refine: None,
         ..AttackConfig::default()
     };
+    // Sanity gate: the timed attack must produce a structurally valid
+    // result (finite δ of the right length, consistent counters).
+    let result = FaultSneakingAttack::new(&head, sel.clone(), cfg.clone()).run(&spec);
+    assert_eq!(result.delta.len(), sel.dim(&head), "δ length mismatch");
+    assert!(
+        result.delta.iter().all(|v| v.is_finite()),
+        "attack produced non-finite δ"
+    );
+    assert!(
+        result.s_success <= result.s_total && result.keep_unchanged <= result.keep_total,
+        "impossible attack counters"
+    );
     bench("attack_50iters_S1_R100_last_layer", || {
         let attack = FaultSneakingAttack::new(&head, sel.clone(), cfg.clone());
         black_box(attack.run(black_box(&spec)))
@@ -75,6 +99,27 @@ fn inner_loop_pair() -> (Sample, Sample) {
     let weights_c: Vec<f32> = (0..spec.r()).map(|i| spec.weight(i)).collect();
     let (weight0, bias0) = (&theta0[..classes * d], &theta0[classes * d..]);
     let iters = 50;
+
+    // Agreement gate: one iteration of each path must produce the same
+    // objective (the two sides differ only in kernels and allocation
+    // strategy, never in math).
+    {
+        let (seed_total, _) = seed_style_iteration(
+            weight0, bias0, &acts, &enforced, &weights_c, 1.0, &delta, classes,
+        );
+        let mut check_head = head.clone();
+        let mut bufs = HeadBuffers::new();
+        let mut hinge = HingeEval::default();
+        let scratch: Vec<f32> = (0..dim).map(|i| theta0[i] + delta[i]).collect();
+        sel.scatter(&mut check_head, &scratch);
+        let logits = check_head.forward_from_caching(start, &acts, &mut bufs);
+        evaluate_hinge_into(&spec, logits, 1.0, &mut hinge);
+        assert!(
+            (seed_total - hinge.total).abs() <= 1e-3 * seed_total.abs().max(1.0),
+            "inner-loop paths disagree: seed {seed_total} vs cached {}",
+            hinge.total
+        );
+    }
 
     let seed = bench("inner50_seed_kernels_allocating", || {
         let mut acc = 0.0f32;

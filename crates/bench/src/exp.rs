@@ -60,9 +60,39 @@ pub fn run_one(
     let spec = art.make_spec(s, r, seed).with_weights(C_ATTACK, C_KEEP);
     let attack = FaultSneakingAttack::new(art.head(), selection.clone(), config.clone());
     let result = attack.run(&spec);
+    // Sanity gate shared by every table/figure bin: a run that produces
+    // structurally impossible numbers must abort the bin (non-zero
+    // exit) instead of flowing silently into a report row.
+    assert!(
+        result.delta.iter().all(|v| v.is_finite()),
+        "attack produced a non-finite δ (S={s}, R={r}, seed={seed})"
+    );
+    assert_eq!(
+        result.delta.len(),
+        selection.dim(art.head()),
+        "δ length disagrees with the selection dimension"
+    );
+    assert!(
+        result.l0 <= result.delta.len() && result.l2.is_finite() && result.l2 >= 0.0,
+        "inconsistent δ norms (l0={}, l2={})",
+        result.l0,
+        result.l2
+    );
+    assert!(
+        result.s_success <= result.s_total && result.keep_unchanged <= result.keep_total,
+        "impossible success/keep counters ({}/{}, {}/{})",
+        result.s_success,
+        result.s_total,
+        result.keep_unchanged,
+        result.keep_total
+    );
     let mut attacked = art.head().clone();
     fsa_attack::eval::apply_delta(&mut attacked, selection, attack.theta0(), &result.delta);
     let test_accuracy = art.test_accuracy(&attacked, selection.start_layer());
+    assert!(
+        (0.0..=1.0).contains(&test_accuracy),
+        "test accuracy {test_accuracy} out of range"
+    );
     RunMetrics {
         result,
         test_accuracy,

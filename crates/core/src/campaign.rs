@@ -55,6 +55,8 @@
 //! assert!(report.outcomes.iter().all(|o| o.result.delta.iter().all(|d| d.is_finite())));
 //! ```
 
+pub mod wire;
+
 use crate::precision::{Precision, QuantizedSelection};
 use crate::selection::ParamSelection;
 use crate::solver::{AttackConfig, AttackResult, FaultSneakingAttack, Norm};
@@ -594,6 +596,36 @@ impl<'a> Campaign<'a> {
     /// same targets — cross-precision comparisons are cell-aligned by
     /// construction.
     pub fn run_method(&self, spec: &CampaignSpec, method: &dyn AttackMethod) -> CampaignReport {
+        let all: Vec<usize> = (0..spec.len()).collect();
+        CampaignReport {
+            method: method.name(),
+            precision: spec.precision,
+            outcomes: self.run_indices(spec, method, &all),
+        }
+    }
+
+    /// Runs an arbitrary subset of the scenario matrix — the execution
+    /// primitive the sharded multi-process executor (`fsa-harness`)
+    /// shards over worker processes.
+    ///
+    /// `indices` name positions in [`CampaignSpec::scenarios`] order;
+    /// outcomes come back aligned with `indices`. Because every
+    /// scenario is a pure function of its own matrix cell (the same
+    /// property that makes concurrent campaigns bit-identical to serial
+    /// ones), running the matrix in any partition — one call with all
+    /// indices, one call per index, or disjoint shards merged in
+    /// scenario order — produces bit-identical outcomes. [`Campaign::run_method`]
+    /// is exactly this call over `0..spec.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range for the spec's matrix.
+    pub fn run_indices(
+        &self,
+        spec: &CampaignSpec,
+        method: &dyn AttackMethod,
+        indices: &[usize],
+    ) -> Vec<ScenarioOutcome> {
         // Quantize once per run: the storage metadata is shared
         // read-only by every scenario worker.
         let quant = match spec.precision {
@@ -606,10 +638,17 @@ impl<'a> Campaign<'a> {
             }
         };
         let scenarios = spec.scenarios();
+        for &i in indices {
+            assert!(
+                i < scenarios.len(),
+                "scenario index {i} out of range (matrix has {})",
+                scenarios.len()
+            );
+        }
         // Every scenario is a full attack — always worth a worker.
-        let plan = parallel::plan_nested(scenarios.len(), 1, 1);
-        let outcomes = parallel::nested_map(scenarios.len(), plan, |i| {
-            let sc = scenarios[i];
+        let plan = parallel::plan_nested(indices.len(), 1, 1);
+        parallel::nested_map(indices.len(), plan, |j| {
+            let sc = scenarios[indices[j]];
             let aspec = self.scenario_spec(&sc, spec.c_attack, spec.c_keep);
             let targets = aspec.targets.clone();
             let result = match &quant {
@@ -624,12 +663,7 @@ impl<'a> Campaign<'a> {
                 targets,
                 result,
             }
-        });
-        CampaignReport {
-            method: method.name(),
-            precision: spec.precision,
-            outcomes,
-        }
+        })
     }
 
     /// Projects an optimized δ onto realizable int8 storage (weight

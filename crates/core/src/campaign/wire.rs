@@ -1,0 +1,755 @@
+//! Versioned, checksummed wire frames for campaign artifacts.
+//!
+//! The sharded multi-process executor (`fsa-harness`) moves
+//! [`CampaignSpec`]s to worker processes and [`ScenarioOutcome`]s back
+//! over pipes. A frame on that wire must survive three hostile
+//! conditions the supervisor is built around: a worker dying mid-write
+//! (truncation), a worker writing garbage (corruption), and a version
+//! skew between supervisor and worker binaries. Every frame therefore
+//! carries:
+//!
+//! * a 4-byte **kind tag** (what the payload is),
+//! * a `u32` **wire version** ([`WIRE_VERSION`]) — decoding any other
+//!   version is an explicit [`WireError::Version`], never a guess;
+//! * a `u64` **payload length** (truncation is detected before the
+//!   payload is touched),
+//! * the payload itself (std-LE [`fsa_tensor::io`] encoding), and
+//! * a trailing `u64` **FNV-1a checksum** over tag ‖ version ‖ payload
+//!   — any bit flip in the frame body surfaces as
+//!   [`WireError::Checksum`], not as silently wrong numbers.
+//!
+//! # Versioning rules
+//!
+//! The version covers the *payload layouts* of every tag in this
+//! module. Any change to a payload layout — field added, field
+//! reordered, width changed — must bump [`WIRE_VERSION`]; decoders
+//! reject all other versions outright rather than attempt migration
+//! (both ends of the pipe always come from the same build in the
+//! self-spawning executor, so skew means a deployment bug, not a
+//! compatibility case to paper over).
+//!
+//! Payloads hold exact bit patterns (`f32` via `to_le_bytes`), so an
+//! encode → decode round trip reproduces every value bit for bit and a
+//! merged report's fingerprint cannot drift through serialization —
+//! `tests/wire_roundtrip.rs` property-tests this together with
+//! truncated-frame and flipped-bit rejection.
+
+use crate::campaign::{CampaignReport, CampaignSpec, Scenario, ScenarioOutcome, SparsityBudget};
+use crate::precision::Precision;
+use crate::refine::RefineConfig;
+use crate::selection::{LayerSelection, ParamKind, ParamSelection};
+use crate::solver::{AttackConfig, AttackResult, Norm, Stiffness};
+use fsa_admm::solver::IterStats;
+use fsa_tensor::hash::Fnv1a;
+use fsa_tensor::io::{DecodeError, Decoder, Encoder};
+use std::error::Error;
+use std::fmt;
+
+/// Version of every payload layout in this module; bump on any change.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Frame tag: a [`CampaignSpec`] payload.
+pub const SPEC_TAG: &[u8; 4] = b"FSCS";
+/// Frame tag: a [`ScenarioOutcome`] payload.
+pub const OUTCOME_TAG: &[u8; 4] = b"FSCO";
+/// Frame tag: a whole [`CampaignReport`] payload.
+pub const REPORT_TAG: &[u8; 4] = b"FSCR";
+/// Frame tag: end-of-stream marker carrying the emitted-frame count.
+pub const END_TAG: &[u8; 4] = b"FSCE";
+
+/// Why a wire frame could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Structural failure: truncated input, bad tag, malformed payload.
+    Decode(DecodeError),
+    /// The frame parsed structurally but its checksum did not match —
+    /// the bytes were altered in flight.
+    Checksum {
+        /// Checksum stored in the frame trailer.
+        stored: u64,
+        /// Checksum recomputed over the received bytes.
+        computed: u64,
+    },
+    /// The frame was written by a different wire version.
+    Version(u32),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Decode(e) => write!(f, "wire frame malformed: {e}"),
+            WireError::Checksum { stored, computed } => write!(
+                f,
+                "wire frame checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            WireError::Version(v) => {
+                write!(f, "unsupported wire version {v} (expected {WIRE_VERSION})")
+            }
+        }
+    }
+}
+
+impl Error for WireError {}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        WireError::Decode(e)
+    }
+}
+
+/// A decoded frame: its kind tag and raw payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The frame's 4-byte kind tag.
+    pub tag: [u8; 4],
+    /// The checksum-verified payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Checksum over the covered portion of a frame (tag ‖ version ‖ payload).
+fn frame_checksum(tag: &[u8; 4], payload: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_bytes(tag);
+    h.write_bytes(&WIRE_VERSION.to_le_bytes());
+    h.write_bytes(payload);
+    h.finish()
+}
+
+/// Wraps a payload in a complete frame (tag, version, length, payload,
+/// checksum).
+pub fn frame(tag: &[u8; 4], payload: &[u8]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_tag(tag);
+    enc.put_u32(WIRE_VERSION);
+    enc.put_u64(payload.len() as u64);
+    let checksum = frame_checksum(tag, payload);
+    let mut bytes = enc.into_bytes();
+    bytes.extend_from_slice(payload);
+    bytes.extend_from_slice(&checksum.to_le_bytes());
+    bytes
+}
+
+/// Reads the next frame of any kind from the decoder, verifying version
+/// and checksum.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on truncation, version skew, or checksum
+/// mismatch.
+pub fn read_frame(dec: &mut Decoder<'_>) -> Result<Frame, WireError> {
+    let mut tag = [0u8; 4];
+    let tag_word = dec.read_u32()?;
+    tag.copy_from_slice(&tag_word.to_le_bytes());
+    let version = dec.read_u32()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::Version(version));
+    }
+    let len = dec.read_u64()? as usize;
+    let payload = dec.read_raw(len)?;
+    let stored = dec.read_u64()?;
+    let computed = frame_checksum(&tag, &payload);
+    if stored != computed {
+        return Err(WireError::Checksum { stored, computed });
+    }
+    Ok(Frame { tag, payload })
+}
+
+/// Reads the next frame and checks it carries the expected tag.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on any frame fault or a tag mismatch.
+pub fn expect_frame(dec: &mut Decoder<'_>, tag: &[u8; 4]) -> Result<Vec<u8>, WireError> {
+    let f = read_frame(dec)?;
+    if &f.tag != tag {
+        return Err(WireError::Decode(DecodeError::new(format!(
+            "expected frame tag {tag:?}, got {:?}",
+            f.tag
+        ))));
+    }
+    Ok(f.payload)
+}
+
+// ---------------------------------------------------------------------
+// Payload-level encoders/decoders. Public so composite frames (the
+// harness's shard-job frame) can nest these layouts without double
+// framing.
+// ---------------------------------------------------------------------
+
+fn put_usize_slice(enc: &mut Encoder, xs: &[usize]) {
+    enc.put_u64(xs.len() as u64);
+    for &x in xs {
+        enc.put_u64(x as u64);
+    }
+}
+
+fn read_usize_vec(dec: &mut Decoder<'_>) -> Result<Vec<usize>, DecodeError> {
+    let n = dec.read_u64()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(dec.read_u64()? as usize);
+    }
+    Ok(out)
+}
+
+fn put_norm(enc: &mut Encoder, norm: Norm) {
+    enc.put_u32(match norm {
+        Norm::L0 => 0,
+        Norm::L2 => 1,
+    });
+}
+
+fn read_norm(dec: &mut Decoder<'_>) -> Result<Norm, DecodeError> {
+    match dec.read_u32()? {
+        0 => Ok(Norm::L0),
+        1 => Ok(Norm::L2),
+        v => Err(DecodeError::new(format!("unknown norm tag {v}"))),
+    }
+}
+
+fn put_budget(enc: &mut Encoder, b: &SparsityBudget) {
+    put_norm(enc, b.norm);
+    enc.put_f32(b.lambda);
+}
+
+fn read_budget(dec: &mut Decoder<'_>) -> Result<SparsityBudget, DecodeError> {
+    Ok(SparsityBudget {
+        norm: read_norm(dec)?,
+        lambda: dec.read_f32()?,
+    })
+}
+
+/// Appends an [`AttackConfig`] payload.
+pub fn put_config(enc: &mut Encoder, cfg: &AttackConfig) {
+    put_norm(enc, cfg.norm);
+    enc.put_f32(cfg.rho);
+    match cfg.stiffness {
+        Stiffness::Auto(m) => {
+            enc.put_u32(0);
+            enc.put_f32(m);
+        }
+        Stiffness::Fixed(v) => {
+            enc.put_u32(1);
+            enc.put_f32(v);
+        }
+    }
+    enc.put_f32(cfg.lambda);
+    enc.put_u64(cfg.iterations as u64);
+    enc.put_f32(cfg.kappa);
+    match &cfg.refine {
+        None => enc.put_u32(0),
+        Some(r) => {
+            enc.put_u32(1);
+            enc.put_u64(r.iterations as u64);
+            match r.step {
+                None => enc.put_u32(0),
+                Some(s) => {
+                    enc.put_u32(1);
+                    enc.put_f32(s);
+                }
+            }
+        }
+    }
+}
+
+/// Reads an [`AttackConfig`] payload.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input.
+pub fn read_config(dec: &mut Decoder<'_>) -> Result<AttackConfig, DecodeError> {
+    let norm = read_norm(dec)?;
+    let rho = dec.read_f32()?;
+    let stiffness = match dec.read_u32()? {
+        0 => Stiffness::Auto(dec.read_f32()?),
+        1 => Stiffness::Fixed(dec.read_f32()?),
+        v => return Err(DecodeError::new(format!("unknown stiffness tag {v}"))),
+    };
+    let lambda = dec.read_f32()?;
+    let iterations = dec.read_u64()? as usize;
+    let kappa = dec.read_f32()?;
+    let refine = match dec.read_u32()? {
+        0 => None,
+        1 => {
+            let iterations = dec.read_u64()? as usize;
+            let step = match dec.read_u32()? {
+                0 => None,
+                1 => Some(dec.read_f32()?),
+                v => return Err(DecodeError::new(format!("unknown refine-step tag {v}"))),
+            };
+            Some(RefineConfig { iterations, step })
+        }
+        v => return Err(DecodeError::new(format!("unknown refine tag {v}"))),
+    };
+    Ok(AttackConfig {
+        norm,
+        rho,
+        stiffness,
+        lambda,
+        iterations,
+        kappa,
+        refine,
+    })
+}
+
+fn put_precision(enc: &mut Encoder, p: Precision) {
+    enc.put_u32(p.tag() as u32);
+}
+
+fn read_precision(dec: &mut Decoder<'_>) -> Result<Precision, DecodeError> {
+    match dec.read_u32()? {
+        0 => Ok(Precision::F32),
+        1 => Ok(Precision::Int8),
+        v => Err(DecodeError::new(format!("unknown precision tag {v}"))),
+    }
+}
+
+/// Appends a [`CampaignSpec`] payload.
+pub fn put_spec(enc: &mut Encoder, spec: &CampaignSpec) {
+    put_usize_slice(enc, &spec.s_values);
+    put_usize_slice(enc, &spec.k_values);
+    enc.put_u64(spec.budgets.len() as u64);
+    for b in &spec.budgets {
+        put_budget(enc, b);
+    }
+    enc.put_u64(spec.seeds.len() as u64);
+    for &s in &spec.seeds {
+        enc.put_u64(s);
+    }
+    put_config(enc, &spec.base);
+    enc.put_f32(spec.c_attack);
+    enc.put_f32(spec.c_keep);
+    put_precision(enc, spec.precision);
+}
+
+/// Reads a [`CampaignSpec`] payload.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input.
+pub fn read_spec(dec: &mut Decoder<'_>) -> Result<CampaignSpec, DecodeError> {
+    let s_values = read_usize_vec(dec)?;
+    let k_values = read_usize_vec(dec)?;
+    let nb = dec.read_u64()? as usize;
+    let mut budgets = Vec::with_capacity(nb.min(1 << 16));
+    for _ in 0..nb {
+        budgets.push(read_budget(dec)?);
+    }
+    let ns = dec.read_u64()? as usize;
+    let mut seeds = Vec::with_capacity(ns.min(1 << 16));
+    for _ in 0..ns {
+        seeds.push(dec.read_u64()?);
+    }
+    let base = read_config(dec)?;
+    let c_attack = dec.read_f32()?;
+    let c_keep = dec.read_f32()?;
+    let precision = read_precision(dec)?;
+    Ok(CampaignSpec {
+        s_values,
+        k_values,
+        budgets,
+        seeds,
+        base,
+        c_attack,
+        c_keep,
+        precision,
+    })
+}
+
+/// Appends a [`ParamSelection`] payload.
+pub fn put_selection(enc: &mut Encoder, sel: &ParamSelection) {
+    enc.put_u64(sel.entries().len() as u64);
+    for e in sel.entries() {
+        enc.put_u64(e.layer as u64);
+        enc.put_u32(match e.kind {
+            ParamKind::Weights => 0,
+            ParamKind::Bias => 1,
+            ParamKind::Both => 2,
+        });
+    }
+}
+
+/// Reads a [`ParamSelection`] payload.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input, an empty selection, or
+/// duplicate layers (the invariants [`ParamSelection::from_entries`]
+/// enforces by panic are checked here and reported as errors instead).
+pub fn read_selection(dec: &mut Decoder<'_>) -> Result<ParamSelection, DecodeError> {
+    let n = dec.read_u64()? as usize;
+    if n == 0 || n > 1 << 16 {
+        return Err(DecodeError::new(format!(
+            "absurd selection entry count {n}"
+        )));
+    }
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let layer = dec.read_u64()? as usize;
+        let kind = match dec.read_u32()? {
+            0 => ParamKind::Weights,
+            1 => ParamKind::Bias,
+            2 => ParamKind::Both,
+            v => return Err(DecodeError::new(format!("unknown param-kind tag {v}"))),
+        };
+        entries.push(LayerSelection { layer, kind });
+    }
+    let mut layers: Vec<usize> = entries.iter().map(|e| e.layer).collect();
+    layers.sort_unstable();
+    if layers.windows(2).any(|w| w[0] == w[1]) {
+        return Err(DecodeError::new("duplicate layer in selection"));
+    }
+    Ok(ParamSelection::from_entries(entries))
+}
+
+fn put_scenario(enc: &mut Encoder, sc: &Scenario) {
+    enc.put_u64(sc.index as u64);
+    enc.put_u64(sc.s as u64);
+    enc.put_u64(sc.k as u64);
+    put_budget(enc, &sc.budget);
+    enc.put_u64(sc.seed);
+}
+
+fn read_scenario(dec: &mut Decoder<'_>) -> Result<Scenario, DecodeError> {
+    Ok(Scenario {
+        index: dec.read_u64()? as usize,
+        s: dec.read_u64()? as usize,
+        k: dec.read_u64()? as usize,
+        budget: read_budget(dec)?,
+        seed: dec.read_u64()?,
+    })
+}
+
+fn put_result(enc: &mut Encoder, r: &AttackResult) {
+    enc.put_f32_slice(&r.delta);
+    enc.put_u64(r.l0 as u64);
+    enc.put_f32(r.l2);
+    enc.put_u64(r.s_success as u64);
+    enc.put_u64(r.s_total as u64);
+    enc.put_u64(r.keep_unchanged as u64);
+    enc.put_u64(r.keep_total as u64);
+    enc.put_f32_slice(&r.objective_history);
+    enc.put_u64(r.admm_history.len() as u64);
+    for st in &r.admm_history {
+        enc.put_u64(st.iter as u64);
+        enc.put_f32(st.primal_residual);
+        enc.put_f32(st.dual_residual);
+        enc.put_f32(st.rho);
+    }
+    enc.put_u32(u32::from(r.converged));
+}
+
+fn read_result(dec: &mut Decoder<'_>) -> Result<AttackResult, DecodeError> {
+    let delta = dec.read_f32_vec()?;
+    let l0 = dec.read_u64()? as usize;
+    let l2 = dec.read_f32()?;
+    let s_success = dec.read_u64()? as usize;
+    let s_total = dec.read_u64()? as usize;
+    let keep_unchanged = dec.read_u64()? as usize;
+    let keep_total = dec.read_u64()? as usize;
+    let objective_history = dec.read_f32_vec()?;
+    let nh = dec.read_u64()? as usize;
+    let mut admm_history = Vec::with_capacity(nh.min(1 << 20));
+    for _ in 0..nh {
+        admm_history.push(IterStats {
+            iter: dec.read_u64()? as usize,
+            primal_residual: dec.read_f32()?,
+            dual_residual: dec.read_f32()?,
+            rho: dec.read_f32()?,
+        });
+    }
+    let converged = match dec.read_u32()? {
+        0 => false,
+        1 => true,
+        v => return Err(DecodeError::new(format!("unknown converged tag {v}"))),
+    };
+    Ok(AttackResult {
+        delta,
+        l0,
+        l2,
+        s_success,
+        s_total,
+        keep_unchanged,
+        keep_total,
+        objective_history,
+        admm_history,
+        converged,
+    })
+}
+
+/// Appends a [`ScenarioOutcome`] payload.
+pub fn put_outcome(enc: &mut Encoder, o: &ScenarioOutcome) {
+    put_scenario(enc, &o.scenario);
+    put_usize_slice(enc, &o.targets);
+    put_result(enc, &o.result);
+}
+
+/// Reads a [`ScenarioOutcome`] payload.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on malformed input.
+pub fn read_outcome(dec: &mut Decoder<'_>) -> Result<ScenarioOutcome, DecodeError> {
+    Ok(ScenarioOutcome {
+        scenario: read_scenario(dec)?,
+        targets: read_usize_vec(dec)?,
+        result: read_result(dec)?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// One-shot framed encoders/decoders.
+// ---------------------------------------------------------------------
+
+/// Encodes a [`CampaignSpec`] as a complete checksummed frame.
+pub fn encode_spec_frame(spec: &CampaignSpec) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    put_spec(&mut enc, spec);
+    frame(SPEC_TAG, &enc.into_bytes())
+}
+
+/// Decodes a frame written by [`encode_spec_frame`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on any frame fault or payload corruption.
+pub fn decode_spec_frame(bytes: &[u8]) -> Result<CampaignSpec, WireError> {
+    let mut dec = Decoder::new(bytes);
+    let payload = expect_frame(&mut dec, SPEC_TAG)?;
+    let mut pdec = Decoder::new(&payload);
+    let spec = read_spec(&mut pdec)?;
+    check_drained(&pdec)?;
+    Ok(spec)
+}
+
+/// Encodes a [`ScenarioOutcome`] as a complete checksummed frame.
+pub fn encode_outcome_frame(o: &ScenarioOutcome) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    put_outcome(&mut enc, o);
+    frame(OUTCOME_TAG, &enc.into_bytes())
+}
+
+/// Decodes a frame written by [`encode_outcome_frame`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on any frame fault or payload corruption.
+pub fn decode_outcome_frame(bytes: &[u8]) -> Result<ScenarioOutcome, WireError> {
+    let mut dec = Decoder::new(bytes);
+    let payload = expect_frame(&mut dec, OUTCOME_TAG)?;
+    let mut pdec = Decoder::new(&payload);
+    let o = read_outcome(&mut pdec)?;
+    check_drained(&pdec)?;
+    Ok(o)
+}
+
+/// Encodes a whole [`CampaignReport`] as a complete checksummed frame.
+pub fn encode_report_frame(report: &CampaignReport) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_str(&report.method);
+    put_precision(&mut enc, report.precision);
+    enc.put_u64(report.outcomes.len() as u64);
+    for o in &report.outcomes {
+        put_outcome(&mut enc, o);
+    }
+    frame(REPORT_TAG, &enc.into_bytes())
+}
+
+/// Decodes a frame written by [`encode_report_frame`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on any frame fault or payload corruption.
+pub fn decode_report_frame(bytes: &[u8]) -> Result<CampaignReport, WireError> {
+    let mut dec = Decoder::new(bytes);
+    let payload = expect_frame(&mut dec, REPORT_TAG)?;
+    let mut pdec = Decoder::new(&payload);
+    let method = pdec.read_str()?;
+    let precision = read_precision(&mut pdec)?;
+    let n = pdec.read_u64()? as usize;
+    let mut outcomes = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        outcomes.push(read_outcome(&mut pdec)?);
+    }
+    check_drained(&pdec)?;
+    Ok(CampaignReport {
+        method,
+        precision,
+        outcomes,
+    })
+}
+
+/// Encodes the end-of-stream frame a worker writes after its last
+/// outcome: the number of outcome frames that preceded it.
+pub fn encode_end_frame(count: u64) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u64(count);
+    frame(END_TAG, &enc.into_bytes())
+}
+
+/// Decodes an [`END_TAG`] payload into its outcome count.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed payload.
+pub fn decode_end_payload(payload: &[u8]) -> Result<u64, WireError> {
+    let mut dec = Decoder::new(payload);
+    let count = dec.read_u64()?;
+    check_drained(&dec)?;
+    Ok(count)
+}
+
+/// Rejects trailing garbage after a fully-decoded payload.
+fn check_drained(dec: &Decoder<'_>) -> Result<(), WireError> {
+    if dec.remaining() != 0 {
+        return Err(WireError::Decode(DecodeError::new(format!(
+            "{} trailing bytes after payload",
+            dec.remaining()
+        ))));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> CampaignSpec {
+        CampaignSpec::grid(vec![1, 2], vec![0, 3])
+            .with_budgets(vec![SparsityBudget::l0(0.001), SparsityBudget::l2(0.01)])
+            .with_seeds(vec![7, 9])
+            .with_precision(Precision::Int8)
+    }
+
+    fn small_outcome() -> ScenarioOutcome {
+        ScenarioOutcome {
+            scenario: Scenario {
+                index: 3,
+                s: 2,
+                k: 4,
+                budget: SparsityBudget::l2(0.25),
+                seed: 11,
+            },
+            targets: vec![1, 0],
+            result: AttackResult {
+                delta: vec![0.0, -1.5, f32::MIN_POSITIVE, 3.25],
+                l0: 3,
+                l2: 3.6,
+                s_success: 2,
+                s_total: 2,
+                keep_unchanged: 4,
+                keep_total: 4,
+                objective_history: vec![9.0, 1.0, 0.25],
+                admm_history: vec![IterStats {
+                    iter: 0,
+                    primal_residual: 0.5,
+                    dual_residual: 0.25,
+                    rho: 5.0,
+                }],
+                converged: true,
+            },
+        }
+    }
+
+    #[test]
+    fn spec_frame_roundtrip() {
+        let spec = small_spec();
+        let bytes = encode_spec_frame(&spec);
+        assert_eq!(decode_spec_frame(&bytes).unwrap(), spec);
+    }
+
+    #[test]
+    fn outcome_frame_roundtrip() {
+        let o = small_outcome();
+        let bytes = encode_outcome_frame(&o);
+        assert_eq!(decode_outcome_frame(&bytes).unwrap(), o);
+    }
+
+    #[test]
+    fn report_frame_roundtrip() {
+        let report = CampaignReport {
+            method: "fsa".into(),
+            precision: Precision::F32,
+            outcomes: vec![small_outcome(), small_outcome()],
+        };
+        let bytes = encode_report_frame(&report);
+        let got = decode_report_frame(&bytes).unwrap();
+        assert_eq!(got, report);
+        assert_eq!(got.fingerprint(), report.fingerprint());
+    }
+
+    #[test]
+    fn selection_payload_roundtrip() {
+        let sel = ParamSelection::from_entries(vec![
+            LayerSelection {
+                layer: 0,
+                kind: ParamKind::Weights,
+            },
+            LayerSelection {
+                layer: 2,
+                kind: ParamKind::Both,
+            },
+        ]);
+        let mut enc = Encoder::new();
+        put_selection(&mut enc, &sel);
+        let bytes = enc.into_bytes();
+        let got = read_selection(&mut Decoder::new(&bytes)).unwrap();
+        assert_eq!(got, sel);
+    }
+
+    #[test]
+    fn duplicate_selection_layers_are_an_error_not_a_panic() {
+        let mut enc = Encoder::new();
+        enc.put_u64(2);
+        enc.put_u64(1);
+        enc.put_u32(0);
+        enc.put_u64(1);
+        enc.put_u32(2);
+        let bytes = enc.into_bytes();
+        assert!(read_selection(&mut Decoder::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_rejected() {
+        let bytes = encode_outcome_frame(&small_outcome());
+        for cut in [0, 3, 8, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_outcome_frame(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_bit_is_rejected() {
+        let bytes = encode_outcome_frame(&small_outcome());
+        // Flip one bit in the payload body: the checksum must catch it.
+        let mut corrupt = bytes.clone();
+        let mid = 16 + (bytes.len() - 24) / 2;
+        corrupt[mid] ^= 0x10;
+        match decode_outcome_frame(&corrupt) {
+            Err(WireError::Checksum { .. }) | Err(WireError::Decode(_)) => {}
+            other => panic!("corrupted frame decoded as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut bytes = encode_spec_frame(&small_spec());
+        // The version word sits right after the 4-byte tag.
+        bytes[4] ^= 0xFF;
+        assert!(matches!(
+            decode_spec_frame(&bytes),
+            Err(WireError::Version(_))
+        ));
+    }
+
+    #[test]
+    fn end_frame_roundtrip() {
+        let bytes = encode_end_frame(42);
+        let mut dec = Decoder::new(&bytes);
+        let f = read_frame(&mut dec).unwrap();
+        assert_eq!(&f.tag, END_TAG);
+        assert_eq!(decode_end_payload(&f.payload).unwrap(), 42);
+    }
+}

@@ -1,0 +1,13 @@
+//! Standalone shard worker: unconditionally enters worker mode.
+//!
+//! Production bins self-spawn (same binary, hidden `--worker` flag),
+//! but integration tests run inside a test harness whose
+//! `current_exe` is the test binary — re-spawning that would rerun the
+//! tests. They point [`ExecutorConfig::with_worker`] at this bin via
+//! the `CARGO_BIN_EXE_shard_worker` env var Cargo provides instead.
+//!
+//! [`ExecutorConfig::with_worker`]: fsa_harness::supervisor::ExecutorConfig::with_worker
+
+fn main() {
+    fsa_harness::worker::worker_main();
+}

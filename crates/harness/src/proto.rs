@@ -1,0 +1,339 @@
+//! The shard job frame and the worker result-stream protocol.
+//!
+//! One supervisor→worker message: a [`ShardJob`] frame carrying the
+//! victim (head, selection, pool features, labels), the campaign spec,
+//! the method name, and the scenario indices this shard owns. One
+//! worker→supervisor stream: one `OUTCOME_TAG` frame per finished
+//! scenario (emitted incrementally, so a mid-shard crash leaves a
+//! decodable prefix), terminated by an `END_TAG` frame carrying the
+//! outcome count. Every frame is versioned and checksummed
+//! ([`fsa_attack::campaign::wire`]); any truncation, bit flip, or count
+//! mismatch surfaces as a [`ProtoError`] the supervisor classifies as a
+//! corrupt-frame fault.
+
+use fsa_attack::campaign::wire::{self, WireError};
+use fsa_attack::campaign::{CampaignSpec, ScenarioOutcome};
+use fsa_attack::ParamSelection;
+use fsa_nn::head::FcHead;
+use fsa_tensor::io::{DecodeError, Decoder, Encoder};
+use fsa_tensor::Tensor;
+use std::error::Error;
+use std::fmt;
+
+/// Frame tag: a supervisor→worker shard job.
+pub const JOB_TAG: &[u8; 4] = b"FSJB";
+
+/// Everything a worker process needs to run its shard of a campaign.
+#[derive(Debug, Clone)]
+pub struct ShardJob {
+    /// The victim head (shipped by value — workers share nothing).
+    pub head: FcHead,
+    /// The parameter selection under attack.
+    pub selection: ParamSelection,
+    /// Pool labels, row-aligned with `features`.
+    pub labels: Vec<usize>,
+    /// The shared feature-cache pool (`[pool, d]`).
+    pub features: Tensor,
+    /// The full campaign spec (scenario order is derived from it, so
+    /// every worker agrees on what index `i` means).
+    pub spec: CampaignSpec,
+    /// Campaign method name (`"fsa"`, `"sba"`, `"gda"`).
+    pub method: String,
+    /// Scenario indices this shard owns, in ascending order.
+    pub indices: Vec<usize>,
+}
+
+impl ShardJob {
+    /// Encodes the job as a single checksummed frame.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.head.encode(&mut enc);
+        wire::put_selection(&mut enc, &self.selection);
+        enc.put_u64(self.labels.len() as u64);
+        for &l in &self.labels {
+            enc.put_u64(l as u64);
+        }
+        enc.put_tensor(&self.features);
+        wire::put_spec(&mut enc, &self.spec);
+        enc.put_str(&self.method);
+        enc.put_u64(self.indices.len() as u64);
+        for &i in &self.indices {
+            enc.put_u64(i as u64);
+        }
+        wire::frame(JOB_TAG, &enc.into_bytes())
+    }
+
+    /// Decodes a frame written by [`ShardJob::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on any frame fault or payload corruption.
+    pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut dec = Decoder::new(bytes);
+        let payload = wire::expect_frame(&mut dec, JOB_TAG)?;
+        let mut p = Decoder::new(&payload);
+        let head = FcHead::decode(&mut p)?;
+        let selection = wire::read_selection(&mut p)?;
+        let nl = p.read_u64()? as usize;
+        let mut labels = Vec::with_capacity(nl.min(1 << 24));
+        for _ in 0..nl {
+            labels.push(p.read_u64()? as usize);
+        }
+        let features = p.read_tensor()?;
+        let spec = wire::read_spec(&mut p)?;
+        let method = p.read_str()?;
+        let ni = p.read_u64()? as usize;
+        let mut indices = Vec::with_capacity(ni.min(1 << 24));
+        for _ in 0..ni {
+            indices.push(p.read_u64()? as usize);
+        }
+        if p.remaining() != 0 {
+            return Err(WireError::Decode(DecodeError::new(
+                "trailing bytes after shard job payload",
+            )));
+        }
+        Ok(Self {
+            head,
+            selection,
+            labels,
+            features,
+            spec,
+            method,
+            indices,
+        })
+    }
+}
+
+/// Why a worker's result stream could not be accepted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// A frame in the stream failed to decode (truncation, checksum
+    /// mismatch, version skew).
+    Frame(WireError),
+    /// The stream ended without an `END_TAG` frame — the worker died
+    /// mid-write or its output was cut off.
+    MissingEnd,
+    /// The `END_TAG` count disagrees with the outcomes received.
+    CountMismatch {
+        /// Count the worker claimed in its end frame.
+        claimed: u64,
+        /// Outcome frames actually received.
+        received: u64,
+    },
+    /// The outcomes' scenario indices are not the assigned ones, in
+    /// order — the worker computed the wrong shard.
+    IndexMismatch {
+        /// Position in the shard at which the streams diverged.
+        position: usize,
+    },
+    /// Bytes followed the `END_TAG` frame.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Frame(e) => write!(f, "{e}"),
+            ProtoError::MissingEnd => write!(f, "result stream ended without an END frame"),
+            ProtoError::CountMismatch { claimed, received } => write!(
+                f,
+                "END frame claims {claimed} outcomes but {received} were received"
+            ),
+            ProtoError::IndexMismatch { position } => write!(
+                f,
+                "outcome at shard position {position} carries the wrong scenario index"
+            ),
+            ProtoError::TrailingBytes(n) => write!(f, "{n} bytes after the END frame"),
+        }
+    }
+}
+
+impl Error for ProtoError {}
+
+impl From<WireError> for ProtoError {
+    fn from(e: WireError) -> Self {
+        ProtoError::Frame(e)
+    }
+}
+
+impl From<DecodeError> for ProtoError {
+    fn from(e: DecodeError) -> Self {
+        ProtoError::Frame(WireError::Decode(e))
+    }
+}
+
+/// Parses a worker's complete stdout into its outcomes, verifying frame
+/// integrity, the end-of-stream count, and that the scenario indices are
+/// exactly the assigned ones in order.
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] describing the first violation found.
+pub fn parse_worker_stream(
+    bytes: &[u8],
+    expected: &[usize],
+) -> Result<Vec<ScenarioOutcome>, ProtoError> {
+    let mut dec = Decoder::new(bytes);
+    let mut outcomes: Vec<ScenarioOutcome> = Vec::with_capacity(expected.len());
+    loop {
+        if dec.remaining() == 0 {
+            return Err(ProtoError::MissingEnd);
+        }
+        let f = wire::read_frame(&mut dec)?;
+        if &f.tag == wire::END_TAG {
+            let claimed = wire::decode_end_payload(&f.payload)?;
+            if claimed != outcomes.len() as u64 {
+                return Err(ProtoError::CountMismatch {
+                    claimed,
+                    received: outcomes.len() as u64,
+                });
+            }
+            if dec.remaining() != 0 {
+                return Err(ProtoError::TrailingBytes(dec.remaining()));
+            }
+            break;
+        }
+        if &f.tag != wire::OUTCOME_TAG {
+            return Err(ProtoError::Frame(WireError::Decode(DecodeError::new(
+                format!("unexpected frame tag {:?} in result stream", f.tag),
+            ))));
+        }
+        let mut p = Decoder::new(&f.payload);
+        let o = wire::read_outcome(&mut p)?;
+        if p.remaining() != 0 {
+            return Err(ProtoError::Frame(WireError::Decode(DecodeError::new(
+                "trailing bytes after outcome payload",
+            ))));
+        }
+        outcomes.push(o);
+    }
+    if outcomes.len() != expected.len() {
+        return Err(ProtoError::CountMismatch {
+            claimed: outcomes.len() as u64,
+            received: expected.len() as u64,
+        });
+    }
+    for (pos, (o, &want)) in outcomes.iter().zip(expected).enumerate() {
+        if o.scenario.index != want {
+            return Err(ProtoError::IndexMismatch { position: pos });
+        }
+    }
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fsa_attack::campaign::wire::{encode_end_frame, encode_outcome_frame};
+    use fsa_attack::campaign::{Scenario, SparsityBudget};
+    use fsa_attack::AttackResult;
+    use fsa_tensor::Prng;
+
+    fn outcome(index: usize) -> ScenarioOutcome {
+        ScenarioOutcome {
+            scenario: Scenario {
+                index,
+                s: 1,
+                k: 2,
+                budget: SparsityBudget::l0(0.001),
+                seed: 42,
+            },
+            targets: vec![1],
+            result: AttackResult {
+                delta: vec![0.5, 0.0],
+                l0: 1,
+                l2: 0.5,
+                s_success: 1,
+                s_total: 1,
+                keep_unchanged: 2,
+                keep_total: 2,
+                objective_history: vec![1.0],
+                admm_history: vec![],
+                converged: true,
+            },
+        }
+    }
+
+    fn stream(indices: &[usize]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        for &i in indices {
+            bytes.extend_from_slice(&encode_outcome_frame(&outcome(i)));
+        }
+        bytes.extend_from_slice(&encode_end_frame(indices.len() as u64));
+        bytes
+    }
+
+    #[test]
+    fn job_roundtrip() {
+        let mut rng = Prng::new(3);
+        let head = FcHead::from_dims(&[4, 6, 3], &mut rng);
+        let job = ShardJob {
+            selection: ParamSelection::last_layer(&head),
+            head,
+            labels: vec![0, 1, 2, 0, 1],
+            features: Tensor::randn(&[5, 4], 1.0, &mut rng),
+            spec: CampaignSpec::grid(vec![1], vec![2]),
+            method: "fsa".into(),
+            indices: vec![0, 1],
+        };
+        let bytes = job.encode();
+        let back = ShardJob::decode(&bytes).unwrap();
+        // FcHead has no PartialEq; a byte-identical re-encode is the
+        // stronger statement anyway.
+        assert_eq!(back.encode(), bytes);
+        assert_eq!(back.labels, job.labels);
+        assert_eq!(back.indices, job.indices);
+        assert_eq!(back.method, job.method);
+        assert_eq!(back.spec, job.spec);
+    }
+
+    #[test]
+    fn clean_stream_parses() {
+        let bytes = stream(&[3, 4, 5]);
+        let got = parse_worker_stream(&bytes, &[3, 4, 5]).unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[1].scenario.index, 4);
+    }
+
+    #[test]
+    fn missing_end_is_rejected() {
+        let mut bytes = stream(&[0, 1]);
+        // Drop the END frame entirely.
+        let end = encode_end_frame(2);
+        bytes.truncate(bytes.len() - end.len());
+        assert_eq!(
+            parse_worker_stream(&bytes, &[0, 1]),
+            Err(ProtoError::MissingEnd)
+        );
+    }
+
+    #[test]
+    fn truncated_mid_frame_is_a_frame_error() {
+        let bytes = stream(&[0, 1]);
+        let cut = &bytes[..bytes.len() - 10];
+        assert!(matches!(
+            parse_worker_stream(cut, &[0, 1]),
+            Err(ProtoError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_indices_are_rejected() {
+        let bytes = stream(&[0, 2]);
+        assert_eq!(
+            parse_worker_stream(&bytes, &[0, 1]),
+            Err(ProtoError::IndexMismatch { position: 1 })
+        );
+    }
+
+    #[test]
+    fn count_mismatch_is_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_outcome_frame(&outcome(0)));
+        bytes.extend_from_slice(&encode_end_frame(7));
+        assert!(matches!(
+            parse_worker_stream(&bytes, &[0]),
+            Err(ProtoError::CountMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,599 @@
+//! The supervisor: shard, spawn, watch, retry, degrade, merge.
+//!
+//! [`ShardedCampaign::run`] splits a campaign's scenario matrix into
+//! contiguous shards ([`fsa_tensor::parallel::split_ranges`], so the
+//! shard→scenario mapping is documented and order-preserving), spawns
+//! one worker process per shard, and supervises each one:
+//!
+//! * **deadline** — an attempt that outlives
+//!   [`ExecutorConfig::deadline`] is killed and classified as a
+//!   [`FaultKind::Hang`];
+//! * **exit status** — a non-zero exit is a [`FaultKind::Crash`];
+//! * **stream integrity** — a clean exit whose output fails frame
+//!   decoding, checksum verification, or index/count validation is a
+//!   [`FaultKind::CorruptFrame`];
+//! * **retry** — failed attempts are retried up to
+//!   [`ExecutorConfig::max_retries`] times, sleeping
+//!   [`backoff_ms`] (exponential base + seeded jitter, a pure function
+//!   of `(seed, shard, attempt)`) between attempts;
+//! * **degrade** — a shard that exhausts its retries is re-run in
+//!   process over the exact same `Campaign::run_indices` path, so the
+//!   campaign always completes and the merged report is bit-identical
+//!   no matter which recovery path produced each shard.
+//!
+//! Because shards are contiguous index ranges and outcomes are merged
+//! in shard order, the merged outcome vector is in scenario order by
+//! construction — the same order `Campaign::run_method` produces — and
+//! the merged [`CampaignReport`]'s FNV fingerprint equals the
+//! single-process one.
+
+use crate::injector::{FaultDirective, FaultPlanner, FAULT_ENV};
+use crate::proto::{parse_worker_stream, ShardJob};
+use crate::worker::WORKER_FLAG;
+use fsa_attack::campaign::{CampaignReport, CampaignSpec, ScenarioOutcome};
+use fsa_attack::{Campaign, ParamSelection};
+use fsa_nn::feature_cache::FeatureCache;
+use fsa_nn::head::FcHead;
+use fsa_tensor::parallel::split_ranges;
+use fsa_tensor::Prng;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// How a failed worker attempt was classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker exited with a non-zero status (or was signal-killed
+    /// by something other than the supervisor's deadline).
+    Crash,
+    /// The worker outlived the per-attempt deadline and was killed.
+    Hang,
+    /// The worker exited cleanly but its result stream failed
+    /// validation (checksum mismatch, truncated frame, wrong indices).
+    CorruptFrame,
+    /// The worker could not be spawned or its pipes could not be
+    /// driven (host-level failure, not worker behaviour).
+    Spawn,
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Hang => "hang",
+            FaultKind::CorruptFrame => "corrupt-frame",
+            FaultKind::Spawn => "spawn",
+        })
+    }
+}
+
+/// One handled fault: which shard, which attempt, what happened, and
+/// how long the supervisor backed off before the next attempt (`None`
+/// when retries were already exhausted).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Shard index.
+    pub shard: usize,
+    /// Attempt number (0-based) that failed.
+    pub attempt: u32,
+    /// Fault classification.
+    pub kind: FaultKind,
+    /// Human-readable detail (exit code, decode error, …).
+    pub detail: String,
+    /// Backoff slept before the next attempt, if one followed.
+    pub backoff_ms: Option<u64>,
+}
+
+/// How a shard ultimately produced its outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardResolution {
+    /// A worker process completed the shard.
+    Clean {
+        /// Shard index.
+        shard: usize,
+        /// Total spawn attempts it took (1 = first try).
+        attempts: u32,
+    },
+    /// Every attempt failed; the shard was re-run in process.
+    Degraded {
+        /// Shard index.
+        shard: usize,
+    },
+}
+
+impl ShardResolution {
+    /// The shard this resolution belongs to.
+    pub fn shard(&self) -> usize {
+        match self {
+            ShardResolution::Clean { shard, .. } | ShardResolution::Degraded { shard } => *shard,
+        }
+    }
+}
+
+/// Structured record of everything the supervisor handled during one
+/// sharded run: every fault, every backoff, and how each shard was
+/// finally resolved.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionLog {
+    /// Every classified fault, in the order it was handled per shard.
+    pub events: Vec<FaultEvent>,
+    /// One resolution per shard, in shard order.
+    pub resolutions: Vec<ShardResolution>,
+}
+
+impl ExecutionLog {
+    /// Number of recorded faults of `kind`.
+    pub fn count(&self, kind: FaultKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Number of shards that fell back to the in-process path.
+    pub fn degraded(&self) -> usize {
+        self.resolutions
+            .iter()
+            .filter(|r| matches!(r, ShardResolution::Degraded { .. }))
+            .count()
+    }
+
+    /// Total worker spawn attempts across all shards (degraded shards
+    /// contribute their failed attempts).
+    pub fn total_attempts(&self) -> usize {
+        self.resolutions
+            .iter()
+            .map(|r| match r {
+                ShardResolution::Clean { attempts, .. } => *attempts as usize,
+                ShardResolution::Degraded { shard } => {
+                    self.events.iter().filter(|e| e.shard == *shard).count()
+                }
+            })
+            .sum()
+    }
+
+    /// One-line summary for logs and bench output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} shards, {} faults (crash {}, hang {}, corrupt {}, spawn {}), {} degraded",
+            self.resolutions.len(),
+            self.events.len(),
+            self.count(FaultKind::Crash),
+            self.count(FaultKind::Hang),
+            self.count(FaultKind::CorruptFrame),
+            self.count(FaultKind::Spawn),
+            self.degraded()
+        )
+    }
+}
+
+/// Supervisor policy and worker-spawn configuration.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Number of worker shards (clamped to the scenario count at run
+    /// time; 0 is treated as 1).
+    pub shards: usize,
+    /// Per-attempt wall-clock deadline; an attempt still running when
+    /// it expires is killed and classified as a hang.
+    pub deadline: Duration,
+    /// Retries per shard after the first attempt (so a shard gets
+    /// `max_retries + 1` spawns before degrading).
+    pub max_retries: u32,
+    /// Backoff base: attempt `a` sleeps `backoff_base_ms << a` plus
+    /// jitter before the next spawn.
+    pub backoff_base_ms: u64,
+    /// Upper bound (exclusive) of the seeded jitter added to each
+    /// backoff; 0 disables jitter.
+    pub backoff_jitter_ms: u64,
+    /// Seed for the jitter draws — the full backoff schedule is a pure
+    /// function of `(retry_seed, shard, attempt)`.
+    pub retry_seed: u64,
+    /// Program to spawn as the worker; defaults to the current
+    /// executable (the self-spawn pattern).
+    pub worker_program: PathBuf,
+    /// Arguments passed to the worker program; defaults to
+    /// `["--worker"]`.
+    pub worker_args: Vec<String>,
+    /// Fault plan applied to worker spawns; `None` runs clean.
+    pub planner: Option<FaultPlanner>,
+}
+
+impl ExecutorConfig {
+    /// Defaults for `shards` workers: 30 s deadline, 2 retries,
+    /// 50 ms backoff base with 25 ms jitter, self-spawn via
+    /// `current_exe`, and the fault planner taken from
+    /// [`FaultPlanner::from_env`] (so `FSA_FAULT_SEED` injects faults
+    /// into any sharded run without code changes).
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            deadline: Duration::from_secs(30),
+            max_retries: 2,
+            backoff_base_ms: 50,
+            backoff_jitter_ms: 25,
+            retry_seed: 0x5eed_5eed,
+            worker_program: std::env::current_exe().unwrap_or_else(|_| PathBuf::from("")),
+            worker_args: vec![WORKER_FLAG.to_string()],
+            planner: FaultPlanner::from_env(),
+        }
+    }
+
+    /// Replaces the per-attempt deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Replaces the retry budget.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Replaces the backoff base and jitter bound (milliseconds).
+    pub fn with_backoff(mut self, base_ms: u64, jitter_ms: u64) -> Self {
+        self.backoff_base_ms = base_ms;
+        self.backoff_jitter_ms = jitter_ms;
+        self
+    }
+
+    /// Replaces the fault planner (use `None` to force a clean run even
+    /// when `FSA_FAULT_SEED` is set in the environment).
+    pub fn with_planner(mut self, planner: Option<FaultPlanner>) -> Self {
+        self.planner = planner;
+        self
+    }
+
+    /// Replaces the worker program and arguments (tests point this at
+    /// a dedicated worker bin via `CARGO_BIN_EXE_*`).
+    pub fn with_worker(mut self, program: PathBuf, args: Vec<String>) -> Self {
+        self.worker_program = program;
+        self.worker_args = args;
+        self
+    }
+}
+
+/// The backoff (milliseconds) slept after `attempt` of `shard` fails:
+/// `base << attempt` plus a jitter draw below `jitter`. Pure in all
+/// arguments — tests assert the schedule, and reruns reproduce it.
+pub fn backoff_ms(base: u64, jitter: u64, seed: u64, shard: usize, attempt: u32) -> u64 {
+    let exp = base.saturating_mul(1u64 << attempt.min(16));
+    if jitter == 0 {
+        return exp;
+    }
+    let mut rng = Prng::new(seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .fork(0x4a11 + attempt as u64);
+    exp.saturating_add(rng.below(jitter as usize) as u64)
+}
+
+/// The result of a sharded run: the merged report plus the execution
+/// log describing how it was produced.
+#[derive(Debug, Clone)]
+pub struct ShardedRun {
+    /// Merged campaign report, in scenario order — bit-identical to the
+    /// single-process `Campaign::run_method` report.
+    pub report: CampaignReport,
+    /// Every fault handled and every shard's resolution.
+    pub log: ExecutionLog,
+}
+
+/// A campaign bound to its victim, ready to be executed across worker
+/// processes.
+///
+/// Holds the same inputs as [`Campaign::new`]; `run` ships them to each
+/// worker as a [`ShardJob`] and also keeps them locally for the
+/// degraded in-process fallback.
+pub struct ShardedCampaign<'a> {
+    head: &'a FcHead,
+    selection: ParamSelection,
+    cache: FeatureCache,
+    labels: Vec<usize>,
+}
+
+impl<'a> ShardedCampaign<'a> {
+    /// Binds the victim. Panics on the same invariant violations as
+    /// [`Campaign::new`] (size mismatches, invalid selection).
+    pub fn new(
+        head: &'a FcHead,
+        selection: ParamSelection,
+        cache: FeatureCache,
+        labels: Vec<usize>,
+    ) -> Self {
+        // Validate eagerly: Campaign::new asserts the invariants, and
+        // failing here beats failing inside every worker.
+        let _ = Campaign::new(head, selection.clone(), cache.clone(), labels.clone());
+        Self {
+            head,
+            selection,
+            cache,
+            labels,
+        }
+    }
+
+    /// Executes the campaign for `method_name` across
+    /// [`ExecutorConfig::shards`] worker processes and merges the
+    /// outcomes in scenario order.
+    ///
+    /// Always completes: shards whose workers exhaust their retries are
+    /// re-run in process. Panics only if `method_name` is unknown or
+    /// the spec is empty.
+    pub fn run(&self, spec: &CampaignSpec, method_name: &str, cfg: &ExecutorConfig) -> ShardedRun {
+        let method = crate::worker::method_from_name(method_name)
+            .unwrap_or_else(|| panic!("unknown campaign method {method_name:?}"));
+        let n = spec.len();
+        assert!(n > 0, "cannot shard an empty campaign spec");
+        let shards = cfg.shards.clamp(1, n);
+        let ranges = split_ranges(n, shards);
+
+        // One supervision thread per shard. Worker processes do the
+        // actual compute, so these threads spend their lives blocked in
+        // `wait`/`sleep` — the thread count is not a scheduler concern.
+        type ShardResult = (Vec<ScenarioOutcome>, Vec<FaultEvent>, ShardResolution);
+        let mut results: Vec<Option<ShardResult>> = (0..ranges.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(ranges.len());
+            for (shard, range) in ranges.iter().enumerate() {
+                let indices: Vec<usize> = range.clone().collect();
+                let job = ShardJob {
+                    head: self.head.clone(),
+                    selection: self.selection.clone(),
+                    labels: self.labels.clone(),
+                    features: self.cache.features().clone(),
+                    spec: spec.clone(),
+                    method: method_name.to_string(),
+                    indices,
+                };
+                handles.push(scope.spawn(move || self.supervise_shard(shard, job, spec, cfg)));
+            }
+            for (shard, h) in handles.into_iter().enumerate() {
+                results[shard] = Some(h.join().expect("shard supervision thread panicked"));
+            }
+        });
+
+        let mut outcomes = Vec::with_capacity(n);
+        let mut log = ExecutionLog::default();
+        for r in results.into_iter().flatten() {
+            let (mut shard_outcomes, events, resolution) = r;
+            outcomes.append(&mut shard_outcomes);
+            log.events.extend(events);
+            log.resolutions.push(resolution);
+        }
+        debug_assert!(
+            outcomes
+                .windows(2)
+                .all(|w| w[0].scenario.index < w[1].scenario.index),
+            "merged outcomes out of scenario order"
+        );
+        let report = CampaignReport {
+            method: method.name(),
+            precision: spec.precision,
+            outcomes,
+        };
+        ShardedRun { report, log }
+    }
+
+    /// Supervises one shard to completion: spawn/validate/retry until a
+    /// clean worker run, or fall back in process.
+    fn supervise_shard(
+        &self,
+        shard: usize,
+        job: ShardJob,
+        spec: &CampaignSpec,
+        cfg: &ExecutorConfig,
+    ) -> (Vec<ScenarioOutcome>, Vec<FaultEvent>, ShardResolution) {
+        let job_bytes = job.encode();
+        let mut events = Vec::new();
+        for attempt in 0..=cfg.max_retries {
+            let directive = cfg
+                .planner
+                .as_ref()
+                .and_then(|p| p.directive(shard, attempt, cfg.deadline, job.indices.len()));
+            match run_attempt(&job_bytes, &job.indices, directive, cfg) {
+                Ok(outcomes) => {
+                    return (
+                        outcomes,
+                        events,
+                        ShardResolution::Clean {
+                            shard,
+                            attempts: attempt + 1,
+                        },
+                    );
+                }
+                Err((kind, detail)) => {
+                    let backoff = (attempt < cfg.max_retries).then(|| {
+                        backoff_ms(
+                            cfg.backoff_base_ms,
+                            cfg.backoff_jitter_ms,
+                            cfg.retry_seed,
+                            shard,
+                            attempt,
+                        )
+                    });
+                    events.push(FaultEvent {
+                        shard,
+                        attempt,
+                        kind,
+                        detail,
+                        backoff_ms: backoff,
+                    });
+                    if let Some(ms) = backoff {
+                        std::thread::sleep(Duration::from_millis(ms));
+                    }
+                }
+            }
+        }
+        // Retries exhausted: degrade to the in-process path. Same
+        // Campaign::run_indices code the workers execute, so the bits
+        // are identical — degraded means slower, never different.
+        let campaign = Campaign::new(
+            self.head,
+            self.selection.clone(),
+            self.cache.clone(),
+            self.labels.clone(),
+        );
+        let method =
+            crate::worker::method_from_name(&job.method).expect("method validated before sharding");
+        let outcomes = campaign.run_indices(spec, method.as_ref(), &job.indices);
+        (outcomes, events, ShardResolution::Degraded { shard })
+    }
+}
+
+/// Spawns one worker attempt, feeds it the job, enforces the deadline,
+/// and validates its output. Returns the outcomes or a classified
+/// fault.
+fn run_attempt(
+    job_bytes: &[u8],
+    indices: &[usize],
+    directive: Option<FaultDirective>,
+    cfg: &ExecutorConfig,
+) -> Result<Vec<ScenarioOutcome>, (FaultKind, String)> {
+    let mut cmd = Command::new(&cfg.worker_program);
+    cmd.args(&cfg.worker_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    match directive {
+        Some(d) => {
+            cmd.env(FAULT_ENV, d.to_env());
+        }
+        None => {
+            // Never let a directive leak from the supervisor's own
+            // environment into a spawn the planner wanted clean.
+            cmd.env_remove(FAULT_ENV);
+        }
+    }
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| (FaultKind::Spawn, format!("spawn failed: {e}")))?;
+
+    // Writer thread: the job frame can exceed the pipe buffer, and the
+    // worker streams results concurrently — writing inline would
+    // deadlock once both pipes fill.
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let job_owned = job_bytes.to_vec();
+    let writer = std::thread::spawn(move || {
+        // EPIPE here just means the worker died early; the exit status
+        // carries the real story.
+        let _ = stdin.write_all(&job_owned);
+        drop(stdin);
+    });
+    let mut stdout = child.stdout.take().expect("stdout piped");
+    let reader = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = stdout.read_to_end(&mut buf);
+        buf
+    });
+
+    let status = wait_deadline(&mut child, cfg.deadline);
+    let _ = writer.join();
+    let output = reader.join().expect("reader thread panicked");
+
+    match status {
+        None => Err((
+            FaultKind::Hang,
+            format!("deadline {:?} expired; worker killed", cfg.deadline),
+        )),
+        Some(Err(e)) => Err((FaultKind::Spawn, format!("wait failed: {e}"))),
+        Some(Ok(st)) if !st.success() => Err((
+            FaultKind::Crash,
+            match st.code() {
+                Some(c) => format!("worker exited with code {c}"),
+                None => "worker killed by signal".to_string(),
+            },
+        )),
+        Some(Ok(_)) => parse_worker_stream(&output, indices)
+            .map_err(|e| (FaultKind::CorruptFrame, e.to_string())),
+    }
+}
+
+/// Polls the child until it exits or the deadline expires; on expiry
+/// kills it (and reaps it) and returns `None`.
+fn wait_deadline(
+    child: &mut Child,
+    deadline: Duration,
+) -> Option<std::io::Result<std::process::ExitStatus>> {
+    let start = Instant::now();
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return Some(Ok(status)),
+            Ok(None) => {
+                if start.elapsed() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Some(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_pure_and_exponential() {
+        for shard in 0..4 {
+            for attempt in 0..5 {
+                let a = backoff_ms(50, 25, 7, shard, attempt);
+                let b = backoff_ms(50, 25, 7, shard, attempt);
+                assert_eq!(a, b);
+                let base = 50u64 << attempt;
+                assert!(a >= base && a < base + 25, "attempt {attempt}: {a}");
+            }
+        }
+        // Different seeds shift the jitter.
+        assert_ne!(
+            (0..8)
+                .map(|s| backoff_ms(50, 25, 1, s, 1))
+                .collect::<Vec<_>>(),
+            (0..8)
+                .map(|s| backoff_ms(50, 25, 2, s, 1))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn backoff_without_jitter_is_exact() {
+        assert_eq!(backoff_ms(100, 0, 9, 3, 0), 100);
+        assert_eq!(backoff_ms(100, 0, 9, 3, 3), 800);
+        // Saturates instead of overflowing for absurd attempt counts.
+        assert_eq!(backoff_ms(u64::MAX / 2, 0, 9, 3, 16), u64::MAX);
+    }
+
+    #[test]
+    fn execution_log_counts() {
+        let log = ExecutionLog {
+            events: vec![
+                FaultEvent {
+                    shard: 0,
+                    attempt: 0,
+                    kind: FaultKind::Crash,
+                    detail: "x".into(),
+                    backoff_ms: Some(50),
+                },
+                FaultEvent {
+                    shard: 1,
+                    attempt: 0,
+                    kind: FaultKind::Hang,
+                    detail: "y".into(),
+                    backoff_ms: None,
+                },
+            ],
+            resolutions: vec![
+                ShardResolution::Clean {
+                    shard: 0,
+                    attempts: 2,
+                },
+                ShardResolution::Degraded { shard: 1 },
+            ],
+        };
+        assert_eq!(log.count(FaultKind::Crash), 1);
+        assert_eq!(log.count(FaultKind::Hang), 1);
+        assert_eq!(log.count(FaultKind::CorruptFrame), 0);
+        assert_eq!(log.degraded(), 1);
+        assert_eq!(log.total_attempts(), 3);
+        assert!(log.summary().contains("2 shards"));
+    }
+}

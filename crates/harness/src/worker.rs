@@ -1,0 +1,179 @@
+//! The worker side of the sharded executor.
+//!
+//! A worker is the *same binary* as the supervisor, re-spawned with a
+//! hidden [`WORKER_FLAG`] argument: bins call [`maybe_run_worker`] as
+//! their first statement, so in worker mode the process never reaches
+//! the bin's own logic. The worker reads one [`ShardJob`] frame from
+//! stdin, rebuilds the campaign locally, runs its assigned scenario
+//! indices one at a time through the *same* `Campaign::run_indices`
+//! path the single-process engine uses (this is what makes sharded
+//! output bit-identical), and streams one outcome frame per scenario to
+//! stdout, finishing with an END frame.
+//!
+//! If [`FAULT_ENV`] carries a
+//! [`FaultDirective`], the worker sabotages itself accordingly — the
+//! only component that ever *enacts* a fault is the worker, and only
+//! when the supervisor explicitly planted one in its environment.
+
+use crate::injector::{FaultDirective, FAULT_ENV};
+use crate::proto::ShardJob;
+use fsa_attack::campaign::wire;
+use fsa_attack::{AttackMethod, Campaign, FsaMethod};
+use fsa_baselines::{GdaMethod, SbaMethod};
+use fsa_nn::feature_cache::FeatureCache;
+use std::io::{Read, Write};
+use std::process::exit;
+
+/// Hidden argv flag that switches a bin into worker mode.
+pub const WORKER_FLAG: &str = "--worker";
+
+/// Exit code for a job that could not be read or decoded.
+pub const EXIT_BAD_JOB: i32 = 2;
+
+/// Exit code used by the injected [`FaultDirective::KillAfter`] crash.
+pub const EXIT_INJECTED_KILL: i32 = 86;
+
+/// Resolves a campaign method by its wire name.
+///
+/// Returns `None` for unknown names; the caller decides whether that is
+/// a bad-job exit (worker) or a panic (bench bin).
+pub fn method_from_name(name: &str) -> Option<Box<dyn AttackMethod>> {
+    match name {
+        "fsa" => Some(Box::new(FsaMethod)),
+        "sba" => Some(Box::new(SbaMethod::default())),
+        "gda" => Some(Box::new(GdaMethod::default())),
+        _ => None,
+    }
+}
+
+/// Runs [`worker_main`] if the process was spawned in worker mode
+/// (argv contains [`WORKER_FLAG`]); returns immediately otherwise.
+/// Call this as the first statement of any bin that shards campaigns.
+pub fn maybe_run_worker() {
+    if std::env::args().skip(1).any(|a| a == WORKER_FLAG) {
+        worker_main();
+    }
+}
+
+/// Flips one bit of one byte inside an encoded frame, routing the flip
+/// through [`fsa_memfault::bits::flip_bits`] over the 4-byte-aligned
+/// f32 window containing the byte. Offsets are clamped into the frame
+/// so every directive lands.
+fn corrupt_frame(frame: &mut [u8], byte: u32, bit: u8) {
+    let len = frame.len();
+    if len < 4 {
+        return;
+    }
+    let byte = (byte as usize).min(len - 1);
+    let window = (byte & !3).min(len - 4);
+    let word: [u8; 4] = frame[window..window + 4].try_into().unwrap();
+    let flipped = fsa_memfault::bits::flip_bits(
+        f32::from_le_bytes(word),
+        &[(((byte - window) * 8) as u8 + (bit & 7)) & 31],
+    );
+    frame[window..window + 4].copy_from_slice(&flipped.to_le_bytes());
+}
+
+/// Worker-mode entry point: read job, run shard, stream outcomes, exit.
+///
+/// Never returns. Exit codes: `0` on success (including an injected
+/// truncation, which is a *clean* exit with torn output),
+/// [`EXIT_BAD_JOB`] if the job cannot be read or decoded, and
+/// [`EXIT_INJECTED_KILL`] for an injected crash.
+pub fn worker_main() -> ! {
+    let mut bytes = Vec::new();
+    if std::io::stdin().read_to_end(&mut bytes).is_err() {
+        exit(EXIT_BAD_JOB);
+    }
+    let job = match ShardJob::decode(&bytes) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("worker: bad job frame: {e}");
+            exit(EXIT_BAD_JOB);
+        }
+    };
+    let directive = std::env::var(FAULT_ENV)
+        .ok()
+        .and_then(|s| FaultDirective::from_env_str(&s));
+    if let Some(FaultDirective::StallMs(ms)) = directive {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    let Some(method) = method_from_name(&job.method) else {
+        eprintln!("worker: unknown method {:?}", job.method);
+        exit(EXIT_BAD_JOB);
+    };
+    let cache = FeatureCache::from_features(job.features.clone());
+    let campaign = Campaign::new(&job.head, job.selection.clone(), cache, job.labels.clone());
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for (pos, &idx) in job.indices.iter().enumerate() {
+        if let Some(FaultDirective::KillAfter(n)) = directive {
+            if pos as u32 == n {
+                exit(EXIT_INJECTED_KILL);
+            }
+        }
+        // One scenario per frame: a crash mid-shard still leaves a
+        // decodable prefix, and the supervisor sees progress as it
+        // happens rather than all at once.
+        let outcomes = campaign.run_indices(&job.spec, method.as_ref(), &[idx]);
+        let mut frame = wire::encode_outcome_frame(&outcomes[0]);
+        match directive {
+            Some(FaultDirective::TruncateFrame(n)) if pos as u32 == n => {
+                let half = frame.len() / 2;
+                let _ = out.write_all(&frame[..half]);
+                let _ = out.flush();
+                exit(0);
+            }
+            Some(FaultDirective::FlipBit {
+                frame: fi,
+                byte,
+                bit,
+            }) if pos as u32 == fi => {
+                corrupt_frame(&mut frame, byte, bit);
+            }
+            _ => {}
+        }
+        if out.write_all(&frame).and_then(|()| out.flush()).is_err() {
+            // Supervisor hung up (e.g. killed us between signals).
+            exit(EXIT_BAD_JOB);
+        }
+    }
+    let end = wire::encode_end_frame(job.indices.len() as u64);
+    let _ = out.write_all(&end);
+    let _ = out.flush();
+    exit(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_registry_resolves_known_names() {
+        for name in ["fsa", "sba", "gda"] {
+            assert_eq!(method_from_name(name).unwrap().name(), name);
+        }
+        assert!(method_from_name("nope").is_none());
+    }
+
+    #[test]
+    fn corrupt_frame_changes_exactly_one_bit() {
+        let mut frame: Vec<u8> = (0..64u8).collect();
+        let original = frame.clone();
+        corrupt_frame(&mut frame, 17, 5);
+        let differing: Vec<usize> = (0..frame.len())
+            .filter(|&i| frame[i] != original[i])
+            .collect();
+        assert_eq!(differing, vec![17]);
+        assert_eq!(frame[17] ^ original[17], 1 << 5);
+    }
+
+    #[test]
+    fn corrupt_frame_clamps_out_of_range_offsets() {
+        let mut frame: Vec<u8> = (0..8u8).collect();
+        let original = frame.clone();
+        corrupt_frame(&mut frame, 999, 0);
+        assert_ne!(frame, original);
+    }
+}

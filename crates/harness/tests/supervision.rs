@@ -1,0 +1,227 @@
+//! Supervisor battery: the merged sharded report is bit-identical to
+//! the single-process one — on clean runs, under every injected fault
+//! class, and on the degraded in-process fallback — with the
+//! [`ExecutionLog`] recording every retry and fallback.
+//!
+//! Workers are real processes: the tests spawn the crate's
+//! `shard_worker` bin (via the `CARGO_BIN_EXE_shard_worker` path Cargo
+//! exports to integration tests), so the full pipe/deadline/exit-status
+//! machinery is exercised, not a mock.
+
+use fsa_attack::campaign::{CampaignReport, CampaignSpec};
+use fsa_attack::solver::AttackConfig;
+use fsa_attack::{Campaign, FsaMethod, ParamSelection};
+use fsa_harness::injector::{FaultDirective, FaultPlanner};
+use fsa_harness::supervisor::{
+    ExecutionLog, ExecutorConfig, FaultKind, ShardResolution, ShardedCampaign,
+};
+use fsa_nn::feature_cache::FeatureCache;
+use fsa_nn::head::FcHead;
+use fsa_tensor::{Prng, Tensor};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A small victim: big enough that every scenario has distinct work,
+/// small enough that a full battery stays seconds-fast.
+fn fixture() -> (FcHead, FeatureCache, Vec<usize>) {
+    let mut rng = Prng::new(41);
+    let head = FcHead::from_dims(&[8, 16, 4], &mut rng);
+    let pool = Tensor::randn(&[30, 8], 1.0, &mut rng);
+    let labels = head.predict(&pool);
+    (head, FeatureCache::from_features(pool), labels)
+}
+
+/// Six scenarios (S ∈ {1,2} × K ∈ {2,3,4}), short solves.
+fn spec() -> CampaignSpec {
+    CampaignSpec::grid(vec![1, 2], vec![2, 3, 4]).with_config(AttackConfig {
+        iterations: 25,
+        ..AttackConfig::default()
+    })
+}
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_shard_worker"))
+}
+
+/// Config pointed at the dedicated worker bin (self-spawn would re-run
+/// the test harness), with fast backoff so fault tests stay quick and
+/// the planner pinned (never inherited from the ambient environment).
+fn config(shards: usize) -> ExecutorConfig {
+    ExecutorConfig::new(shards)
+        .with_worker(worker_bin(), vec![])
+        .with_backoff(5, 3)
+        .with_planner(None)
+}
+
+fn reference(spec: &CampaignSpec) -> CampaignReport {
+    let (head, cache, labels) = fixture();
+    let campaign = Campaign::new(&head, ParamSelection::last_layer(&head), cache, labels);
+    campaign.run_method(spec, &FsaMethod)
+}
+
+fn sharded(spec: &CampaignSpec, cfg: &ExecutorConfig) -> (CampaignReport, ExecutionLog) {
+    let (head, cache, labels) = fixture();
+    let campaign = ShardedCampaign::new(&head, ParamSelection::last_layer(&head), cache, labels);
+    let run = campaign.run(spec, "fsa", cfg);
+    (run.report, run.log)
+}
+
+#[test]
+fn clean_sharded_runs_match_single_process_bit_for_bit() {
+    let spec = spec();
+    let reference = reference(&spec);
+    for shards in [1, 2, 3, 8] {
+        let (report, log) = sharded(&spec, &config(shards));
+        assert_eq!(report, reference, "{shards} shards diverged");
+        assert_eq!(report.fingerprint(), reference.fingerprint());
+        assert!(log.events.is_empty(), "clean run logged faults: {log:?}");
+        assert_eq!(log.resolutions.len(), shards.min(spec.len()));
+        assert!(log
+            .resolutions
+            .iter()
+            .all(|r| matches!(r, ShardResolution::Clean { attempts: 1, .. })));
+    }
+}
+
+#[test]
+fn worker_kill_is_a_crash_and_retry_recovers_the_bits() {
+    let spec = spec();
+    let reference = reference(&spec);
+    // Kill every shard's first attempt after one emitted frame.
+    let cfg = config(2).with_planner(Some(FaultPlanner::always(FaultDirective::KillAfter(1), 1)));
+    let (report, log) = sharded(&spec, &cfg);
+    assert_eq!(report, reference);
+    assert_eq!(report.fingerprint(), reference.fingerprint());
+    assert_eq!(log.count(FaultKind::Crash), 2, "{}", log.summary());
+    assert_eq!(log.degraded(), 0);
+    for e in &log.events {
+        assert_eq!(e.kind, FaultKind::Crash);
+        assert!(e.detail.contains("86"), "kill exit code lost: {e:?}");
+        assert!(e.backoff_ms.is_some(), "retry without recorded backoff");
+    }
+    assert!(log
+        .resolutions
+        .iter()
+        .all(|r| matches!(r, ShardResolution::Clean { attempts: 2, .. })));
+}
+
+#[test]
+fn stall_past_deadline_is_a_hang_not_a_crash() {
+    let spec = spec();
+    let reference = reference(&spec);
+    // The deadline must be long enough for a clean retry to finish its
+    // shard, and the stall long enough to blow well past the deadline.
+    let cfg = config(2)
+        .with_deadline(Duration::from_secs(2))
+        .with_planner(Some(FaultPlanner::always(
+            FaultDirective::StallMs(30_000),
+            1,
+        )));
+    let (report, log) = sharded(&spec, &cfg);
+    assert_eq!(report, reference);
+    assert_eq!(log.count(FaultKind::Hang), 2, "{}", log.summary());
+    assert_eq!(log.count(FaultKind::Crash), 0);
+    assert_eq!(log.degraded(), 0);
+}
+
+#[test]
+fn corrupted_result_frames_are_caught_by_the_checksum() {
+    let spec = spec();
+    let reference = reference(&spec);
+    for directive in [
+        FaultDirective::FlipBit {
+            frame: 0,
+            byte: 40,
+            bit: 3,
+        },
+        FaultDirective::TruncateFrame(1),
+    ] {
+        let cfg = config(2).with_planner(Some(FaultPlanner::always(directive, 1)));
+        let (report, log) = sharded(&spec, &cfg);
+        assert_eq!(report, reference, "under {directive:?}");
+        assert_eq!(
+            log.count(FaultKind::CorruptFrame),
+            2,
+            "under {directive:?}: {}",
+            log.summary()
+        );
+        assert_eq!(log.degraded(), 0);
+    }
+}
+
+#[test]
+fn exhausted_retries_degrade_in_process_and_preserve_the_fingerprint() {
+    let spec = spec();
+    let reference = reference(&spec);
+    // Every attempt crashes immediately: no worker can ever succeed.
+    let cfg = config(3)
+        .with_max_retries(1)
+        .with_planner(Some(FaultPlanner::persistent(FaultDirective::KillAfter(0))));
+    for threads in [1usize, 2, 3, 8] {
+        fsa_tensor::parallel::set_threads(threads);
+        let (report, log) = sharded(&spec, &cfg);
+        assert_eq!(
+            report, reference,
+            "degraded run diverged at {threads} threads"
+        );
+        assert_eq!(report.fingerprint(), reference.fingerprint());
+        assert_eq!(log.degraded(), 3, "{}", log.summary());
+        // 3 shards × 2 attempts, all crashes.
+        assert_eq!(log.count(FaultKind::Crash), 6);
+        assert!(log
+            .resolutions
+            .iter()
+            .all(|r| matches!(r, ShardResolution::Degraded { .. })));
+    }
+    fsa_tensor::parallel::set_threads(0);
+}
+
+#[test]
+fn seeded_fault_plan_always_converges_to_the_reference_bits() {
+    let spec = spec();
+    let reference = reference(&spec);
+    for seed in [1u64, 99, 0xfau64] {
+        // Short deadline: an injected stall (deadline + ~200-400 ms)
+        // then costs half a second, not the default 30 s.
+        let cfg = config(3)
+            .with_deadline(Duration::from_secs(2))
+            .with_planner(Some(FaultPlanner::seeded(seed)));
+        let (report, log) = sharded(&spec, &cfg);
+        assert_eq!(report, reference, "seed {seed} diverged");
+        assert_eq!(report.fingerprint(), reference.fingerprint());
+        // Seeded plans inject only on attempts 0–1; the default retry
+        // budget (2) guarantees a clean worker run for every shard.
+        assert_eq!(log.degraded(), 0, "seed {seed}: {}", log.summary());
+        // Replaying the same seed replays the same faults.
+        let (_, log2) = sharded(&spec, &cfg);
+        assert_eq!(log, log2, "seed {seed} fault plan not deterministic");
+    }
+}
+
+#[test]
+fn sba_and_gda_methods_shard_identically_too() {
+    let spec = spec();
+    let (head, cache, labels) = fixture();
+    for method in ["sba", "gda"] {
+        let campaign = Campaign::new(
+            &head,
+            ParamSelection::last_layer(&head),
+            cache.clone(),
+            labels.clone(),
+        );
+        let reference = campaign.run_method(
+            &spec,
+            fsa_harness::worker::method_from_name(method)
+                .unwrap()
+                .as_ref(),
+        );
+        let sharded_campaign = ShardedCampaign::new(
+            &head,
+            ParamSelection::last_layer(&head),
+            cache.clone(),
+            labels.clone(),
+        );
+        let run = sharded_campaign.run(&spec, method, &config(2));
+        assert_eq!(run.report, reference, "{method} diverged when sharded");
+    }
+}

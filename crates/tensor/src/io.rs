@@ -224,6 +224,19 @@ impl<'a> Decoder<'a> {
         Ok(out)
     }
 
+    /// Reads `n` raw bytes (the caller knows the framing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated input.
+    pub fn read_raw(&mut self, n: usize) -> Result<Vec<u8>, DecodeError> {
+        self.need(n, "raw bytes")?;
+        let (head, rest) = self.buf.split_at(n);
+        let bytes = head.to_vec();
+        self.buf = rest;
+        Ok(bytes)
+    }
+
     /// Reads a length-prefixed UTF-8 string.
     ///
     /// # Errors

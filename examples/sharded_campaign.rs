@@ -1,0 +1,79 @@
+//! Sharded campaign: run a scenario grid across supervised worker
+//! processes, inject a fault, and watch the retry recover the exact
+//! same bits.
+//!
+//! This example *is* its own worker: the supervisor re-spawns this
+//! binary with a hidden `--worker` flag, ships each shard as a
+//! checksummed wire frame over stdin, and reads outcome frames back
+//! over stdout. The first line of `main` is the worker dispatch — in a
+//! worker process nothing below it ever runs.
+//!
+//! ```text
+//! cargo run --release --example sharded_campaign
+//! ```
+
+use fault_sneaking::attack::campaign::CampaignSpec;
+use fault_sneaking::attack::{AttackConfig, Campaign, FsaMethod, ParamSelection};
+use fault_sneaking::harness::injector::{FaultDirective, FaultPlanner};
+use fault_sneaking::harness::supervisor::{ExecutorConfig, ShardedCampaign};
+use fault_sneaking::nn::feature_cache::FeatureCache;
+use fault_sneaking::nn::head::FcHead;
+use fault_sneaking::tensor::{Prng, Tensor};
+
+fn main() {
+    // Worker dispatch: when re-spawned with `--worker`, run the shard
+    // job from stdin and exit — the supervisor code below never runs.
+    fault_sneaking::harness::worker::maybe_run_worker();
+
+    // 1. A small victim and its pooled working set.
+    let mut rng = Prng::new(2026);
+    let head = FcHead::from_dims(&[10, 20, 4], &mut rng);
+    let pool = Tensor::randn(&[40, 10], 1.0, &mut rng);
+    let labels = head.predict(&pool);
+    let cache = FeatureCache::from_features(pool);
+
+    // 2. A Table-2-style grid: S ∈ {1,2} × K ∈ {2,6}, short solves.
+    let spec = CampaignSpec::grid(vec![1, 2], vec![2, 6]).with_config(AttackConfig {
+        iterations: 60,
+        ..AttackConfig::default()
+    });
+
+    // 3. Single-process reference.
+    let selection = ParamSelection::last_layer(&head);
+    let campaign = Campaign::new(&head, selection.clone(), cache.clone(), labels.clone());
+    let reference = campaign.run_method(&spec, &FsaMethod);
+    println!(
+        "single-process: {} scenarios, fingerprint {:#018x}",
+        reference.len(),
+        reference.fingerprint()
+    );
+
+    // 4. The same grid across 2 worker processes, clean.
+    let sharded = ShardedCampaign::new(&head, selection, cache, labels);
+    let clean = sharded.run(&spec, "fsa", &ExecutorConfig::new(2).with_planner(None));
+    assert!(clean.report == reference, "sharded run changed bits");
+    println!(
+        "2 shards (clean): fingerprint {:#018x} — bit-identical ({})",
+        clean.report.fingerprint(),
+        clean.log.summary()
+    );
+
+    // 5. Same again, but every shard's first attempt is killed
+    //    mid-shard. The supervisor classifies the crashes, backs off,
+    //    retries — and the merged report is still the same bits.
+    let faulty_cfg = ExecutorConfig::new(2)
+        .with_planner(Some(FaultPlanner::always(FaultDirective::KillAfter(1), 1)));
+    let recovered = sharded.run(&spec, "fsa", &faulty_cfg);
+    assert!(recovered.report == reference, "fault recovery changed bits");
+    println!(
+        "2 shards (first attempts killed): fingerprint {:#018x} — bit-identical ({})",
+        recovered.report.fingerprint(),
+        recovered.log.summary()
+    );
+    for e in &recovered.log.events {
+        println!(
+            "  handled: shard {} attempt {} -> {} ({}), backoff {:?} ms",
+            e.shard, e.attempt, e.kind, e.detail, e.backoff_ms
+        );
+    }
+}

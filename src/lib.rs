@@ -24,6 +24,12 @@
 //!   planning against int8 storage;
 //! * [`defense`] — the detector suite and attack-vs-defense stealth
 //!   arena (see below);
+//! * [`harness`] — the fault-tolerant sharded campaign executor:
+//!   scenario shards run in supervised worker **processes** (deadline /
+//!   retry-with-backoff / degraded in-process fallback), exchanging
+//!   versioned, checksummed [`attack::campaign::wire`] frames, with
+//!   deterministic fault injection proving the merged report stays
+//!   bit-identical under crashes, hangs, and corrupted frames;
 //! * [`tensor`] — the dense `f32` tensor substrate everything runs on.
 //!
 //! # Stealth is measured, not asserted
@@ -120,6 +126,7 @@ pub use fsa_attack as attack;
 pub use fsa_baselines as baselines;
 pub use fsa_data as data;
 pub use fsa_defense as defense;
+pub use fsa_harness as harness;
 pub use fsa_memfault as memfault;
 pub use fsa_nn as nn;
 pub use fsa_tensor as tensor;

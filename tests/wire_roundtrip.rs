@@ -1,0 +1,242 @@
+//! Property battery for the campaign wire format
+//! (`fsa_attack::campaign::wire`): seeded random shapes must round-trip
+//! bit-exactly, and *every* single-byte truncation and *any* bit flip
+//! must be rejected — truncations structurally, flips by the frame
+//! checksum. This is the integrity contract the sharded executor's
+//! corrupt-frame classification rests on.
+
+use fault_sneaking::admm::IterStats;
+use fault_sneaking::attack::campaign::wire::{
+    decode_outcome_frame, decode_report_frame, decode_spec_frame, encode_outcome_frame,
+    encode_report_frame, encode_spec_frame,
+};
+use fault_sneaking::attack::campaign::{
+    CampaignReport, CampaignSpec, Scenario, ScenarioOutcome, SparsityBudget,
+};
+use fault_sneaking::attack::refine::RefineConfig;
+use fault_sneaking::attack::solver::Stiffness;
+use fault_sneaking::attack::{AttackConfig, AttackResult, Norm, Precision};
+use fault_sneaking::tensor::Prng;
+
+fn random_config(rng: &mut Prng) -> AttackConfig {
+    AttackConfig {
+        norm: if rng.bernoulli(0.5) {
+            Norm::L0
+        } else {
+            Norm::L2
+        },
+        rho: rng.uniform(0.1, 10.0),
+        stiffness: if rng.bernoulli(0.5) {
+            Stiffness::Auto(rng.uniform(0.5, 4.0))
+        } else {
+            Stiffness::Fixed(rng.uniform(0.5, 4.0))
+        },
+        lambda: rng.uniform(1e-4, 1e-1),
+        iterations: 1 + rng.below(600),
+        kappa: rng.uniform(0.0, 2.0),
+        refine: rng.bernoulli(0.5).then(|| RefineConfig {
+            iterations: 1 + rng.below(50),
+            step: rng.bernoulli(0.5).then(|| rng.uniform(1e-3, 1e-1)),
+        }),
+    }
+}
+
+fn random_spec(rng: &mut Prng) -> CampaignSpec {
+    let draw_list = |rng: &mut Prng, max_len: usize, max_v: usize| -> Vec<usize> {
+        (0..1 + rng.below(max_len))
+            .map(|_| rng.below(max_v))
+            .collect()
+    };
+    let budgets: Vec<SparsityBudget> = (0..1 + rng.below(3))
+        .map(|_| {
+            if rng.bernoulli(0.5) {
+                SparsityBudget::l0(rng.uniform(1e-4, 1e-1))
+            } else {
+                SparsityBudget::l2(rng.uniform(1e-4, 1e-1))
+            }
+        })
+        .collect();
+    let seeds: Vec<u64> = (0..1 + rng.below(3)).map(|_| rng.next_u64()).collect();
+    let mut spec = CampaignSpec::grid(draw_list(rng, 3, 8), draw_list(rng, 4, 16))
+        .with_budgets(budgets)
+        .with_seeds(seeds)
+        .with_config(random_config(rng))
+        .with_weights(rng.uniform(1.0, 20.0), rng.uniform(0.1, 2.0));
+    if rng.bernoulli(0.3) {
+        spec = spec.with_precision(Precision::Int8);
+    }
+    spec
+}
+
+fn random_outcome(rng: &mut Prng, index: usize) -> ScenarioOutcome {
+    let dim = 1 + rng.below(24);
+    let delta: Vec<f32> = (0..dim)
+        .map(|_| {
+            if rng.bernoulli(0.5) {
+                0.0
+            } else {
+                rng.uniform(-1.0, 1.0)
+            }
+        })
+        .collect();
+    let s_total = 1 + rng.below(4);
+    let keep_total = rng.below(16);
+    let admm_history: Vec<IterStats> = (0..rng.below(6))
+        .map(|i| IterStats {
+            iter: i,
+            primal_residual: rng.uniform(0.0, 1.0),
+            dual_residual: rng.uniform(0.0, 1.0),
+            rho: rng.uniform(0.1, 10.0),
+        })
+        .collect();
+    ScenarioOutcome {
+        scenario: Scenario {
+            index,
+            s: s_total,
+            k: keep_total,
+            budget: if rng.bernoulli(0.5) {
+                SparsityBudget::l0(rng.uniform(1e-4, 1e-1))
+            } else {
+                SparsityBudget::l2(rng.uniform(1e-4, 1e-1))
+            },
+            seed: rng.next_u64(),
+        },
+        targets: (0..s_total).map(|_| rng.below(10)).collect(),
+        result: AttackResult {
+            l0: delta.iter().filter(|&&v| v != 0.0).count(),
+            l2: delta.iter().map(|v| v * v).sum::<f32>().sqrt(),
+            delta,
+            s_success: rng.below(s_total + 1),
+            s_total,
+            keep_unchanged: rng.below(keep_total + 1),
+            keep_total,
+            objective_history: (0..rng.below(8)).map(|_| rng.uniform(0.0, 50.0)).collect(),
+            admm_history,
+            converged: rng.bernoulli(0.5),
+        },
+    }
+}
+
+fn random_report(rng: &mut Prng) -> CampaignReport {
+    let n = 1 + rng.below(6);
+    CampaignReport {
+        method: ["fsa", "sba", "gda"][rng.below(3)].to_string(),
+        precision: if rng.bernoulli(0.3) {
+            Precision::Int8
+        } else {
+            Precision::F32
+        },
+        outcomes: (0..n).map(|i| random_outcome(rng, i)).collect(),
+    }
+}
+
+#[test]
+fn spec_frames_roundtrip_over_seeded_shapes() {
+    let mut rng = Prng::new(0x51EC);
+    for _ in 0..50 {
+        let spec = random_spec(&mut rng);
+        let bytes = encode_spec_frame(&spec);
+        let back = decode_spec_frame(&bytes).expect("clean frame must decode");
+        assert_eq!(back, spec);
+        // Re-encoding is byte-stable (canonical encoding).
+        assert_eq!(encode_spec_frame(&back), bytes);
+    }
+}
+
+#[test]
+fn outcome_frames_roundtrip_over_seeded_shapes() {
+    let mut rng = Prng::new(0x00C0);
+    for i in 0..50 {
+        let o = random_outcome(&mut rng, i);
+        let bytes = encode_outcome_frame(&o);
+        let back = decode_outcome_frame(&bytes).expect("clean frame must decode");
+        assert_eq!(back, o);
+        assert_eq!(encode_outcome_frame(&back), bytes);
+    }
+}
+
+#[test]
+fn report_frames_roundtrip_and_preserve_the_fingerprint() {
+    let mut rng = Prng::new(0x9e37);
+    for _ in 0..20 {
+        let report = random_report(&mut rng);
+        let bytes = encode_report_frame(&report);
+        let back = decode_report_frame(&bytes).expect("clean frame must decode");
+        assert_eq!(back, report);
+        assert_eq!(
+            back.fingerprint(),
+            report.fingerprint(),
+            "decode must preserve the FNV fingerprint bit-for-bit"
+        );
+    }
+}
+
+#[test]
+fn every_truncation_of_a_spec_frame_is_rejected() {
+    let mut rng = Prng::new(1);
+    let bytes = encode_spec_frame(&random_spec(&mut rng));
+    for cut in 0..bytes.len() {
+        assert!(
+            decode_spec_frame(&bytes[..cut]).is_err(),
+            "prefix of length {cut}/{} decoded",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_truncation_of_an_outcome_frame_is_rejected() {
+    let mut rng = Prng::new(2);
+    let bytes = encode_outcome_frame(&random_outcome(&mut rng, 0));
+    for cut in 0..bytes.len() {
+        assert!(
+            decode_outcome_frame(&bytes[..cut]).is_err(),
+            "prefix of length {cut}/{} decoded",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_truncation_of_a_report_frame_is_rejected() {
+    let mut rng = Prng::new(3);
+    let bytes = encode_report_frame(&random_report(&mut rng));
+    // Report frames run long; scan every cut below 256 and then sampled
+    // cuts across the rest.
+    let mut cuts: Vec<usize> = (0..bytes.len().min(256)).collect();
+    let mut r = Prng::new(4);
+    cuts.extend((0..256).map(|_| r.below(bytes.len())));
+    for cut in cuts {
+        assert!(
+            decode_report_frame(&bytes[..cut]).is_err(),
+            "prefix of length {cut}/{} decoded",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn seeded_bit_flips_are_rejected_by_the_checksum() {
+    let mut rng = Prng::new(0xF11);
+    for trial in 0..200 {
+        let bytes = if trial % 2 == 0 {
+            encode_outcome_frame(&random_outcome(&mut rng, trial))
+        } else {
+            encode_spec_frame(&random_spec(&mut rng))
+        };
+        let mut corrupt = bytes.clone();
+        let byte = rng.below(corrupt.len());
+        let bit = rng.below(8) as u8;
+        corrupt[byte] ^= 1 << bit;
+        let rejected = if trial % 2 == 0 {
+            decode_outcome_frame(&corrupt).is_err()
+        } else {
+            decode_spec_frame(&corrupt).is_err()
+        };
+        assert!(
+            rejected,
+            "flip of bit {bit} in byte {byte}/{} went undetected",
+            corrupt.len()
+        );
+    }
+}
