@@ -123,6 +123,10 @@ pub struct CampaignSpec {
     /// is projected onto the int8 grid, and outcomes are re-measured
     /// under int8 inference (see [`Campaign::run_method`]).
     pub precision: Precision,
+    /// Detector-aware planning objective applied to every scenario;
+    /// `None` runs the paper's plain behavioural-stealth attack. Part of
+    /// the campaign identity (mixed into report fingerprints).
+    pub stealth: Option<crate::stealth::StealthObjective>,
 }
 
 impl CampaignSpec {
@@ -139,12 +143,19 @@ impl CampaignSpec {
             c_attack: 10.0,
             c_keep: 1.0,
             precision: Precision::F32,
+            stealth: None,
         }
     }
 
     /// Sets the storage format the campaign attacks.
     pub fn with_precision(mut self, precision: Precision) -> Self {
         self.precision = precision;
+        self
+    }
+
+    /// Sets (or clears) the detector-aware planning objective.
+    pub fn with_stealth(mut self, stealth: Option<crate::stealth::StealthObjective>) -> Self {
+        self.stealth = stealth;
         self
     }
 
@@ -330,6 +341,9 @@ pub struct CampaignReport {
     /// Under [`Precision::Int8`] every outcome's δ lies on the int8
     /// grid and its counters were measured under int8 inference.
     pub precision: Precision,
+    /// Detector-aware planning objective the campaign ran under (copied
+    /// from the spec); `None` means plain behavioural stealth.
+    pub stealth: Option<crate::stealth::StealthObjective>,
     /// Per-scenario outcomes, index-aligned with
     /// [`CampaignSpec::scenarios`].
     pub outcomes: Vec<ScenarioOutcome>,
@@ -379,6 +393,19 @@ impl CampaignReport {
         let mut h = fsa_tensor::hash::Fnv1a::new();
         h.write_bytes(self.method.as_bytes());
         h.write_u64(self.precision.tag());
+        match self.stealth {
+            None => h.write_u64(0),
+            Some(s) => {
+                h.write_u64(1);
+                h.write_u64(s.block_params as u64);
+                h.write_u64(u64::from(s.block_lambda.to_bits()));
+                h.write_u64(s.geometry.banks as u64);
+                h.write_u64(s.geometry.rows_per_bank as u64);
+                h.write_u64(s.geometry.row_bytes as u64);
+                h.write_u64(u64::from(s.drift_budget.to_bits()));
+                h.write_u64(s.max_dirty_blocks as u64);
+            }
+        }
         let mut mix = |v: u64| h.write_u64(v);
         for o in &self.outcomes {
             mix(o.scenario.index as u64);
@@ -600,6 +627,7 @@ impl<'a> Campaign<'a> {
         CampaignReport {
             method: method.name(),
             precision: spec.precision,
+            stealth: spec.stealth,
             outcomes: self.run_indices(spec, method, &all),
         }
     }
@@ -649,7 +677,9 @@ impl<'a> Campaign<'a> {
         let plan = parallel::plan_nested(indices.len(), 1, 1);
         parallel::nested_map(indices.len(), plan, |j| {
             let sc = scenarios[indices[j]];
-            let aspec = self.scenario_spec(&sc, spec.c_attack, spec.c_keep);
+            let aspec = self
+                .scenario_spec(&sc, spec.c_attack, spec.c_keep)
+                .with_stealth(spec.stealth);
             let targets = aspec.targets.clone();
             let result = match &quant {
                 None => method.run_scenario(self.head, &self.selection, spec, &sc, &aspec),
@@ -674,6 +704,13 @@ impl<'a> Campaign<'a> {
     /// attacked storage. Iteration histories and the convergence flag
     /// are kept as diagnostics of the optimization that produced the
     /// plan.
+    ///
+    /// Under a stealth objective the *realized* plan is additionally
+    /// parity-repaired on the deployed `f32` word surface
+    /// ([`crate::stealth::repair_parity_int8`]) — projection onto the
+    /// int8 grid re-decides every flipped bit, so the solver's
+    /// pre-projection repair cannot survive it and the pass must run
+    /// here, after projection and before measurement.
     fn project_int8(
         &self,
         qclean: &QuantizedHead,
@@ -681,7 +718,12 @@ impl<'a> Campaign<'a> {
         aspec: &AttackSpec,
         mut result: crate::solver::AttackResult,
     ) -> crate::solver::AttackResult {
-        let (q_new, realized) = qsel.project(&result.delta);
+        let (mut q_new, mut realized) = qsel.project(&result.delta);
+        if let Some(s) = aspec.stealth {
+            let gidx = self.selection.global_indices(self.head);
+            let layout = s.whole_model_layout(self.head.param_count());
+            crate::stealth::repair_parity_int8(&mut realized, &mut q_new, qsel, &gidx, &layout);
+        }
         let mut attacked = qclean.clone();
         qsel.apply(&mut attacked, &self.selection, &q_new, &realized);
         let logits = attacked.forward(&aspec.features);

@@ -39,14 +39,16 @@ use crate::precision::Precision;
 use crate::refine::RefineConfig;
 use crate::selection::{LayerSelection, ParamKind, ParamSelection};
 use crate::solver::{AttackConfig, AttackResult, Norm, Stiffness};
+use crate::stealth::StealthObjective;
 use fsa_admm::solver::IterStats;
+use fsa_memfault::dram::DramGeometry;
 use fsa_tensor::hash::Fnv1a;
 use fsa_tensor::io::{DecodeError, Decoder, Encoder};
 use std::error::Error;
 use std::fmt;
 
 /// Version of every payload layout in this module; bump on any change.
-pub const WIRE_VERSION: u32 = 1;
+pub const WIRE_VERSION: u32 = 2;
 
 /// Frame tag: a [`CampaignSpec`] payload.
 pub const SPEC_TAG: &[u8; 4] = b"FSCS";
@@ -304,6 +306,50 @@ fn read_precision(dec: &mut Decoder<'_>) -> Result<Precision, DecodeError> {
     }
 }
 
+fn put_stealth(enc: &mut Encoder, stealth: &Option<StealthObjective>) {
+    match stealth {
+        None => enc.put_u32(0),
+        Some(s) => {
+            enc.put_u32(1);
+            enc.put_u64(s.block_params as u64);
+            enc.put_f32(s.block_lambda);
+            enc.put_u64(s.geometry.banks as u64);
+            enc.put_u64(s.geometry.rows_per_bank as u64);
+            enc.put_u64(s.geometry.row_bytes as u64);
+            enc.put_f32(s.drift_budget);
+            enc.put_u64(s.max_dirty_blocks as u64);
+        }
+    }
+}
+
+fn read_stealth(dec: &mut Decoder<'_>) -> Result<Option<StealthObjective>, DecodeError> {
+    match dec.read_u32()? {
+        0 => Ok(None),
+        1 => {
+            let block_params = dec.read_u64()? as usize;
+            let block_lambda = dec.read_f32()?;
+            let geometry = DramGeometry {
+                banks: dec.read_u64()? as usize,
+                rows_per_bank: dec.read_u64()? as usize,
+                row_bytes: dec.read_u64()? as usize,
+            };
+            let drift_budget = dec.read_f32()?;
+            let max_dirty_blocks = dec.read_u64()? as usize;
+            if block_params == 0 {
+                return Err(DecodeError::new("stealth block size must be positive"));
+            }
+            Ok(Some(StealthObjective {
+                block_params,
+                block_lambda,
+                geometry,
+                drift_budget,
+                max_dirty_blocks,
+            }))
+        }
+        v => Err(DecodeError::new(format!("unknown stealth tag {v}"))),
+    }
+}
+
 /// Appends a [`CampaignSpec`] payload.
 pub fn put_spec(enc: &mut Encoder, spec: &CampaignSpec) {
     put_usize_slice(enc, &spec.s_values);
@@ -320,6 +366,7 @@ pub fn put_spec(enc: &mut Encoder, spec: &CampaignSpec) {
     enc.put_f32(spec.c_attack);
     enc.put_f32(spec.c_keep);
     put_precision(enc, spec.precision);
+    put_stealth(enc, &spec.stealth);
 }
 
 /// Reads a [`CampaignSpec`] payload.
@@ -344,6 +391,7 @@ pub fn read_spec(dec: &mut Decoder<'_>) -> Result<CampaignSpec, DecodeError> {
     let c_attack = dec.read_f32()?;
     let c_keep = dec.read_f32()?;
     let precision = read_precision(dec)?;
+    let stealth = read_stealth(dec)?;
     Ok(CampaignSpec {
         s_values,
         k_values,
@@ -353,6 +401,7 @@ pub fn read_spec(dec: &mut Decoder<'_>) -> Result<CampaignSpec, DecodeError> {
         c_attack,
         c_keep,
         precision,
+        stealth,
     })
 }
 
@@ -548,6 +597,7 @@ pub fn encode_report_frame(report: &CampaignReport) -> Vec<u8> {
     let mut enc = Encoder::new();
     enc.put_str(&report.method);
     put_precision(&mut enc, report.precision);
+    put_stealth(&mut enc, &report.stealth);
     enc.put_u64(report.outcomes.len() as u64);
     for o in &report.outcomes {
         put_outcome(&mut enc, o);
@@ -566,6 +616,7 @@ pub fn decode_report_frame(bytes: &[u8]) -> Result<CampaignReport, WireError> {
     let mut pdec = Decoder::new(&payload);
     let method = pdec.read_str()?;
     let precision = read_precision(&mut pdec)?;
+    let stealth = read_stealth(&mut pdec)?;
     let n = pdec.read_u64()? as usize;
     let mut outcomes = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
@@ -575,6 +626,7 @@ pub fn decode_report_frame(bytes: &[u8]) -> Result<CampaignReport, WireError> {
     Ok(CampaignReport {
         method,
         precision,
+        stealth,
         outcomes,
     })
 }
@@ -619,6 +671,19 @@ mod tests {
             .with_budgets(vec![SparsityBudget::l0(0.001), SparsityBudget::l2(0.01)])
             .with_seeds(vec![7, 9])
             .with_precision(Precision::Int8)
+            .with_stealth(Some(
+                StealthObjective::new(
+                    16,
+                    0.5,
+                    DramGeometry {
+                        banks: 4,
+                        rows_per_bank: 4096,
+                        row_bytes: 256,
+                    },
+                    0.75,
+                )
+                .with_block_cap(5),
+            ))
     }
 
     fn small_outcome() -> ScenarioOutcome {
@@ -670,6 +735,7 @@ mod tests {
         let report = CampaignReport {
             method: "fsa".into(),
             precision: Precision::F32,
+            stealth: small_spec().stealth,
             outcomes: vec![small_outcome(), small_outcome()],
         };
         let bytes = encode_report_frame(&report);

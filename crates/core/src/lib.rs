@@ -50,6 +50,7 @@ pub mod refine;
 pub mod selection;
 pub mod solver;
 pub mod spec;
+pub mod stealth;
 
 pub use campaign::{
     AttackMethod, Campaign, CampaignReport, CampaignSpec, FsaMethod, Scenario, ScenarioDraw,
@@ -60,3 +61,4 @@ pub use precision::{Precision, QuantizedSelection};
 pub use selection::{ParamKind, ParamSelection};
 pub use solver::{AttackConfig, AttackResult, FaultSneakingAttack, Norm};
 pub use spec::AttackSpec;
+pub use stealth::{ParityRepair, StealthObjective};

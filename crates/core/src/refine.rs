@@ -11,6 +11,7 @@ use crate::objective::{evaluate_hinge_into, HingeEval};
 use crate::selection::ParamSelection;
 use crate::spec::AttackSpec;
 use fsa_nn::head::{FcHead, HeadBuffers};
+use fsa_nn::stats::{head_forward_stats, max_normalized_drift, ActivationStats};
 use fsa_tensor::Tensor;
 
 /// Configuration of the repair pass.
@@ -37,6 +38,15 @@ impl Default for RefineConfig {
 /// Zero coordinates of `delta` stay exactly zero; the pass stops early
 /// once every hinge is inactive (all faults placed with margin κ).
 ///
+/// When `drift` is `Some((reference, budget))` the pass additionally
+/// budgets against the activation-drift monitor: after every step the
+/// attacked head's per-layer statistics on `spec.features` are compared
+/// to `reference` via [`fsa_nn::stats::max_normalized_drift`] — the
+/// formula the deployed drift detector scores — and a step that exceeds
+/// `budget` is reverted, ending the pass. The check is a fixed-order
+/// reduction of deterministic layer outputs, so it never weakens the
+/// bit-determinism guarantee.
+///
 /// Returns the number of iterations executed.
 #[allow(clippy::too_many_arguments)]
 pub fn refine_on_support(
@@ -48,6 +58,7 @@ pub fn refine_on_support(
     kappa: f32,
     alpha: f32,
     cfg: &RefineConfig,
+    drift: Option<(&[ActivationStats], f32)>,
     delta: &mut [f32],
 ) -> usize {
     let start = selection.start_layer();
@@ -65,6 +76,7 @@ pub fn refine_on_support(
     let mut bufs = HeadBuffers::new();
     let mut hinge = HingeEval::default();
     let mut flat: Vec<f32> = Vec::with_capacity(delta.len());
+    let mut prev: Vec<f32> = Vec::with_capacity(support.len());
     for iter in 0..cfg.iterations {
         for i in 0..delta.len() {
             theta[i] = theta0[i] + delta[i];
@@ -77,8 +89,29 @@ pub fn refine_on_support(
         }
         head.backward_from_cache(start, acts, &hinge.logit_grad, &mut bufs);
         selection.gather_grads_into(bufs.grads(), start, &mut flat);
+        if drift.is_some() {
+            // Snapshot the support before stepping: `(d − s) + s` does
+            // not round-trip in f32, so a revert must restore bits.
+            prev.clear();
+            prev.extend(support.iter().map(|&i| delta[i]));
+        }
         for &i in &support {
             delta[i] -= step * flat[i];
+        }
+        if let Some((reference, budget)) = drift {
+            for i in 0..delta.len() {
+                theta[i] = theta0[i] + delta[i];
+            }
+            selection.scatter(head, &theta);
+            let (_, now) = head_forward_stats(head, &spec.features);
+            if max_normalized_drift(&now, reference) > f64::from(budget) {
+                // This step crossed the monitor's budget: undo it and
+                // stop — the previous iterate is the best compliant one.
+                for (k, &i) in support.iter().enumerate() {
+                    delta[i] = prev[k];
+                }
+                return iter + 1;
+            }
         }
     }
     cfg.iterations
@@ -117,7 +150,7 @@ mod tests {
             step: Some(0.05),
         };
         refine_on_support(
-            &mut head, &sel, &theta0, &spec, &acts, 0.0, 1.0, &cfg, &mut delta,
+            &mut head, &sel, &theta0, &spec, &acts, 0.0, 1.0, &cfg, None, &mut delta,
         );
 
         for &i in &zero_before {
@@ -146,9 +179,73 @@ mod tests {
             0.0,
             1.0,
             &RefineConfig::default(),
+            None,
             &mut delta,
         );
         assert_eq!(iters, 0);
         assert!(delta.iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn drift_budget_stops_and_reverts_the_offending_step() {
+        let mut rng = Prng::new(11);
+        let head = FcHead::from_dims(&[4, 6, 3], &mut rng);
+        let features = Tensor::randn(&[4, 4], 1.0, &mut rng);
+        let labels = head.predict(&features);
+        let target = (labels[0] + 1) % 3;
+        let spec = AttackSpec::new(features.clone(), labels, vec![target]);
+        let sel = ParamSelection::layer(1, ParamKind::Both);
+        let theta0 = sel.gather(&head);
+        let acts = head.activations_before(1, &spec.features);
+        let (_, reference) = head_forward_stats(&head, &spec.features);
+        let cfg = RefineConfig {
+            iterations: 40,
+            step: Some(0.05),
+        };
+
+        let mut delta = vec![0.0f32; sel.dim(&head)];
+        delta[0] = 0.1;
+        delta[5] = -0.2;
+        let start = delta.clone();
+
+        // A zero budget forbids ANY drift: the first step must trip the
+        // guard, be reverted exactly, and end the pass after 1 iteration.
+        let mut guarded = head.clone();
+        let iters = refine_on_support(
+            &mut guarded,
+            &sel,
+            &theta0,
+            &spec,
+            &acts,
+            0.0,
+            1.0,
+            &cfg,
+            Some((&reference, 0.0)),
+            &mut delta,
+        );
+        assert_eq!(iters, 1, "a zero budget must stop at the first step");
+        assert_eq!(delta, start, "the offending step must be undone");
+
+        // A huge budget never binds: identical to the unguarded pass.
+        let mut a = start.clone();
+        let mut b = start.clone();
+        let mut ha = head.clone();
+        refine_on_support(
+            &mut ha, &sel, &theta0, &spec, &acts, 0.0, 1.0, &cfg, None, &mut a,
+        );
+        let mut hb = head.clone();
+        refine_on_support(
+            &mut hb,
+            &sel,
+            &theta0,
+            &spec,
+            &acts,
+            0.0,
+            1.0,
+            &cfg,
+            Some((&reference, 1e9)),
+            &mut b,
+        );
+        assert_eq!(a, b, "a slack budget must not perturb the pass");
     }
 }

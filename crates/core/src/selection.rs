@@ -204,6 +204,38 @@ impl ParamSelection {
         }
     }
 
+    /// Global flat-parameter index of each selected scalar, in `δ`
+    /// order — position `i` of the selection's flat vector lives at
+    /// `global_indices(head)[i]` of the whole-model flat layout (layers
+    /// in order, weights row-major before bias; the layout
+    /// [`FcHead::layer_flat_params`] concatenates and the deployed
+    /// integrity monitors address).
+    ///
+    /// Strictly ascending, because entries are sorted by layer and each
+    /// region is emitted in storage order.
+    pub fn global_indices(&self, head: &FcHead) -> Vec<usize> {
+        let layer_base: Vec<usize> = (0..head.num_layers())
+            .scan(0usize, |acc, i| {
+                let base = *acc;
+                *acc += head.layer_param_count(i);
+                Some(base)
+            })
+            .collect();
+        let mut out = Vec::with_capacity(self.dim(head));
+        for e in &self.entries {
+            let l = head.layer(e.layer);
+            let base = layer_base[e.layer];
+            let nw = l.weight().numel();
+            let nb = l.bias().numel();
+            match e.kind {
+                ParamKind::Weights => out.extend(base..base + nw),
+                ParamKind::Bias => out.extend(base + nw..base + nw + nb),
+                ParamKind::Both => out.extend(base..base + nw + nb),
+            }
+        }
+        out
+    }
+
     /// Extracts the selected regions from per-layer `(dW, db)` gradients
     /// returned by [`FcHead::logit_backward`] called with
     /// `start = self.start_layer()`.
@@ -312,6 +344,40 @@ mod tests {
                 kind: ParamKind::Bias,
             },
         ]);
+    }
+
+    #[test]
+    fn global_indices_address_the_flat_layout() {
+        let h = head(); // dims [6, 5, 4]: layer 0 = 30w + 5b, layer 1 = 20w + 4b
+        let last = ParamSelection::last_layer(&h);
+        let idx = last.global_indices(&h);
+        assert_eq!(idx, (35..59).collect::<Vec<_>>());
+        let bias0 = ParamSelection::layer(0, ParamKind::Bias);
+        assert_eq!(bias0.global_indices(&h), (30..35).collect::<Vec<_>>());
+        // δ-order agreement: scattering a marker through the selection
+        // lands it at the global index the map claims.
+        let mut marked = h.clone();
+        let sel = ParamSelection::from_entries(vec![
+            LayerSelection {
+                layer: 0,
+                kind: ParamKind::Bias,
+            },
+            LayerSelection {
+                layer: 1,
+                kind: ParamKind::Both,
+            },
+        ]);
+        let mut vals = sel.gather(&marked);
+        vals[7] = 1234.5;
+        sel.scatter(&mut marked, &vals);
+        let flat: Vec<f32> = (0..marked.num_layers())
+            .flat_map(|i| marked.layer_flat_params(i))
+            .collect();
+        assert_eq!(flat[sel.global_indices(&h)[7]], 1234.5);
+        // Strictly ascending — required by the block-range builder.
+        let all = ParamSelection::all_layers(&h).global_indices(&h);
+        assert!(all.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(all.len(), h.param_count());
     }
 
     #[test]

@@ -5,7 +5,10 @@ use crate::objective::{count_satisfied, evaluate_hinge_into, HingeEval};
 use crate::refine::{refine_on_support, RefineConfig};
 use crate::selection::ParamSelection;
 use crate::spec::AttackSpec;
-use fsa_admm::prox::{block_soft_threshold, hard_threshold};
+use crate::stealth;
+use fsa_admm::prox::{
+    block_hard_threshold, block_soft_threshold, block_soft_threshold_grouped, hard_threshold,
+};
 use fsa_admm::solver::{AdmmConfig, AdmmDriver, AdmmProblem, IterStats};
 use fsa_admm::RhoPolicy;
 use fsa_nn::head::{FcHead, HeadBuffers};
@@ -212,6 +215,20 @@ impl FaultSneakingAttack {
         let leverage = estimate_leverage(&self.head, &self.selection, start, &acts, spec);
         let stiffness = self.config.stiffness.resolve(leverage, c_max);
 
+        // Detector-aware planning: the stealth objective shapes every
+        // stage of the solve — checksum-block structure in the z-step,
+        // a drift budget in refinement, and parity repair on the result.
+        let global_indices = spec
+            .stealth
+            .map(|_| self.selection.global_indices(&self.head));
+        let blocks = spec
+            .stealth
+            .zip(global_indices.as_ref())
+            .map(|(s, g)| s.delta_blocks(g));
+        let drift_reference = spec
+            .stealth
+            .map(|_| fsa_nn::stats::head_forward_stats(&self.head, &spec.features).1);
+
         let mut problem = Problem {
             head: self.head.clone(),
             selection: &self.selection,
@@ -221,6 +238,8 @@ impl FaultSneakingAttack {
             theta0: &self.theta0,
             cfg: &self.config,
             stiffness,
+            blocks,
+            block_lambda: spec.stealth.map_or(0.0, |s| s.block_lambda),
             objective_history: Vec::with_capacity(self.config.iterations),
             scratch: vec![0.0; dim],
             bufs: HeadBuffers::new(),
@@ -242,8 +261,19 @@ impl FaultSneakingAttack {
         // sparse under ℓ0 (hard-thresholded) and exactly shrunk under ℓ2.
         let mut delta = admm.z.clone();
 
+        // Hard checksum-block cap: prune δ to the highest-energy blocks
+        // *before* refinement, so the refinement pass recovers fault
+        // success on the support the audit budget allows.
+        if let Some((s, b)) = spec.stealth.zip(problem.blocks.as_ref()) {
+            stealth::prune_to_block_budget(&mut delta, b, s.max_dirty_blocks);
+        }
+
         if let Some(refine_cfg) = &self.config.refine {
             let mut head = self.head.clone();
+            let drift = spec
+                .stealth
+                .zip(drift_reference.as_ref())
+                .map(|(s, r)| (r.as_slice(), s.drift_budget));
             refine_on_support(
                 &mut head,
                 &self.selection,
@@ -253,8 +283,19 @@ impl FaultSneakingAttack {
                 self.config.kappa,
                 stiffness,
                 refine_cfg,
+                drift,
                 &mut delta,
             );
+        }
+
+        // Parity-even flip planning: pair/pad the compiled plan's per-row
+        // bit flips so the DRAM parity monitor sees nothing. Runs after
+        // refinement (which moves values) and before the final success
+        // measurement (pads may cost a marginal fault its margin — that
+        // must show in the reported counts).
+        if let Some((s, g)) = spec.stealth.zip(global_indices.as_ref()) {
+            let layout = s.whole_model_layout(self.head.param_count());
+            stealth::repair_parity_f32(&mut delta, &self.theta0, g, &layout);
         }
 
         // Final evaluation with θ + δ applied.
@@ -367,6 +408,11 @@ struct Problem<'a> {
     theta0: &'a [f32],
     cfg: &'a AttackConfig,
     stiffness: f32,
+    /// Checksum-block partition of δ (stealth objective); `None` runs
+    /// the plain separable proximal operators.
+    blocks: Option<Vec<std::ops::Range<usize>>>,
+    /// Per-dirty-block penalty `λ_b` paired with `blocks`.
+    block_lambda: f32,
     objective_history: Vec<f32>,
     scratch: Vec<f32>,
     /// Head forward/backward activation and gradient buffers.
@@ -383,9 +429,15 @@ impl AdmmProblem for Problem<'_> {
     }
 
     fn prox_step(&mut self, v: &[f32], rho: f32, out: &mut [f32]) {
-        match self.cfg.norm {
-            Norm::L0 => hard_threshold(v, self.cfg.lambda, rho, out),
-            Norm::L2 => block_soft_threshold(v, self.cfg.lambda, rho, out),
+        match (&self.blocks, self.cfg.norm) {
+            (None, Norm::L0) => hard_threshold(v, self.cfg.lambda, rho, out),
+            (None, Norm::L2) => block_soft_threshold(v, self.cfg.lambda, rho, out),
+            (Some(b), Norm::L0) => {
+                block_hard_threshold(v, self.cfg.lambda, self.block_lambda, rho, b, out)
+            }
+            (Some(b), Norm::L2) => {
+                block_soft_threshold_grouped(v, self.cfg.lambda, self.block_lambda, rho, b, out)
+            }
         }
     }
 

@@ -1,5 +1,6 @@
 //! The attack's input specification.
 
+use crate::stealth::StealthObjective;
 use fsa_tensor::Tensor;
 
 /// What the adversary wants: `R` working images, the first `S` of which
@@ -20,6 +21,9 @@ pub struct AttackSpec {
     pub c_attack: f32,
     /// Weight `c_i` on the `R − S` keep terms (paper eq. 6).
     pub c_keep: f32,
+    /// Detector-aware planning objective; `None` runs the paper's plain
+    /// behavioural-stealth attack.
+    pub stealth: Option<StealthObjective>,
 }
 
 impl AttackSpec {
@@ -53,6 +57,7 @@ impl AttackSpec {
             targets,
             c_attack: 1.0,
             c_keep: 1.0,
+            stealth: None,
         }
     }
 
@@ -119,6 +124,12 @@ impl AttackSpec {
     pub fn with_weights(mut self, c_attack: f32, c_keep: f32) -> Self {
         self.c_attack = c_attack;
         self.c_keep = c_keep;
+        self
+    }
+
+    /// Sets (or clears) the detector-aware planning objective.
+    pub fn with_stealth(mut self, stealth: Option<StealthObjective>) -> Self {
+        self.stealth = stealth;
         self
     }
 

@@ -17,11 +17,8 @@
 
 use crate::detector::{Detector, Observation};
 use fsa_nn::head::FcHead;
-use fsa_nn::stats::{head_forward_stats, ActivationStats};
+use fsa_nn::stats::{head_forward_stats, normalized_drift, ActivationStats};
 use fsa_nn::FeatureCache;
-
-/// Floor on the normalizing σ₀ so dead layers cannot divide by zero.
-const SIGMA_FLOOR: f64 = 1e-6;
 
 /// An activation-drift monitor over a fixed probe batch.
 #[derive(Debug, Clone)]
@@ -64,14 +61,13 @@ impl DriftDetector {
             self.reference.len(),
             "observed model has a different layer count than calibrated"
         );
+        // The same normalized-drift formula the attack's stealth
+        // objective budgets against ([`fsa_nn::stats::normalized_drift`])
+        // — monitor and planner must score one quantity for the arms
+        // race to be meaningful.
         now.iter()
             .zip(&self.reference)
-            .map(|(n, r)| {
-                let sigma = r.std().max(SIGMA_FLOOR);
-                let mean_shift = (n.mean - r.mean).abs() / sigma;
-                let spread_shift = (n.std() - r.std()).abs() / sigma;
-                mean_shift.max(spread_shift)
-            })
+            .map(|(n, r)| normalized_drift(n, r))
             .collect()
     }
 }

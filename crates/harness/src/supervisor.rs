@@ -366,6 +366,7 @@ impl<'a> ShardedCampaign<'a> {
         let report = CampaignReport {
             method: method.name(),
             precision: spec.precision,
+            stealth: spec.stealth,
             outcomes,
         };
         ShardedRun { report, log }

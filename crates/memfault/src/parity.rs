@@ -125,6 +125,33 @@ fn row_parities(layout: &ParamLayout, params: &[f32]) -> Vec<((usize, usize), bo
     )
 }
 
+/// Folds any stream of `(parameter index, flip count)` word changes onto
+/// DRAM rows, sorted by `(bank, row)` — the shared row fold behind both
+/// the `f32` and int8 plan surfaces.
+///
+/// # Panics
+///
+/// Panics if an index lies outside the layout.
+pub fn indexed_row_flips(
+    layout: &ParamLayout,
+    changes: impl Iterator<Item = (usize, u64)>,
+) -> Vec<((usize, usize), u64)> {
+    fold_rows(
+        changes.map(|(index, flips)| (layout.address(index).row_id(), flips)),
+        |count, flips| *count += flips,
+    )
+}
+
+/// Rows whose flip count is **even** (and nonzero) — the
+/// odd-trips/even-evades rule both plan surfaces share: an odd number of
+/// flipped bits in a row trips its parity bit, an even number cancels.
+pub fn evading_rows(row_flips: &[((usize, usize), u64)]) -> Vec<(usize, usize)> {
+    row_flips
+        .iter()
+        .filter_map(|&(id, flips)| (flips % 2 == 0).then_some(id))
+        .collect()
+}
+
 /// Distinct rows a compiled plan touches, with the total bit flips the
 /// plan lands in each — sorted by `(bank, row)`.
 ///
@@ -136,12 +163,11 @@ fn row_parities(layout: &ParamLayout, params: &[f32]) -> Vec<((usize, usize), bo
 ///
 /// Panics if the plan addresses parameters outside the layout.
 pub fn plan_row_flips(plan: &FaultPlan, layout: &ParamLayout) -> Vec<((usize, usize), u64)> {
-    fold_rows(
-        plan.changes.iter().map(|change| {
-            let id = layout.address(change.index).row_id();
-            (id, change.flipped_bits.len() as u64)
-        }),
-        |count, flips| *count += flips,
+    indexed_row_flips(
+        layout,
+        plan.changes
+            .iter()
+            .map(|change| (change.index, change.flipped_bits.len() as u64)),
     )
 }
 

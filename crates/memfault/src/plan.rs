@@ -111,10 +111,31 @@ impl FaultPlan {
     ///
     /// Panics if the plan addresses parameters outside the layout.
     pub fn parity_evading_rows(&self, layout: &ParamLayout) -> Vec<(usize, usize)> {
-        crate::parity::plan_row_flips(self, layout)
-            .into_iter()
-            .filter_map(|(id, flips)| (flips % 2 == 0).then_some(id))
-            .collect()
+        crate::parity::evading_rows(&crate::parity::plan_row_flips(self, layout))
+    }
+
+    /// Indices of the `block_params`-sized parameter blocks the plan
+    /// dirties, ascending — the word-granular checksum surface: an
+    /// integrity monitor auditing `a` of `n` blocks per pass catches the
+    /// plan with probability `1 − C(n−t, a)/C(n, a)` where `t` is this
+    /// list's length. A detector-aware attack therefore minimizes this
+    /// count, not just ℓ0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_params` is zero.
+    pub fn touched_blocks(&self, block_params: usize) -> Vec<usize> {
+        assert!(block_params > 0, "block size must be positive");
+        // `compile` emits changes in ascending index order, so the
+        // block list is already sorted — one dedup pass suffices.
+        let mut blocks: Vec<usize> = self
+            .changes
+            .iter()
+            .map(|c| c.index / block_params)
+            .collect();
+        debug_assert!(blocks.is_sorted());
+        blocks.dedup();
+        blocks
     }
 
     /// The `δ'` actually realized given post-injection parameters —

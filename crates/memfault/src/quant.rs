@@ -25,7 +25,7 @@
 //! `FSA_THREADS`.
 
 use crate::dram::ParamLayout;
-use crate::parity::fold_rows;
+use crate::parity::{evading_rows, fold_rows, indexed_row_flips};
 
 /// One stored byte to rewrite: a parameter of the int8 backend moving
 /// between grid points.
@@ -159,12 +159,11 @@ impl QuantFaultPlan {
     ///
     /// Panics if the plan addresses parameters outside the layout.
     pub fn row_flips(&self, layout: &ParamLayout) -> Vec<((usize, usize), u64)> {
-        fold_rows(
-            self.changes.iter().map(|change| {
-                let id = layout.address(change.index).row_id();
-                (id, change.flipped_bits.len() as u64)
-            }),
-            |count, flips| *count += flips,
+        indexed_row_flips(
+            layout,
+            self.changes
+                .iter()
+                .map(|change| (change.index, change.flipped_bits.len() as u64)),
         )
     }
 
@@ -177,10 +176,7 @@ impl QuantFaultPlan {
     ///
     /// Panics if the plan addresses parameters outside the layout.
     pub fn parity_evading_rows(&self, layout: &ParamLayout) -> Vec<(usize, usize)> {
-        self.row_flips(layout)
-            .into_iter()
-            .filter_map(|(id, flips)| (flips % 2 == 0).then_some(id))
-            .collect()
+        evading_rows(&self.row_flips(layout))
     }
 
     /// Indices of the `block_bytes`-sized storage blocks the plan
@@ -189,15 +185,30 @@ impl QuantFaultPlan {
     /// plan with probability `1 − C(n−t, a)/C(n, a)` where `t` is this
     /// list's length.
     ///
+    /// The weight-only int8 backend keeps biases as `f32` words
+    /// co-resident with the byte image, and a checksum monitor audits
+    /// the *whole* deployed storage — counting only the byte surface
+    /// undercounts the dirty blocks (BENCH_PR5 recorded 3–4 modified
+    /// bias words per scenario outside it). `f32_word_bytes` lists the
+    /// starting byte address, in the same audited address space as the
+    /// plan's byte indices, of every modified co-resident `f32` word;
+    /// each dirties the block(s) covering its 4 bytes. Pass `&[]` for a
+    /// pure byte-image surface.
+    ///
     /// # Panics
     ///
     /// Panics if `block_bytes` is zero.
-    pub fn touched_blocks(&self, block_bytes: usize) -> Vec<usize> {
+    pub fn touched_blocks(&self, block_bytes: usize, f32_word_bytes: &[usize]) -> Vec<usize> {
         assert!(block_bytes > 0, "block size must be positive");
-        // `compile` emits changes in ascending index order, so the
-        // block list is already sorted — one dedup pass suffices.
         let mut blocks: Vec<usize> = self.changes.iter().map(|c| c.index / block_bytes).collect();
-        debug_assert!(blocks.is_sorted());
+        for &base in f32_word_bytes {
+            // A 4-byte word can straddle block boundaries (always does
+            // for block_bytes < 4); cover every byte it occupies.
+            for off in 0..4 {
+                blocks.push((base + off) / block_bytes);
+            }
+        }
+        blocks.sort_unstable();
         blocks.dedup();
         blocks
     }
@@ -344,7 +355,76 @@ mod tests {
         new[5] = 1;
         new[64] = 1;
         let plan = QuantFaultPlan::compile(&old, &new);
-        assert_eq!(plan.touched_blocks(64), vec![0, 1, 4]);
-        assert_eq!(plan.touched_blocks(1).len(), 4);
+        assert_eq!(plan.touched_blocks(64, &[]), vec![0, 1, 4]);
+        assert_eq!(plan.touched_blocks(1, &[]).len(), 4);
+    }
+
+    #[test]
+    fn touched_blocks_counts_coresident_f32_words() {
+        // Weight bytes 0..300; two modified f32 bias words live after
+        // the byte image at 4-byte-aligned addresses 300 and 316.
+        let old = vec![0i8; 300];
+        let mut new = old.clone();
+        new[0] = 1;
+        new[5] = 1;
+        let plan = QuantFaultPlan::compile(&old, &new);
+        // Byte surface alone: block 0 only.
+        assert_eq!(plan.touched_blocks(64, &[]), vec![0]);
+        // Bias words dirty blocks 4 (bytes 300..304) and 4–5 (316..320
+        // sits inside block 4 too): 316/64 = 4, 319/64 = 4.
+        assert_eq!(plan.touched_blocks(64, &[300, 316]), vec![0, 4]);
+        // A straddling word dirties both blocks it spans: bytes 62..66.
+        assert_eq!(plan.touched_blocks(64, &[62]), vec![0, 1]);
+        // Byte-granular blocks: every byte of every word counts.
+        assert_eq!(
+            plan.touched_blocks(1, &[300]),
+            vec![0, 5, 300, 301, 302, 303]
+        );
+    }
+
+    #[test]
+    fn both_surfaces_share_the_row_fold_on_a_mixed_plan() {
+        // One mixed plan expressed on both storage surfaces: the f32
+        // words at indices {0, 1, 17} and the int8 bytes at the same
+        // byte addresses {0, 4, 68} under one geometry, with identical
+        // per-word flip counts. The shared fold must produce identical
+        // per-row flip totals and parity-evasion verdicts.
+        let g = DramGeometry {
+            banks: 2,
+            rows_per_bank: 64,
+            row_bytes: 64,
+        };
+        let f32_layout = ParamLayout::new(g, 0, 32); // 16 words/row
+        let i8_layout = ParamLayout::with_word_bytes(g, 0, 128, 1);
+        let word = |index: usize, bits: usize| crate::plan::WordChange {
+            index,
+            old: 1.0,
+            new: 2.0,
+            flipped_bits: (0..bits as u8).collect(),
+        };
+        let byte = |index: usize, bits: usize| QuantChange {
+            index,
+            old: 1,
+            new: 2,
+            flipped_bits: (0..bits as u8).collect(),
+        };
+        // Row (0,0): 3 + 1 flips (even, evades); row (1,0): 5 (odd).
+        let fplan = crate::plan::FaultPlan {
+            changes: vec![word(0, 3), word(1, 1), word(17, 5)],
+            total_bit_flips: 9,
+        };
+        let qplan = QuantFaultPlan {
+            changes: vec![byte(0, 3), byte(4, 1), byte(68, 5)],
+            total_bit_flips: 9,
+        };
+        let f_rows = crate::parity::plan_row_flips(&fplan, &f32_layout);
+        let q_rows = qplan.row_flips(&i8_layout);
+        assert_eq!(f_rows, q_rows, "surfaces disagree on per-row flips");
+        assert_eq!(
+            fplan.parity_evading_rows(&f32_layout),
+            qplan.parity_evading_rows(&i8_layout),
+            "surfaces disagree on parity evasion"
+        );
+        assert_eq!(fplan.parity_evading_rows(&f32_layout), vec![(0, 0)]);
     }
 }

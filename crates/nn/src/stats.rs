@@ -44,6 +44,40 @@ impl ActivationStats {
     }
 }
 
+/// Floor on a normalizing σ₀ so dead layers cannot divide by zero.
+pub const SIGMA_FLOOR: f64 = 1e-6;
+
+/// Normalized drift of one layer's statistics against a reference:
+/// `max(|μ−μ₀|, |σ−σ₀|) / max(σ₀, SIGMA_FLOOR)` — "how many reference
+/// standard deviations has this layer's distribution moved".
+///
+/// This is the shared monitored quantity: the defense suite's drift
+/// detector scores it, and a detector-aware attack budgets against the
+/// same formula during refinement.
+pub fn normalized_drift(now: &ActivationStats, reference: &ActivationStats) -> f64 {
+    let sigma = reference.std().max(SIGMA_FLOOR);
+    let mean_shift = (now.mean - reference.mean).abs() / sigma;
+    let spread_shift = (now.std() - reference.std()).abs() / sigma;
+    mean_shift.max(spread_shift)
+}
+
+/// Maximum [`normalized_drift`] over all layers (zero for empty input).
+///
+/// # Panics
+///
+/// Panics if the layer counts differ.
+pub fn max_normalized_drift(now: &[ActivationStats], reference: &[ActivationStats]) -> f64 {
+    assert_eq!(
+        now.len(),
+        reference.len(),
+        "drift comparison layer count mismatch"
+    );
+    now.iter()
+        .zip(reference)
+        .map(|(n, r)| normalized_drift(n, r))
+        .fold(0.0, f64::max)
+}
+
 /// Fixed-order two-pass mean/variance of a slice (empty slices yield
 /// zeros).
 ///
@@ -129,6 +163,31 @@ mod tests {
     use super::*;
     use crate::linear::Linear;
     use fsa_tensor::Prng;
+
+    #[test]
+    fn normalized_drift_matches_closed_form() {
+        let r = ActivationStats {
+            mean: 1.0,
+            var: 4.0,
+        }; // σ₀ = 2
+        let n = ActivationStats {
+            mean: 2.0,
+            var: 9.0,
+        }; // σ = 3
+           // mean shift 1/2, spread shift 1/2 → 0.5 either way.
+        assert!((normalized_drift(&n, &r) - 0.5).abs() < 1e-12);
+        // Identical stats drift zero; a dead reference layer uses the floor.
+        assert_eq!(normalized_drift(&r, &r), 0.0);
+        let dead = ActivationStats::default();
+        let moved = ActivationStats {
+            mean: 1e-3,
+            var: 0.0,
+        };
+        assert!((normalized_drift(&moved, &dead) - 1e-3 / SIGMA_FLOOR).abs() < 1e-6);
+        // The layer fold takes the max.
+        assert!((max_normalized_drift(&[r, n], &[r, r]) - 0.5).abs() < 1e-12);
+        assert_eq!(max_normalized_drift(&[], &[]), 0.0);
+    }
 
     #[test]
     fn slice_stats_matches_closed_form() {

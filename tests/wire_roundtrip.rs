@@ -15,8 +15,25 @@ use fault_sneaking::attack::campaign::{
 };
 use fault_sneaking::attack::refine::RefineConfig;
 use fault_sneaking::attack::solver::Stiffness;
-use fault_sneaking::attack::{AttackConfig, AttackResult, Norm, Precision};
+use fault_sneaking::attack::{AttackConfig, AttackResult, Norm, Precision, StealthObjective};
+use fault_sneaking::memfault::dram::DramGeometry;
 use fault_sneaking::tensor::Prng;
+
+fn random_stealth(rng: &mut Prng) -> Option<StealthObjective> {
+    rng.bernoulli(0.4).then(|| {
+        StealthObjective::new(
+            1 + rng.below(256),
+            rng.uniform(0.0, 2.0),
+            DramGeometry {
+                banks: 1 + rng.below(8),
+                rows_per_bank: 1 + rng.below(4096),
+                row_bytes: 64 << rng.below(4),
+            },
+            rng.uniform(0.0, 1.0),
+        )
+        .with_block_cap(rng.below(12))
+    })
+}
 
 fn random_config(rng: &mut Prng) -> AttackConfig {
     AttackConfig {
@@ -65,7 +82,7 @@ fn random_spec(rng: &mut Prng) -> CampaignSpec {
     if rng.bernoulli(0.3) {
         spec = spec.with_precision(Precision::Int8);
     }
-    spec
+    spec.with_stealth(random_stealth(rng))
 }
 
 fn random_outcome(rng: &mut Prng, index: usize) -> ScenarioOutcome {
@@ -126,6 +143,7 @@ fn random_report(rng: &mut Prng) -> CampaignReport {
         } else {
             Precision::F32
         },
+        stealth: random_stealth(rng),
         outcomes: (0..n).map(|i| random_outcome(rng, i)).collect(),
     }
 }
