@@ -127,6 +127,15 @@ pub struct CampaignSpec {
     /// `None` runs the paper's plain behavioural-stealth attack. Part of
     /// the campaign identity (mixed into report fingerprints).
     pub stealth: Option<crate::stealth::StealthObjective>,
+    /// Audit-schedule seed of the randomized defense suite this
+    /// campaign's scenarios are meant to be scored against (the seed
+    /// `fsa_defense`'s `DefenseSuite::randomized` deploys under);
+    /// `None` when the target suite is the fixed standard stack. The
+    /// attack engine never reads it — the attacker is *not* given the
+    /// defender's schedule — but carrying it in the spec pins the full
+    /// experiment identity (mixed into report fingerprints when set)
+    /// and survives the wire format for sharded execution.
+    pub suite_seed: Option<u64>,
 }
 
 impl CampaignSpec {
@@ -144,6 +153,7 @@ impl CampaignSpec {
             c_keep: 1.0,
             precision: Precision::F32,
             stealth: None,
+            suite_seed: None,
         }
     }
 
@@ -156,6 +166,13 @@ impl CampaignSpec {
     /// Sets (or clears) the detector-aware planning objective.
     pub fn with_stealth(mut self, stealth: Option<crate::stealth::StealthObjective>) -> Self {
         self.stealth = stealth;
+        self
+    }
+
+    /// Sets (or clears) the audit-schedule seed of the randomized
+    /// defense suite the campaign is evaluated against.
+    pub fn with_suite_seed(mut self, suite_seed: Option<u64>) -> Self {
+        self.suite_seed = suite_seed;
         self
     }
 
@@ -344,6 +361,11 @@ pub struct CampaignReport {
     /// Detector-aware planning objective the campaign ran under (copied
     /// from the spec); `None` means plain behavioural stealth.
     pub stealth: Option<crate::stealth::StealthObjective>,
+    /// Audit-schedule seed of the randomized target suite (copied from
+    /// the spec); `None` for the fixed standard stack. Mixed into the
+    /// fingerprint only when set, so legacy fixed-suite fingerprints
+    /// are unchanged.
+    pub suite_seed: Option<u64>,
     /// Per-scenario outcomes, index-aligned with
     /// [`CampaignSpec::scenarios`].
     pub outcomes: Vec<ScenarioOutcome>,
@@ -405,6 +427,10 @@ impl CampaignReport {
                 h.write_u64(u64::from(s.drift_budget.to_bits()));
                 h.write_u64(s.max_dirty_blocks as u64);
             }
+        }
+        if let Some(seed) = self.suite_seed {
+            h.write_bytes(b"suite_seed");
+            h.write_u64(seed);
         }
         let mut mix = |v: u64| h.write_u64(v);
         for o in &self.outcomes {
@@ -628,6 +654,7 @@ impl<'a> Campaign<'a> {
             method: method.name(),
             precision: spec.precision,
             stealth: spec.stealth,
+            suite_seed: spec.suite_seed,
             outcomes: self.run_indices(spec, method, &all),
         }
     }
@@ -790,6 +817,34 @@ mod tests {
         // Different (S, K) cells under the same seed draw different sets.
         let other = campaign.scenario_spec(&Scenario { s: 1, k: 5, ..sc }, 10.0, 1.0);
         assert_ne!(a.features, other.features);
+    }
+
+    #[test]
+    fn suite_seed_is_identity_not_behavior() {
+        // The attacker never sees the defender's audit schedule, so a
+        // suite seed must not change any outcome — only the experiment
+        // identity (report field + fingerprint).
+        let (head, cache, labels) = fixture();
+        let campaign = Campaign::new(&head, ParamSelection::last_layer(&head), cache, labels);
+        let base = CampaignSpec::grid(vec![1], vec![2]).with_config(AttackConfig {
+            iterations: 30,
+            ..AttackConfig::default()
+        });
+        let plain = campaign.run(&base);
+        let seeded = campaign.run(&base.clone().with_suite_seed(Some(0xA0D1)));
+        assert_eq!(plain.suite_seed, None);
+        assert_eq!(seeded.suite_seed, Some(0xA0D1));
+        assert_eq!(
+            plain.outcomes, seeded.outcomes,
+            "the defender's schedule seed must not leak into the attack"
+        );
+        assert_ne!(
+            plain.fingerprint(),
+            seeded.fingerprint(),
+            "the seed is part of the experiment identity"
+        );
+        // And a second run under the same seeded spec is bit-identical.
+        assert_eq!(seeded, campaign.run(&base.with_suite_seed(Some(0xA0D1))));
     }
 
     #[test]

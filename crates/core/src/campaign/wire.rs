@@ -48,7 +48,9 @@ use std::error::Error;
 use std::fmt;
 
 /// Version of every payload layout in this module; bump on any change.
-pub const WIRE_VERSION: u32 = 2;
+/// (v3: spec and report payloads gained the optional defense-suite
+/// audit-schedule seed.)
+pub const WIRE_VERSION: u32 = 3;
 
 /// Frame tag: a [`CampaignSpec`] payload.
 pub const SPEC_TAG: &[u8; 4] = b"FSCS";
@@ -350,6 +352,24 @@ fn read_stealth(dec: &mut Decoder<'_>) -> Result<Option<StealthObjective>, Decod
     }
 }
 
+fn put_suite_seed(enc: &mut Encoder, suite_seed: &Option<u64>) {
+    match suite_seed {
+        None => enc.put_u32(0),
+        Some(seed) => {
+            enc.put_u32(1);
+            enc.put_u64(*seed);
+        }
+    }
+}
+
+fn read_suite_seed(dec: &mut Decoder<'_>) -> Result<Option<u64>, DecodeError> {
+    match dec.read_u32()? {
+        0 => Ok(None),
+        1 => Ok(Some(dec.read_u64()?)),
+        v => Err(DecodeError::new(format!("unknown suite-seed tag {v}"))),
+    }
+}
+
 /// Appends a [`CampaignSpec`] payload.
 pub fn put_spec(enc: &mut Encoder, spec: &CampaignSpec) {
     put_usize_slice(enc, &spec.s_values);
@@ -367,6 +387,7 @@ pub fn put_spec(enc: &mut Encoder, spec: &CampaignSpec) {
     enc.put_f32(spec.c_keep);
     put_precision(enc, spec.precision);
     put_stealth(enc, &spec.stealth);
+    put_suite_seed(enc, &spec.suite_seed);
 }
 
 /// Reads a [`CampaignSpec`] payload.
@@ -392,6 +413,7 @@ pub fn read_spec(dec: &mut Decoder<'_>) -> Result<CampaignSpec, DecodeError> {
     let c_keep = dec.read_f32()?;
     let precision = read_precision(dec)?;
     let stealth = read_stealth(dec)?;
+    let suite_seed = read_suite_seed(dec)?;
     Ok(CampaignSpec {
         s_values,
         k_values,
@@ -402,6 +424,7 @@ pub fn read_spec(dec: &mut Decoder<'_>) -> Result<CampaignSpec, DecodeError> {
         c_keep,
         precision,
         stealth,
+        suite_seed,
     })
 }
 
@@ -598,6 +621,7 @@ pub fn encode_report_frame(report: &CampaignReport) -> Vec<u8> {
     enc.put_str(&report.method);
     put_precision(&mut enc, report.precision);
     put_stealth(&mut enc, &report.stealth);
+    put_suite_seed(&mut enc, &report.suite_seed);
     enc.put_u64(report.outcomes.len() as u64);
     for o in &report.outcomes {
         put_outcome(&mut enc, o);
@@ -617,6 +641,7 @@ pub fn decode_report_frame(bytes: &[u8]) -> Result<CampaignReport, WireError> {
     let method = pdec.read_str()?;
     let precision = read_precision(&mut pdec)?;
     let stealth = read_stealth(&mut pdec)?;
+    let suite_seed = read_suite_seed(&mut pdec)?;
     let n = pdec.read_u64()? as usize;
     let mut outcomes = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
@@ -627,6 +652,7 @@ pub fn decode_report_frame(bytes: &[u8]) -> Result<CampaignReport, WireError> {
         method,
         precision,
         stealth,
+        suite_seed,
         outcomes,
     })
 }
@@ -736,6 +762,7 @@ mod tests {
             method: "fsa".into(),
             precision: Precision::F32,
             stealth: small_spec().stealth,
+            suite_seed: Some(0xA0D1_7EED),
             outcomes: vec![small_outcome(), small_outcome()],
         };
         let bytes = encode_report_frame(&report);

@@ -66,6 +66,13 @@ pub struct ArenaReport {
     pub precision: Precision,
     /// Detector names — the matrix columns, in suite order.
     pub detectors: Vec<String>,
+    /// The suite's audit-schedule seed when it carried seeded
+    /// randomized monitors ([`DefenseSuite::randomized`]); `None` for
+    /// fixed suites. The clean row and every attack row of one report
+    /// are always scored under this **same** schedule — randomized
+    /// detectors keep a well-defined ROC because clean and attacked
+    /// scores share one partition family.
+    pub suite_seed: Option<u64>,
     /// The clean reference model's verdicts (false-positive reference).
     pub clean: Vec<Verdict>,
     /// Per-scenario rows, index-aligned with the campaign report.
@@ -156,6 +163,12 @@ impl ArenaReport {
         let mut h = fsa_tensor::hash::Fnv1a::new();
         h.write_bytes(self.method.as_bytes());
         h.write_u64(self.precision.tag());
+        // Mixed only when present so fixed-suite fingerprints are
+        // unchanged from before schedule seeds existed.
+        if let Some(seed) = self.suite_seed {
+            h.write_bytes(b"suite_seed");
+            h.write_u64(seed);
+        }
         for d in &self.detectors {
             h.write_bytes(d.as_bytes());
         }
@@ -313,6 +326,7 @@ impl<'a> StealthArena<'a> {
             method: report.method.clone(),
             precision: report.precision,
             detectors: self.suite.names(),
+            suite_seed: self.suite.schedule_seed(),
             clean,
             rows,
         }
@@ -408,6 +422,61 @@ mod tests {
                 assert!(last.true_positive_rate > 0.0, "tie at max must alarm");
             }
         }
+    }
+
+    #[test]
+    fn clean_row_shares_the_attack_rows_schedule_seed() {
+        // Satellite: randomized detectors only have a well-defined ROC
+        // if the clean (false-positive) row is scored under the *same*
+        // audit schedule as the attack rows. The suite carries one seed
+        // for the whole matrix; rebuilding with the same seed must give
+        // a bit-identical report, clean row included.
+        let (head, cache, labels, probe, probe_labels) = fixture();
+        let mut rng = Prng::new(991);
+        let holdout = FeatureCache::from_features(Tensor::randn(&[12, 8], 1.5, &mut rng));
+        let selection = ParamSelection::last_layer(&head);
+        let campaign = Campaign::new(&head, selection.clone(), cache, labels);
+        let report = campaign.run(&CampaignSpec::grid(vec![1], vec![3]));
+        let build = |seed: u64| {
+            DefenseSuite::randomized(
+                &head,
+                &probe,
+                &probe_labels,
+                &holdout,
+                fsa_memfault::dram::DramGeometry::default(),
+                0.02,
+                0.25,
+                0.25,
+                seed,
+            )
+        };
+        let scored =
+            StealthArena::new(&head, selection.clone(), build(0xD1CE)).score_report(&report);
+        assert_eq!(scored.suite_seed, Some(0xD1CE));
+        let again =
+            StealthArena::new(&head, selection.clone(), build(0xD1CE)).score_report(&report);
+        assert_eq!(scored, again, "same seed must give a bit-identical matrix");
+        assert_eq!(scored.fingerprint(), again.fingerprint());
+        // A different schedule seed is a different matrix (names embed
+        // the per-granularity seeds) and a different fingerprint.
+        let other = StealthArena::new(&head, selection, build(0xD1CF)).score_report(&report);
+        assert_ne!(other.detectors, scored.detectors);
+        assert_ne!(other.fingerprint(), scored.fingerprint());
+        // Score-at-threshold tie: sweep any rotating column down to the
+        // clean row's own score — because clean and attack rows share
+        // the schedule, that cut exists in the sweep and the clean
+        // model alarms there (ties alarm).
+        let col = scored
+            .column(&scored.detectors[0])
+            .expect("first rotating column");
+        let clean_score = scored.clean[col].score;
+        let at_clean = scored
+            .roc_points(col)
+            .into_iter()
+            .find(|p| p.threshold.to_bits() == clean_score.to_bits())
+            .expect("clean score must be a sweep cut");
+        assert!(at_clean.clean_alarm, "tie at the clean score must alarm");
+        assert_eq!(at_clean.true_positive_rate, 1.0);
     }
 
     #[test]

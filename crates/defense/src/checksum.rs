@@ -22,8 +22,46 @@ use fsa_tensor::hash::fnv1a_f32_bits;
 
 /// Per-block checksums of a flat parameter vector (the last block may
 /// be short).
-fn block_checksums(params: &[f32], block_params: usize) -> Vec<u64> {
+pub(crate) fn block_checksums(params: &[f32], block_params: usize) -> Vec<u64> {
     params.chunks(block_params).map(fnv1a_f32_bits).collect()
+}
+
+/// Exact probability that a uniform without-replacement audit of
+/// `budget` blocks hits at least one of `dirty` mismatched blocks among
+/// `blocks` total: `1 − Π_{i=0}^{B−1} (N − d − i) / (N − i)`.
+///
+/// This is the one hypergeometric kernel every checksum-family detector
+/// scores through ([`ChecksumDetector`] and the rotating audit), so the
+/// numerics live here once. Computed in `f64` with a fixed-order
+/// product — deterministic at any thread count — and hardened for large
+/// block counts (e.g. granularity 16 over 250k parameters is 15 625
+/// blocks with a ~2k-block audit):
+///
+/// * `budget` is clamped to `blocks`, and any audit that cannot avoid a
+///   dirty block (`dirty + budget > blocks`, which covers `dirty >=
+///   blocks`) short-circuits to exactly `1.0` before the product runs —
+///   the product form would divide sub-zero counts there;
+/// * a miss product that underflows to subnormal/zero is exact: the hit
+///   probability is `1.0` to every representable bit;
+/// * the result is clamped into `[0, 1]`, so accumulated rounding in a
+///   many-term product can never escape the probability scale. For
+///   every in-range product the clamp is the identity, which keeps
+///   historical scores bit-identical.
+pub fn hypergeometric_hit_probability(blocks: usize, dirty: usize, budget: usize) -> f32 {
+    let n = blocks;
+    let budget = budget.min(n);
+    if dirty == 0 {
+        return 0.0;
+    }
+    if dirty + budget > n {
+        // Too few clean blocks to fill the audit: a hit is certain.
+        return 1.0;
+    }
+    let mut miss = 1.0f64;
+    for i in 0..budget {
+        miss *= (n - dirty - i) as f64 / (n - i) as f64;
+    }
+    ((1.0 - miss) as f32).clamp(0.0, 1.0)
 }
 
 /// A block-granular integrity auditor calibrated on the clean model.
@@ -94,24 +132,11 @@ impl ChecksumDetector {
 
     /// Probability a uniform without-replacement audit of
     /// [`ChecksumDetector::audit_blocks`] blocks hits at least one of
-    /// `dirty` mismatched blocks:
-    /// `1 − Π_{i=0}^{B−1} (N − d − i) / (N − i)`.
-    ///
-    /// Computed in `f64` with a fixed-order product — deterministic.
+    /// `dirty` mismatched blocks — see
+    /// [`hypergeometric_hit_probability`] for the closed form and its
+    /// large-count numerical hardening.
     pub fn detection_probability(&self, dirty: usize) -> f32 {
-        let n = self.reference.len();
-        if dirty == 0 {
-            return 0.0;
-        }
-        if dirty + self.audit_blocks > n {
-            // Too few clean blocks to fill the audit: a hit is certain.
-            return 1.0;
-        }
-        let mut miss = 1.0f64;
-        for i in 0..self.audit_blocks {
-            miss *= (n - dirty - i) as f64 / (n - i) as f64;
-        }
-        (1.0 - miss) as f32
+        hypergeometric_hit_probability(self.reference.len(), dirty, self.audit_blocks)
     }
 }
 
@@ -228,6 +253,54 @@ mod tests {
             p_coarse > p_fine,
             "coarse {p_coarse} should beat fine {p_fine} at budget 1"
         );
+    }
+
+    #[test]
+    fn hypergeometric_boundaries_are_exact() {
+        // dirty = 0: no mismatch, no detection — regardless of budget.
+        for n in [1, 7, 139, 15_625] {
+            assert_eq!(hypergeometric_hit_probability(n, 0, 1), 0.0);
+            assert_eq!(hypergeometric_hit_probability(n, 0, n), 0.0);
+        }
+        // dirty = n: every block is dirty — any nonempty audit hits.
+        for n in [1, 7, 139, 15_625] {
+            assert_eq!(hypergeometric_hit_probability(n, n, 1), 1.0);
+        }
+        // budget = n: a full audit catches any dirty block.
+        for d in [1, 3, 7] {
+            assert_eq!(hypergeometric_hit_probability(7, d, 7), 1.0);
+        }
+        // budget > n clamps to a full audit instead of under-flowing the
+        // clean-block count.
+        assert_eq!(hypergeometric_hit_probability(7, 1, usize::MAX), 1.0);
+        // dirty beyond the block count is a caller bug but must still
+        // saturate at certainty, not panic or exceed 1.
+        assert_eq!(hypergeometric_hit_probability(7, 9, 2), 1.0);
+    }
+
+    #[test]
+    fn hypergeometric_is_stable_at_large_block_counts() {
+        // The satellite case: granularity 16 over 250k parameters is
+        // 15 625 blocks; the standard eighth-budget audit is 1 953
+        // terms. Every score must stay a probability and the sweep must
+        // stay monotone in the dirty count.
+        let n = 250_000_usize.div_ceil(16);
+        let b = n / 8;
+        let mut prev = 0.0f32;
+        for d in [0, 1, 2, 5, 17, 139, 1_000, 5_000, 12_000, n - b, n] {
+            let p = hypergeometric_hit_probability(n, d, b);
+            assert!((0.0..=1.0).contains(&p), "p({d}) = {p} escaped [0, 1]");
+            assert!(p >= prev, "p({d}) = {p} broke monotonicity (prev {prev})");
+            prev = p;
+        }
+        // Deep in the saturated regime the f64 miss product underflows;
+        // underflow must read as certain detection, bit-exactly.
+        assert_eq!(hypergeometric_hit_probability(n, 12_000, b), 1.0);
+        // One dirty block among 15 625 under a 1 953-block audit: the
+        // textbook value is B/N = 0.124992; the product form must agree
+        // to f32 precision, not collapse to 0 or 1.
+        let p1 = hypergeometric_hit_probability(n, 1, b);
+        assert!((p1 - b as f32 / n as f32).abs() < 1e-6, "p(1) = {p1}");
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //! clean reference model (checksums, probe accuracy, activation
 //! statistics, row parity) and afterwards only ever sees an
 //! [`Observation`] of the model under inspection. Scoring must be a
-//! pure fixed-order function of the observation — no RNG, no interior
-//! mutability — so arena matrices stay bit-identical at any
-//! `FSA_THREADS`.
+//! pure fixed-order function of the observation — no score-time RNG, no
+//! interior mutability — so arena matrices stay bit-identical at any
+//! `FSA_THREADS`. Randomized monitors (the rotating checksum auditor)
+//! draw their schedule from a seeded stream *once, at calibration*, and
+//! score as a closed-form expectation over that fixed schedule; the
+//! seed is part of the detector's name so it reaches every fingerprint.
 
 use fsa_nn::head::FcHead;
 

@@ -23,6 +23,7 @@ use fsa_nn::FeatureCache;
 /// An activation-drift monitor over a fixed probe batch.
 #[derive(Debug, Clone)]
 pub struct DriftDetector {
+    name: String,
     probe: FeatureCache,
     reference: Vec<ActivationStats>,
     threshold: f32,
@@ -38,9 +39,23 @@ impl DriftDetector {
     /// Panics if the probe is empty or its width differs from the head
     /// input.
     pub fn new(reference: &FcHead, probe: FeatureCache, threshold: f32) -> Self {
+        Self::named("activation_drift", reference, probe, threshold)
+    }
+
+    /// Like [`DriftDetector::new`], but with an explicit suite-column
+    /// name. A suite can then deploy *several* drift monitors — notably
+    /// a held-out one calibrated on a probe split the attacker's
+    /// drift-budget wall was never tuned against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probe is empty or its width differs from the head
+    /// input.
+    pub fn named(name: &str, reference: &FcHead, probe: FeatureCache, threshold: f32) -> Self {
         assert!(!probe.is_empty(), "drift probe needs at least one image");
         let (_, stats) = head_forward_stats(reference, probe.features());
         Self {
+            name: name.to_string(),
             probe,
             reference: stats,
             threshold,
@@ -74,7 +89,7 @@ impl DriftDetector {
 
 impl Detector for DriftDetector {
     fn name(&self) -> String {
-        "activation_drift".to_string()
+        self.name.clone()
     }
 
     fn threshold(&self) -> f32 {
@@ -135,6 +150,18 @@ mod tests {
         let v = det.evaluate(&Observation { head: &nudged });
         assert!(v.score > 0.0, "any real change shows *some* drift");
         assert!(!v.detected, "a 1e-4 nudge must not alarm: {v:?}");
+    }
+
+    #[test]
+    fn named_monitor_keeps_its_suite_column() {
+        let (head, probe) = fixture();
+        let det = DriftDetector::named("holdout_drift", &head, probe.clone(), 0.25);
+        assert_eq!(det.name(), "holdout_drift");
+        // Same calibration data → identical scoring, regardless of name.
+        let plain = DriftDetector::new(&head, probe, 0.25);
+        assert_eq!(plain.name(), "activation_drift");
+        let obs = Observation { head: &head };
+        assert_eq!(det.score(&obs).to_bits(), plain.score(&obs).to_bits());
     }
 
     #[test]

@@ -25,6 +25,14 @@
 //!   audit of compiled bit-flip plans (odd flip counts alarm, even
 //!   counts evade — the ECC limitation rowhammer exploits).
 //!
+//! Round 2 of the arms race adds the randomized family: [`rotating`]
+//! holds the seeded [`RotatingChecksumDetector`] (per-audit block-phase
+//! rotation, scored as the exact expected detection probability over
+//! the schedule), [`parity`] grows column-parity and per-row CRC
+//! monitors, and [`DefenseSuite::randomized`] deploys them all plus a
+//! held-out drift probe — one stack per schedule seed, still
+//! bit-deterministic.
+//!
 //! Everything is deterministic by construction: detector scores are
 //! pure fixed-order functions of bit-deterministic model outputs, and
 //! arena rows dispatch through the same
@@ -85,6 +93,7 @@ pub mod checksum;
 pub mod detector;
 pub mod drift;
 pub mod parity;
+pub mod rotating;
 pub mod suite;
 
 pub use accuracy::AccuracyProbe;
@@ -92,5 +101,6 @@ pub use arena::{ArenaReport, ArenaRow, RocPoint, StealthArena};
 pub use checksum::ChecksumDetector;
 pub use detector::{Detector, Observation, Verdict};
 pub use drift::DriftDetector;
-pub use parity::ParityDetector;
+pub use parity::{ColumnParityDetector, ParityDetector, RowCrcDetector};
+pub use rotating::RotatingChecksumDetector;
 pub use suite::DefenseSuite;

@@ -10,10 +10,18 @@
 //! [`ParityDetector::plan_audit`] folds a compiled
 //! [`FaultPlan`] to per-row flip counts and predicts which rows of the
 //! plan evade the parity before any injection happens.
+//!
+//! Since the stealth attacker learned to pad its plans parity-even, the
+//! monitor ships as a *family* rather than a single bit per row:
+//! [`ColumnParityDetector`] (one parity bit per bit position, so
+//! different-position padding no longer cancels) and [`RowCrcDetector`]
+//! (a CRC-32 digest per row — position-sensitive, no cancellation
+//! channel at all). All three share the same layout, threshold
+//! convention (any violated row alarms), and violation-count score.
 
 use crate::detector::{flat_params, Detector, Observation};
 use fsa_memfault::dram::{DramGeometry, ParamLayout};
-use fsa_memfault::parity::{plan_row_flips, RowParity};
+use fsa_memfault::parity::{plan_row_flips, ColumnParity, RowCrc, RowParity};
 use fsa_memfault::plan::FaultPlan;
 use fsa_nn::head::FcHead;
 
@@ -107,6 +115,104 @@ impl Detector for ParityDetector {
     }
 }
 
+/// A per-row **column parity** monitor: one parity bit per bit position
+/// of the row's words, so only same-position flip pairs cancel.
+#[derive(Debug, Clone)]
+pub struct ColumnParityDetector {
+    layout: ParamLayout,
+    reference: ColumnParity,
+}
+
+impl ColumnParityDetector {
+    /// Captures reference column syndromes of the clean model's
+    /// parameters laid out at byte 0 of `geometry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters exceed the device capacity.
+    pub fn new(reference: &FcHead, geometry: DramGeometry) -> Self {
+        let params = flat_params(reference);
+        let layout = ParamLayout::new(geometry, 0, params.len());
+        let reference = ColumnParity::capture(&layout, &params);
+        Self { layout, reference }
+    }
+
+    /// Rows whose column syndrome an observed head violates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observed head's parameter count differs from the
+    /// calibrated layout.
+    pub fn violations(&self, head: &FcHead) -> Vec<(usize, usize)> {
+        self.reference.violations(&self.layout, &flat_params(head))
+    }
+}
+
+impl Detector for ColumnParityDetector {
+    fn name(&self) -> String {
+        "dram_column_parity".to_string()
+    }
+
+    /// Any violated row alarms.
+    fn threshold(&self) -> f32 {
+        1.0
+    }
+
+    /// Number of rows with a violated column syndrome.
+    fn score(&self, obs: &Observation<'_>) -> f32 {
+        self.violations(obs.head).len() as f32
+    }
+}
+
+/// A per-row CRC-32 monitor: a position-sensitive digest per row with
+/// no parity-style cancellation channel.
+#[derive(Debug, Clone)]
+pub struct RowCrcDetector {
+    layout: ParamLayout,
+    reference: RowCrc,
+}
+
+impl RowCrcDetector {
+    /// Captures reference row digests of the clean model's parameters
+    /// laid out at byte 0 of `geometry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters exceed the device capacity.
+    pub fn new(reference: &FcHead, geometry: DramGeometry) -> Self {
+        let params = flat_params(reference);
+        let layout = ParamLayout::new(geometry, 0, params.len());
+        let reference = RowCrc::capture(&layout, &params);
+        Self { layout, reference }
+    }
+
+    /// Rows whose digest an observed head violates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observed head's parameter count differs from the
+    /// calibrated layout.
+    pub fn violations(&self, head: &FcHead) -> Vec<(usize, usize)> {
+        self.reference.violations(&self.layout, &flat_params(head))
+    }
+}
+
+impl Detector for RowCrcDetector {
+    fn name(&self) -> String {
+        "dram_row_crc".to_string()
+    }
+
+    /// Any violated row alarms.
+    fn threshold(&self) -> f32 {
+        1.0
+    }
+
+    /// Number of rows with a violated digest.
+    fn score(&self, obs: &Observation<'_>) -> f32 {
+        self.violations(obs.head).len() as f32
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +284,29 @@ mod tests {
         let audit = det.plan_audit(&plan);
         assert_eq!(audit.detected_rows, vec![det.layout().address(0).row_id()]);
         assert_eq!(audit.evading_rows, vec![det.layout().address(16).row_id()]);
+    }
+
+    #[test]
+    fn parity_family_closes_the_even_padding_hole() {
+        // Two different-position flips in one row: the deployed XOR
+        // parity is blind; column parity and the CRC both alarm.
+        let h = head();
+        let row = ParityDetector::new(&h, tiny_geometry());
+        let col = ColumnParityDetector::new(&h, tiny_geometry());
+        let crc = RowCrcDetector::new(&h, tiny_geometry());
+        let mut attacked = h.clone();
+        let flat = attacked.layer_flat_params(0);
+        let mut modified = flat.clone();
+        modified[0] = fsa_memfault::bits::flip_bits(modified[0], &[5]);
+        modified[1] = fsa_memfault::bits::flip_bits(modified[1], &[11]);
+        attacked.set_layer_flat_params(0, &modified);
+        let obs = Observation { head: &attacked };
+        assert!(!row.evaluate(&obs).detected, "XOR parity should cancel");
+        assert!(col.evaluate(&obs).detected);
+        assert!(crc.evaluate(&obs).detected);
+        // Clean observations stay clean for the whole family.
+        let clean = Observation { head: &h };
+        assert_eq!(col.evaluate(&clean).score, 0.0);
+        assert_eq!(crc.evaluate(&clean).score, 0.0);
     }
 }

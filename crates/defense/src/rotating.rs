@@ -1,0 +1,332 @@
+//! Seeded randomized checksum audits — the re-armed integrity monitor.
+//!
+//! The fixed [`crate::checksum::ChecksumDetector`] partitions the
+//! parameter buffer into blocks starting at offset 0, and PR 7's
+//! detector-aware attacker exploits exactly that: co-locate the δ
+//! support into at most `max_dirty_blocks` blocks *of that one
+//! partition* and the sampling audit's hit probability stays under its
+//! alarm threshold. The assumption being attacked is not the checksum —
+//! it is the **fixed block phase**.
+//!
+//! A [`RotatingChecksumDetector`] breaks it. At calibration it draws a
+//! seeded schedule of distinct nonzero block *offsets* (phases); each
+//! audit pass re-partitions the buffer at one scheduled offset, so the
+//! phases overlap each other (and the legacy 0-offset partition) and a
+//! support that is compact in one phase straddles block boundaries in
+//! the others. The attacker cannot model the schedule without the seed:
+//! co-locating against any single partition leaves up to twice as many
+//! dirty blocks in every shifted one.
+//!
+//! Scoring stays pure and deterministic — the detector never samples at
+//! observation time. The score is the **exact expected detection
+//! probability over the seeded schedule distribution**: dirty blocks
+//! are counted per phase and the closed-form hypergeometric hit
+//! probability ([`crate::checksum::hypergeometric_hit_probability`]) is
+//! averaged over the phases in fixed order. Equal seeds give
+//! bit-identical schedules, scores, and arena fingerprints at any
+//! `FSA_THREADS`; the schedule seed is part of the detector's name, so
+//! it flows into every [`crate::ArenaReport::fingerprint`].
+
+use crate::checksum::{block_checksums, hypergeometric_hit_probability};
+use crate::detector::{flat_params, Detector, Observation};
+use fsa_nn::head::FcHead;
+use fsa_tensor::Prng;
+
+/// Domain-separation constant for the offset-schedule stream ("ROTA").
+const SCHEDULE_DOMAIN: u64 = 0x524f_5441;
+
+/// Per-phase checksums of a flat parameter vector partitioned at
+/// `offset`: a short head block `[0, offset)` followed by
+/// `block_params`-sized blocks (the tail block may be short too).
+fn phase_checksums(params: &[f32], block_params: usize, offset: usize) -> Vec<u64> {
+    debug_assert!(offset > 0 && offset < block_params);
+    let mut out =
+        Vec::with_capacity(1 + params.len().saturating_sub(offset).div_ceil(block_params));
+    out.push(fsa_tensor::hash::fnv1a_f32_bits(
+        &params[..offset.min(params.len())],
+    ));
+    if params.len() > offset {
+        out.extend(block_checksums(&params[offset..], block_params));
+    }
+    out
+}
+
+/// A block-granular integrity auditor whose block phase rotates over a
+/// seeded schedule of offsets.
+#[derive(Debug, Clone)]
+pub struct RotatingChecksumDetector {
+    block_params: usize,
+    audit_blocks: usize,
+    seed: u64,
+    /// Scheduled partition offsets, strictly ascending, all in
+    /// `1..block_params` — offset 0 is the legacy partition the fixed
+    /// detector already audits, so the rotation covers only phases the
+    /// attacker has not co-located against.
+    offsets: Vec<usize>,
+    /// Reference checksums per phase, aligned with `offsets`.
+    reference: Vec<Vec<u64>>,
+    param_count: usize,
+    threshold: f32,
+}
+
+impl RotatingChecksumDetector {
+    /// Calibrates phase-rotated block checksums of granularity
+    /// `block_params` over the reference model.
+    ///
+    /// `audit_blocks` blocks are inspected per audit pass (clamped per
+    /// phase to that phase's block count; pass `usize::MAX` for full
+    /// audits). `phases` distinct nonzero offsets are drawn from the
+    /// seeded schedule stream — a pure function of `seed`, fixed at
+    /// calibration, never re-drawn at score time — and clamped to the
+    /// `block_params - 1` distinct nonzero offsets that exist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_params < 2` (no nonzero offset exists), or
+    /// `audit_blocks`/`phases` is zero.
+    pub fn new(
+        reference: &FcHead,
+        block_params: usize,
+        audit_blocks: usize,
+        phases: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            block_params >= 2,
+            "offset rotation needs at least 2 params per block"
+        );
+        assert!(audit_blocks > 0, "audit budget must be positive");
+        assert!(phases > 0, "schedule needs at least one phase");
+        let params = flat_params(reference);
+        let mut rng = Prng::new(seed ^ SCHEDULE_DOMAIN);
+        let mut offsets: Vec<usize> = rng
+            .choose_distinct(block_params - 1, phases.min(block_params - 1))
+            .into_iter()
+            .map(|o| o + 1)
+            .collect();
+        offsets.sort_unstable();
+        let reference: Vec<Vec<u64>> = offsets
+            .iter()
+            .map(|&o| phase_checksums(&params, block_params, o))
+            .collect();
+        Self {
+            block_params,
+            audit_blocks,
+            seed,
+            offsets,
+            reference,
+            param_count: params.len(),
+            threshold: 0.5,
+        }
+    }
+
+    /// Overrides the default 0.5 alarm threshold (used by threshold-tie
+    /// tests and deployments that tune the alarm level).
+    #[must_use]
+    pub fn with_threshold(mut self, threshold: f32) -> Self {
+        self.threshold = threshold;
+        self
+    }
+
+    /// Block granularity (parameters per checksum block).
+    pub fn block_params(&self) -> usize {
+        self.block_params
+    }
+
+    /// The seeded schedule's partition offsets, ascending.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The schedule seed the offsets were drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Dirty-block count of the observed head in each scheduled phase,
+    /// aligned with [`RotatingChecksumDetector::offsets`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observed head's parameter count differs from the
+    /// calibrated one (a different architecture is a caller bug, not a
+    /// tampered model).
+    pub fn dirty_blocks_per_phase(&self, head: &FcHead) -> Vec<usize> {
+        let params = flat_params(head);
+        assert_eq!(
+            params.len(),
+            self.param_count,
+            "observed model has a different parameter count than calibrated"
+        );
+        self.offsets
+            .iter()
+            .zip(&self.reference)
+            .map(|(&o, reference)| {
+                phase_checksums(&params, self.block_params, o)
+                    .iter()
+                    .zip(reference)
+                    .filter(|(a, b)| a != b)
+                    .count()
+            })
+            .collect()
+    }
+
+    /// The exact expected detection probability over the seeded
+    /// schedule distribution (uniform over the scheduled phases): the
+    /// closed-form hypergeometric hit probability of each phase's dirty
+    /// count, averaged in fixed phase order in `f64`. No sampling —
+    /// this is the schedule's expectation, bit-deterministic.
+    pub fn expected_detection_probability(&self, head: &FcHead) -> f32 {
+        let per_phase = self.dirty_blocks_per_phase(head);
+        let sum: f64 = self
+            .offsets
+            .iter()
+            .zip(&self.reference)
+            .zip(&per_phase)
+            .map(|((_, reference), &dirty)| {
+                f64::from(hypergeometric_hit_probability(
+                    reference.len(),
+                    dirty,
+                    self.audit_blocks.min(reference.len()),
+                ))
+            })
+            .sum();
+        (sum / self.offsets.len() as f64) as f32
+    }
+}
+
+impl Detector for RotatingChecksumDetector {
+    /// The schedule seed is part of the name, so differently-seeded
+    /// schedules are distinct suite columns and the seed lands in every
+    /// arena fingerprint.
+    fn name(&self) -> String {
+        format!(
+            "rot_checksum_g{}_b{}_p{}_s{:016x}",
+            self.block_params,
+            self.audit_blocks,
+            self.offsets.len(),
+            self.seed
+        )
+    }
+
+    /// Alarm when the scheduled audit is more likely than not to hit a
+    /// dirty block (override with
+    /// [`RotatingChecksumDetector::with_threshold`]).
+    fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    fn score(&self, obs: &Observation<'_>) -> f32 {
+        self.expected_detection_probability(obs.head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::detect_at;
+
+    fn head() -> FcHead {
+        let mut rng = Prng::new(53);
+        // 8·12+12 + 12·4+4 = 160 parameters.
+        FcHead::from_dims(&[8, 12, 4], &mut rng)
+    }
+
+    /// Bumps flat parameter `index` of a copy of `head` by `amount`.
+    fn tampered(head: &FcHead, index: usize, amount: f32) -> FcHead {
+        let mut out = head.clone();
+        let mut off = 0;
+        for l in 0..out.num_layers() {
+            let count = out.layer_param_count(l);
+            if index < off + count {
+                let mut flat = out.layer_flat_params(l);
+                flat[index - off] += amount;
+                out.set_layer_flat_params(l, &flat);
+                return out;
+            }
+            off += count;
+        }
+        panic!("index {index} out of range");
+    }
+
+    #[test]
+    fn clean_model_scores_zero_and_schedule_is_seeded() {
+        let h = head();
+        let det = RotatingChecksumDetector::new(&h, 16, 2, 4, 0xABCD);
+        assert_eq!(det.offsets().len(), 4);
+        assert!(det.offsets().windows(2).all(|w| w[0] < w[1]));
+        assert!(det.offsets().iter().all(|&o| (1..16).contains(&o)));
+        assert_eq!(det.score(&Observation { head: &h }), 0.0);
+        assert!(!det.evaluate(&Observation { head: &h }).detected);
+        // Same seed → same schedule; different seed → (almost surely)
+        // different schedule and a different suite column name.
+        let again = RotatingChecksumDetector::new(&h, 16, 2, 4, 0xABCD);
+        assert_eq!(again.offsets(), det.offsets());
+        assert_eq!(again.name(), det.name());
+        let other = RotatingChecksumDetector::new(&h, 16, 2, 4, 0xABCE);
+        assert_ne!(other.name(), det.name());
+    }
+
+    #[test]
+    fn score_is_the_mean_over_phases() {
+        let h = head();
+        let det = RotatingChecksumDetector::new(&h, 16, usize::MAX, 3, 7);
+        // A full audit detects with probability exactly 1 in any phase
+        // with at least one dirty block — and a single-word tamper
+        // dirties exactly one block of every phase.
+        let t = tampered(&h, 40, 0.5);
+        assert_eq!(det.dirty_blocks_per_phase(&t), vec![1, 1, 1]);
+        assert_eq!(det.score(&Observation { head: &t }), 1.0);
+    }
+
+    #[test]
+    fn compact_support_straddles_shifted_phases() {
+        // Tamper a full aligned 0-offset block [16, 32): one dirty block
+        // in the legacy partition, but *two* in every scheduled phase —
+        // the property that invalidates the fixed-partition block cap.
+        let h = head();
+        let mut t = h.clone();
+        for i in 16..32 {
+            t = tampered(&t, i, 0.25);
+        }
+        let det = RotatingChecksumDetector::new(&h, 16, 2, 5, 99);
+        let fixed = crate::checksum::ChecksumDetector::new(&h, 16, 2);
+        assert_eq!(fixed.dirty_blocks(&t), 1);
+        for (o, d) in det.offsets().iter().zip(det.dirty_blocks_per_phase(&t)) {
+            assert_eq!(d, 2, "offset {o} should split the aligned block");
+        }
+        let shifted = det.score(&Observation { head: &t });
+        let aligned = fixed.score(&Observation { head: &t });
+        assert!(
+            shifted > aligned,
+            "rotation must raise detection on block-aligned support \
+             ({shifted} vs {aligned})"
+        );
+    }
+
+    #[test]
+    fn score_is_deterministic_and_ties_alarm() {
+        let h = head();
+        let t = tampered(&h, 100, 1.0);
+        let det = RotatingChecksumDetector::new(&h, 16, 3, 4, 0x5EED);
+        let s1 = det.score(&Observation { head: &t });
+        let s2 = det.score(&Observation { head: &t });
+        assert_eq!(s1.to_bits(), s2.to_bits(), "score must be pure");
+        // Re-seat the threshold exactly at the observed score: the tie
+        // must fire, per the crate-wide `detect_at` rule.
+        let exact = RotatingChecksumDetector::new(&h, 16, 3, 4, 0x5EED).with_threshold(s1);
+        let v = exact.evaluate(&Observation { head: &t });
+        assert_eq!(v.score.to_bits(), s1.to_bits());
+        assert!(v.detected, "a score exactly at threshold must alarm");
+        assert!(detect_at(v.score, v.threshold));
+    }
+
+    #[test]
+    fn phase_clamp_covers_tiny_granularities() {
+        let h = head();
+        // Only one nonzero offset exists at granularity 2; asking for
+        // eight phases must clamp, not panic or duplicate.
+        let det = RotatingChecksumDetector::new(&h, 2, 1, 8, 1);
+        assert_eq!(det.offsets(), &[1]);
+    }
+}

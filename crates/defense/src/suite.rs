@@ -4,15 +4,22 @@ use crate::accuracy::AccuracyProbe;
 use crate::checksum::ChecksumDetector;
 use crate::detector::{Detector, Observation, Verdict};
 use crate::drift::DriftDetector;
-use crate::parity::ParityDetector;
+use crate::parity::{ColumnParityDetector, ParityDetector, RowCrcDetector};
+use crate::rotating::RotatingChecksumDetector;
 use fsa_memfault::dram::DramGeometry;
 use fsa_nn::head::FcHead;
 use fsa_nn::FeatureCache;
+use fsa_tensor::Prng;
 
 /// Checksum granularities (parameters per block) the standard suite
 /// sweeps — fine enough that a 2010-parameter last layer spans many
 /// blocks, coarse enough that audits stay cheap.
 pub const STANDARD_GRANULARITIES: [usize; 3] = [16, 64, 256];
+
+/// Scheduled block phases per rotating checksum in the randomized
+/// suite — enough overlapping partitions that a support co-located
+/// against any one of them straddles blocks in the others.
+pub const ROTATING_PHASES: usize = 4;
 
 /// An ordered stack of calibrated detectors evaluated together.
 ///
@@ -20,6 +27,11 @@ pub const STANDARD_GRANULARITIES: [usize; 3] = [16, 64, 256];
 /// arena matrix built on the suite.
 pub struct DefenseSuite {
     detectors: Vec<Box<dyn Detector>>,
+    /// The audit-schedule seed, when the suite contains seeded
+    /// randomized monitors ([`DefenseSuite::randomized`]); `None` for
+    /// fixed stacks. Flows into arena fingerprints so differently
+    /// scheduled matrices never collide.
+    schedule_seed: Option<u64>,
 }
 
 impl DefenseSuite {
@@ -27,6 +39,7 @@ impl DefenseSuite {
     pub fn new() -> Self {
         Self {
             detectors: Vec::new(),
+            schedule_seed: None,
         }
     }
 
@@ -73,6 +86,83 @@ impl DefenseSuite {
         )));
         suite.push(Box::new(ParityDetector::new(reference, geometry)));
         suite
+    }
+
+    /// The re-armed stack: every monitor breaks one assumption the
+    /// detector-aware stealth attacker relies on.
+    ///
+    /// * [`RotatingChecksumDetector`]s at [`STANDARD_GRANULARITIES`],
+    ///   [`ROTATING_PHASES`] seeded block phases each, auditing one
+    ///   quarter of their blocks per pass (at least one) — the fixed
+    ///   0-offset partition the attacker co-locates against is no
+    ///   longer the partition being audited;
+    /// * the held-out [`AccuracyProbe`] at `accuracy_threshold`
+    ///   (unchanged — it was never the evaded channel);
+    /// * the [`DriftDetector`] on the deployed probe at
+    ///   `drift_threshold`, **plus** a `holdout_drift` monitor on
+    ///   `holdout_probe` at `holdout_drift_threshold` — a probe split
+    ///   the attacker's drift-budget wall was never tuned against;
+    /// * the full parity family over `geometry`: per-row XOR
+    ///   ([`ParityDetector`]), [`ColumnParityDetector`], and
+    ///   [`RowCrcDetector`] — parity-even flip padding cancels in the
+    ///   first but not the other two.
+    ///
+    /// Per-granularity schedule seeds are forked from `schedule_seed`
+    /// (`Prng::new(seed).fork(g)`), so one seed pins the whole suite;
+    /// equal seeds give bit-identical suites and the seed is recorded
+    /// in [`DefenseSuite::schedule_seed`] for arena fingerprinting.
+    #[allow(clippy::too_many_arguments)]
+    pub fn randomized(
+        reference: &FcHead,
+        probe: &FeatureCache,
+        probe_labels: &[usize],
+        holdout_probe: &FeatureCache,
+        geometry: DramGeometry,
+        accuracy_threshold: f32,
+        drift_threshold: f32,
+        holdout_drift_threshold: f32,
+        schedule_seed: u64,
+    ) -> Self {
+        let mut suite = Self::new();
+        for g in STANDARD_GRANULARITIES {
+            let blocks = reference.param_count().div_ceil(g);
+            let seed = Prng::new(schedule_seed).fork(g as u64).next_u64();
+            suite.push(Box::new(RotatingChecksumDetector::new(
+                reference,
+                g,
+                (blocks / 4).max(1),
+                ROTATING_PHASES,
+                seed,
+            )));
+        }
+        suite.push(Box::new(AccuracyProbe::new(
+            reference,
+            probe.clone(),
+            probe_labels.to_vec(),
+            accuracy_threshold,
+        )));
+        suite.push(Box::new(DriftDetector::new(
+            reference,
+            probe.clone(),
+            drift_threshold,
+        )));
+        suite.push(Box::new(DriftDetector::named(
+            "holdout_drift",
+            reference,
+            holdout_probe.clone(),
+            holdout_drift_threshold,
+        )));
+        suite.push(Box::new(ParityDetector::new(reference, geometry)));
+        suite.push(Box::new(ColumnParityDetector::new(reference, geometry)));
+        suite.push(Box::new(RowCrcDetector::new(reference, geometry)));
+        suite.schedule_seed = Some(schedule_seed);
+        suite
+    }
+
+    /// The audit-schedule seed, if this suite carries seeded randomized
+    /// monitors.
+    pub fn schedule_seed(&self) -> Option<u64> {
+        self.schedule_seed
     }
 
     /// Appends a detector.
@@ -162,6 +252,75 @@ mod tests {
             assert!(!v.detected, "clean model tripped {}", v.detector);
             assert_eq!(v.score, 0.0, "{} scored a clean model", v.detector);
         }
+    }
+
+    #[test]
+    fn randomized_suite_deploys_the_rearmed_families() {
+        let (head, probe, labels) = fixture();
+        let mut rng = Prng::new(271);
+        let holdout = FeatureCache::from_features(Tensor::randn(&[16, 6], 1.0, &mut rng));
+        let suite = DefenseSuite::randomized(
+            &head,
+            &probe,
+            &labels,
+            &holdout,
+            DramGeometry::default(),
+            0.02,
+            0.25,
+            0.25,
+            0xA0D1,
+        );
+        assert_eq!(suite.schedule_seed(), Some(0xA0D1));
+        let names = suite.names();
+        assert_eq!(names.len(), STANDARD_GRANULARITIES.len() + 6);
+        assert!(names.iter().any(|n| n.starts_with("rot_checksum_g16_")));
+        assert!(names.iter().any(|n| n.starts_with("rot_checksum_g256_")));
+        assert!(names.contains(&"holdout_drift".to_string()));
+        assert!(names.contains(&"dram_column_parity".to_string()));
+        assert!(names.contains(&"dram_row_crc".to_string()));
+        // Clean model passes the whole stack; equal seeds rebuild the
+        // identical suite (same names, bit-identical clean verdicts).
+        let verdicts = suite.evaluate(&Observation { head: &head });
+        for v in &verdicts {
+            assert!(!v.detected, "clean model tripped {}", v.detector);
+        }
+        let again = DefenseSuite::randomized(
+            &head,
+            &probe,
+            &labels,
+            &holdout,
+            DramGeometry::default(),
+            0.02,
+            0.25,
+            0.25,
+            0xA0D1,
+        );
+        assert_eq!(again.names(), names);
+        let verdicts2 = again.evaluate(&Observation { head: &head });
+        assert_eq!(verdicts, verdicts2);
+        // A different seed is a visibly different suite.
+        let other = DefenseSuite::randomized(
+            &head,
+            &probe,
+            &labels,
+            &holdout,
+            DramGeometry::default(),
+            0.02,
+            0.25,
+            0.25,
+            0xA0D2,
+        );
+        assert_ne!(other.names(), names);
+        assert!(DefenseSuite::standard(
+            &head,
+            &probe,
+            &labels,
+            DramGeometry::default(),
+            0.02,
+            0.25
+        )
+        .schedule_seed()
+        .is_none());
     }
 
     #[test]

@@ -49,6 +49,10 @@ pub enum FaultDirective {
         /// Bit position within the byte (0..8).
         bit: u8,
     },
+    /// Write outcome frame `n` twice — a replayed pipe write producing
+    /// two byte-identical, individually *valid* frames. Checksums can't
+    /// catch this one; only the stream-level duplicate-index check does.
+    DuplicateFrame(u32),
 }
 
 impl FaultDirective {
@@ -61,6 +65,7 @@ impl FaultDirective {
             FaultDirective::FlipBit { frame, byte, bit } => {
                 format!("bitflip:{frame}:{byte}:{bit}")
             }
+            FaultDirective::DuplicateFrame(n) => format!("dup:{n}"),
         }
     }
 
@@ -79,6 +84,7 @@ impl FaultDirective {
                 byte: parts.next()?.parse().ok()?,
                 bit: parts.next()?.parse().ok()?,
             },
+            "dup" => FaultDirective::DuplicateFrame(parts.next()?.parse().ok()?),
             _ => return None,
         };
         if parts.next().is_some() {
@@ -191,10 +197,11 @@ impl FaultPlanner {
                 // hang; frame indices must land inside the shard.
                 let stall = deadline.as_millis() as u64 + 200 + rng.below(200) as u64;
                 let frame = rng.below(shard_len.max(1)) as u32;
-                Some(match rng.below(4) {
+                Some(match rng.below(5) {
                     0 => FaultDirective::KillAfter(frame),
                     1 => FaultDirective::StallMs(stall),
                     2 => FaultDirective::TruncateFrame(frame),
+                    3 => FaultDirective::DuplicateFrame(frame),
                     _ => FaultDirective::FlipBit {
                         frame,
                         // Offset past the 16-byte header lands the flip
@@ -224,6 +231,7 @@ mod tests {
                 byte: 12,
                 bit: 5,
             },
+            FaultDirective::DuplicateFrame(3),
         ];
         for d in cases {
             assert_eq!(FaultDirective::from_env_str(&d.to_env()), Some(d));
@@ -232,7 +240,16 @@ mod tests {
 
     #[test]
     fn garbage_directives_parse_to_none() {
-        for s in ["", "kill", "kill:x", "stall:1:2", "bitflip:1:2", "nope:3"] {
+        for s in [
+            "",
+            "kill",
+            "kill:x",
+            "stall:1:2",
+            "bitflip:1:2",
+            "nope:3",
+            "dup",
+            "dup:x",
+        ] {
             assert_eq!(FaultDirective::from_env_str(s), None, "{s:?}");
         }
     }
@@ -259,7 +276,12 @@ mod tests {
                 if let Some(FaultDirective::StallMs(ms)) = a {
                     assert!(ms > d.as_millis() as u64);
                 }
-                if let Some(FaultDirective::KillAfter(n) | FaultDirective::TruncateFrame(n)) = a {
+                if let Some(
+                    FaultDirective::KillAfter(n)
+                    | FaultDirective::TruncateFrame(n)
+                    | FaultDirective::DuplicateFrame(n),
+                ) = a
+                {
                     assert!(n < 6);
                 }
             }

@@ -126,6 +126,21 @@ pub enum ProtoError {
         /// Position in the shard at which the streams diverged.
         position: usize,
     },
+    /// The stream carries two outcome frames for one scenario index —
+    /// a worker (or a replayed/duplicated pipe write) emitted the same
+    /// result twice. Checked explicitly rather than left to the
+    /// index-sequence comparison: a duplicate of the *last* assigned
+    /// index plus a matching inflated END count would otherwise sail
+    /// past `CountMismatch` and fail only as a confusing
+    /// `IndexMismatch` — and no duplicated result should ever be merged
+    /// regardless of what else the stream claims.
+    DuplicateIndex {
+        /// The scenario index that appeared twice.
+        index: usize,
+        /// Position in the stream (0-based outcome ordinal) of the
+        /// second occurrence.
+        position: usize,
+    },
     /// Bytes followed the `END_TAG` frame.
     TrailingBytes(usize),
 }
@@ -142,6 +157,10 @@ impl fmt::Display for ProtoError {
             ProtoError::IndexMismatch { position } => write!(
                 f,
                 "outcome at shard position {position} carries the wrong scenario index"
+            ),
+            ProtoError::DuplicateIndex { index, position } => write!(
+                f,
+                "outcome at stream position {position} duplicates scenario index {index}"
             ),
             ProtoError::TrailingBytes(n) => write!(f, "{n} bytes after the END frame"),
         }
@@ -204,6 +223,18 @@ pub fn parse_worker_stream(
             return Err(ProtoError::Frame(WireError::Decode(DecodeError::new(
                 "trailing bytes after outcome payload",
             ))));
+        }
+        // Explicit duplicate rejection, checked as frames arrive: a
+        // repeated scenario index is a protocol violation on its own,
+        // whatever the END count or the index sequence later claim.
+        if outcomes
+            .iter()
+            .any(|p| p.scenario.index == o.scenario.index)
+        {
+            return Err(ProtoError::DuplicateIndex {
+                index: o.scenario.index,
+                position: outcomes.len(),
+            });
         }
         outcomes.push(o);
     }
@@ -323,6 +354,44 @@ mod tests {
         assert_eq!(
             parse_worker_stream(&bytes, &[0, 1]),
             Err(ProtoError::IndexMismatch { position: 1 })
+        );
+    }
+
+    #[test]
+    fn duplicated_outcome_frames_are_rejected() {
+        // A frame repeated mid-stream (END count still matching the
+        // emitted frame count) must fail as DuplicateIndex, not be
+        // merged or misreported as a count problem.
+        let mut bytes = Vec::new();
+        for &i in &[3usize, 4, 4, 5] {
+            bytes.extend_from_slice(&encode_outcome_frame(&outcome(i)));
+        }
+        bytes.extend_from_slice(&encode_end_frame(4));
+        assert_eq!(
+            parse_worker_stream(&bytes, &[3, 4, 5]),
+            Err(ProtoError::DuplicateIndex {
+                index: 4,
+                position: 2
+            })
+        );
+    }
+
+    #[test]
+    fn duplicate_of_the_last_index_cannot_hide_behind_the_count() {
+        // The adversarial corner the explicit check exists for: the
+        // worker's *last* frame is replayed, and the END count covers
+        // the duplicate, so count and prefix-order both look fine.
+        let mut bytes = Vec::new();
+        for &i in &[0usize, 1, 1] {
+            bytes.extend_from_slice(&encode_outcome_frame(&outcome(i)));
+        }
+        bytes.extend_from_slice(&encode_end_frame(3));
+        assert_eq!(
+            parse_worker_stream(&bytes, &[0, 1]),
+            Err(ProtoError::DuplicateIndex {
+                index: 1,
+                position: 2
+            })
         );
     }
 

@@ -367,6 +367,7 @@ impl<'a> ShardedCampaign<'a> {
             method: method.name(),
             precision: spec.precision,
             stealth: spec.stealth,
+            suite_seed: spec.suite_seed,
             outcomes,
         };
         ShardedRun { report, log }

@@ -134,6 +134,15 @@ pub fn worker_main() -> ! {
             }
             _ => {}
         }
+        // Replay the pipe write: the same valid, checksummed frame
+        // lands twice. The normal write below emits the second copy;
+        // the stream-level duplicate-index check is the only layer
+        // that can catch this.
+        if directive == Some(FaultDirective::DuplicateFrame(pos as u32))
+            && out.write_all(&frame).is_err()
+        {
+            exit(EXIT_BAD_JOB);
+        }
         if out.write_all(&frame).and_then(|()| out.flush()).is_err() {
             // Supervisor hung up (e.g. killed us between signals).
             exit(EXIT_BAD_JOB);

@@ -150,6 +150,36 @@ fn corrupted_result_frames_are_caught_by_the_checksum() {
 }
 
 #[test]
+fn duplicated_result_frames_are_rejected_and_retried() {
+    // A replayed pipe write emits one outcome frame twice. Both copies
+    // are individually valid and checksummed, so only the stream-level
+    // duplicate-index check can catch it; the supervisor must classify
+    // the stream as corrupt, retry, and land on the reference bits —
+    // never merge a duplicated outcome.
+    let spec = spec();
+    let reference = reference(&spec);
+    let cfg = config(2).with_planner(Some(FaultPlanner::always(
+        FaultDirective::DuplicateFrame(1),
+        1,
+    )));
+    let (report, log) = sharded(&spec, &cfg);
+    assert_eq!(report, reference);
+    assert_eq!(report.fingerprint(), reference.fingerprint());
+    assert_eq!(log.count(FaultKind::CorruptFrame), 2, "{}", log.summary());
+    assert_eq!(log.degraded(), 0);
+    for e in &log.events {
+        assert!(
+            e.detail.contains("duplicates scenario index"),
+            "fault not attributed to the duplicate check: {e:?}"
+        );
+    }
+    assert!(log
+        .resolutions
+        .iter()
+        .all(|r| matches!(r, ShardResolution::Clean { attempts: 2, .. })));
+}
+
+#[test]
 fn exhausted_retries_degrade_in_process_and_preserve_the_fingerprint() {
     let spec = spec();
     let reference = reference(&spec);

@@ -41,7 +41,7 @@ pub mod rowhammer;
 
 pub use dram::{DramGeometry, ParamAddress};
 pub use laser::LaserInjector;
-pub use parity::RowParity;
+pub use parity::{ColumnParity, RowCrc, RowParity};
 pub use plan::{FaultPlan, WordChange};
 pub use quant::{QuantChange, QuantFaultPlan};
 pub use rowhammer::{HammerOutcome, RowhammerInjector};

@@ -17,6 +17,21 @@
 //!   injection: rows with odd counts trip the parity, rows with even
 //!   counts evade it.
 //!
+//! A single parity bit per row is exactly what the PR 7 stealth
+//! attacker defeats: it pads its plan with an extra flip per touched
+//! row so every flip count is even. The stronger family closes the two
+//! cancellation channels that padding relies on:
+//!
+//! * [`ColumnParity`] keeps one parity bit per *bit position* (column)
+//!   of the row's words — a 32-bit syndrome. Two flips cancel only if
+//!   they hit the **same** bit position, so the attacker's
+//!   different-position padding flips light it up.
+//! * [`RowCrc`] keeps a CRC-32 digest (polynomial `0xEDB88320`) of the
+//!   row's words in parameter order. The digest is position-sensitive
+//!   in both bit index and word index: *any* change to a row's bytes
+//!   changes it (up to the 2⁻³² collision floor), so no parity-style
+//!   cancellation exists at all.
+//!
 //! Everything here is a pure fixed-order function of its inputs —
 //! deterministic regardless of thread count, as the defense suite's
 //! bit-identical arena requires.
@@ -84,6 +99,129 @@ impl RowParity {
     }
 }
 
+/// Reference per-row **column parity** of a parameter buffer: bit `j`
+/// of a row's 32-bit syndrome is the XOR of bit `j` across all `f32`
+/// words the layout places in that row.
+///
+/// Where [`RowParity`] folds a whole row to one bit (so any even number
+/// of flips cancels), column parity cancels only when two flips land on
+/// the **same bit position** — the parity-even padding the stealth
+/// planner emits flips distinct positions and is caught.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnParity {
+    /// Sorted `((bank, row), syndrome)` pairs for every covered row.
+    rows: Vec<((usize, usize), u32)>,
+}
+
+impl ColumnParity {
+    /// Captures the reference column syndromes of `params` under
+    /// `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` differs from the layout's length.
+    pub fn capture(layout: &ParamLayout, params: &[f32]) -> Self {
+        assert_eq!(params.len(), layout.len(), "params/layout length mismatch");
+        Self {
+            rows: column_syndromes(layout, params),
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the captured layout was empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The `(bank, row)` pairs whose column syndrome no longer matches
+    /// the reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` differs from the captured layout's
+    /// length.
+    pub fn violations(&self, layout: &ParamLayout, params: &[f32]) -> Vec<(usize, usize)> {
+        let now = column_syndromes(layout, params);
+        assert_eq!(
+            now.len(),
+            self.rows.len(),
+            "column parity check layout differs from the captured one"
+        );
+        self.rows
+            .iter()
+            .zip(&now)
+            .filter_map(|(&(id, before), &(id2, after))| {
+                debug_assert_eq!(id, id2, "row order diverged");
+                (before != after).then_some(id)
+            })
+            .collect()
+    }
+}
+
+/// Reference per-row CRC-32 digest (polynomial `0xEDB88320`, the
+/// reflected IEEE polynomial) of a parameter buffer.
+///
+/// The digest runs over each row's words in ascending parameter-index
+/// order, little-endian bytes, so it is sensitive to both *which* bits
+/// changed and *where* — the no-cancellation end of the parity family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowCrc {
+    /// Sorted `((bank, row), crc)` pairs for every covered row.
+    rows: Vec<((usize, usize), u32)>,
+}
+
+impl RowCrc {
+    /// Captures the reference row digests of `params` under `layout`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` differs from the layout's length.
+    pub fn capture(layout: &ParamLayout, params: &[f32]) -> Self {
+        assert_eq!(params.len(), layout.len(), "params/layout length mismatch");
+        Self {
+            rows: row_crcs(layout, params),
+        }
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the captured layout was empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The `(bank, row)` pairs whose digest no longer matches the
+    /// reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len()` differs from the captured layout's
+    /// length.
+    pub fn violations(&self, layout: &ParamLayout, params: &[f32]) -> Vec<(usize, usize)> {
+        let now = row_crcs(layout, params);
+        assert_eq!(
+            now.len(),
+            self.rows.len(),
+            "row CRC check layout differs from the captured one"
+        );
+        self.rows
+            .iter()
+            .zip(&now)
+            .filter_map(|(&(id, before), &(id2, after))| {
+                debug_assert_eq!(id, id2, "row order diverged");
+                (before != after).then_some(id)
+            })
+            .collect()
+    }
+}
+
 /// Folds a stream of `(row_id, value)` pairs into one entry per row,
 /// sorted by `(bank, row)`.
 ///
@@ -123,6 +261,59 @@ fn row_parities(layout: &ParamLayout, params: &[f32]) -> Vec<((usize, usize), bo
         }),
         |parity, bit| *parity ^= bit,
     )
+}
+
+/// Per-row column syndrome (XOR of the word bit patterns) of `params`
+/// under `layout`, sorted by `(bank, row)`.
+fn column_syndromes(layout: &ParamLayout, params: &[f32]) -> Vec<((usize, usize), u32)> {
+    fold_rows(
+        params
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (layout.address(i).row_id(), p.to_bits())),
+        |syndrome, bits| *syndrome ^= bits,
+    )
+}
+
+/// One CRC-32 step over `byte` (reflected polynomial `0xEDB88320`).
+pub(crate) fn crc32_update(mut crc: u32, byte: u8) -> u32 {
+    crc ^= u32::from(byte);
+    for _ in 0..8 {
+        let mask = (crc & 1).wrapping_neg();
+        crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+    }
+    crc
+}
+
+/// Per-row CRC-32 of `params` under `layout`, sorted by `(bank, row)`.
+///
+/// Unlike the XOR folds, a CRC is order-sensitive, so `fold_rows`'s
+/// sort-then-merge would scramble non-adjacent runs of one row. Instead
+/// the indices are sorted by `(row, index)` up front and each run is
+/// digested in ascending parameter order — the same fixed order
+/// regardless of how the layout interleaves rows.
+fn row_crcs(layout: &ParamLayout, params: &[f32]) -> Vec<((usize, usize), u32)> {
+    let mut indexed: Vec<((usize, usize), usize)> = (0..params.len())
+        .map(|i| (layout.address(i).row_id(), i))
+        .collect();
+    indexed.sort_unstable();
+    let mut out: Vec<((usize, usize), u32)> = Vec::new();
+    for (id, i) in indexed {
+        let state = match out.last_mut() {
+            Some((last, state)) if *last == id => state,
+            _ => {
+                out.push((id, 0xFFFF_FFFF));
+                &mut out.last_mut().expect("just pushed").1
+            }
+        };
+        for byte in params[i].to_bits().to_le_bytes() {
+            *state = crc32_update(*state, byte);
+        }
+    }
+    for (_, state) in &mut out {
+        *state = !*state;
+    }
+    out
 }
 
 /// Folds any stream of `(parameter index, flip count)` word changes onto
@@ -266,6 +457,73 @@ mod tests {
                 (layout.address(16).row_id(), 2),
             ]
         );
+    }
+
+    #[test]
+    fn column_parity_catches_parity_even_padding() {
+        // Two flips in one row at *different* bit positions: the per-row
+        // XOR parity cancels (the stealth planner's padding trick), but
+        // the column syndrome records both positions.
+        let layout = small_layout(32);
+        let mut params = vec![1.0f32; 32];
+        let row = RowParity::capture(&layout, &params);
+        let col = ColumnParity::capture(&layout, &params);
+        assert_eq!(col.len(), 2);
+        params[4] = flip_bits(params[4], &[7]);
+        params[9] = flip_bits(params[9], &[12]);
+        assert!(row.violations(&layout, &params).is_empty());
+        assert_eq!(
+            col.violations(&layout, &params),
+            vec![layout.address(4).row_id()],
+            "different-position flips must trip the column syndrome"
+        );
+    }
+
+    #[test]
+    fn row_crc_catches_same_column_cancellation() {
+        // Two flips at the *same* bit position in different words of one
+        // row: the row parity cancels (even count) and the column
+        // syndrome cancels (same column) — only the position-sensitive
+        // CRC sees the change.
+        let layout = small_layout(32);
+        let mut params: Vec<f32> = (0..32).map(|i| 0.5 + i as f32 * 0.25).collect();
+        let row = RowParity::capture(&layout, &params);
+        let col = ColumnParity::capture(&layout, &params);
+        let crc = RowCrc::capture(&layout, &params);
+        assert_eq!(crc.len(), 2);
+        params[4] = flip_bits(params[4], &[19]);
+        params[9] = flip_bits(params[9], &[19]);
+        assert!(row.violations(&layout, &params).is_empty());
+        assert!(col.violations(&layout, &params).is_empty());
+        assert_eq!(
+            crc.violations(&layout, &params),
+            vec![layout.address(4).row_id()],
+            "the CRC digest must catch what both parities cancel"
+        );
+    }
+
+    #[test]
+    fn crc_family_is_clean_on_untouched_buffers() {
+        let layout = small_layout(48);
+        let params: Vec<f32> = (0..48).map(|i| 1.0 + i as f32).collect();
+        let col = ColumnParity::capture(&layout, &params);
+        let crc = RowCrc::capture(&layout, &params);
+        assert!(col.violations(&layout, &params).is_empty());
+        assert!(crc.violations(&layout, &params).is_empty());
+        // And any single-word change is visible to both.
+        let mut tampered = params.clone();
+        tampered[33] = flip_bits(tampered[33], &[2]);
+        assert_eq!(col.violations(&layout, &tampered).len(), 1);
+        assert_eq!(crc.violations(&layout, &tampered).len(), 1);
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32 check: crc("123456789") == 0xCBF43926.
+        let crc = !b"123456789"
+            .iter()
+            .fold(0xFFFF_FFFFu32, |c, &b| crc32_update(c, b));
+        assert_eq!(crc, 0xCBF4_3926);
     }
 
     #[test]

@@ -82,7 +82,8 @@ fn random_spec(rng: &mut Prng) -> CampaignSpec {
     if rng.bernoulli(0.3) {
         spec = spec.with_precision(Precision::Int8);
     }
-    spec.with_stealth(random_stealth(rng))
+    spec = spec.with_stealth(random_stealth(rng));
+    spec.with_suite_seed(rng.bernoulli(0.4).then(|| rng.next_u64()))
 }
 
 fn random_outcome(rng: &mut Prng, index: usize) -> ScenarioOutcome {
@@ -144,6 +145,7 @@ fn random_report(rng: &mut Prng) -> CampaignReport {
             Precision::F32
         },
         stealth: random_stealth(rng),
+        suite_seed: rng.bernoulli(0.4).then(|| rng.next_u64()),
         outcomes: (0..n).map(|i| random_outcome(rng, i)).collect(),
     }
 }
