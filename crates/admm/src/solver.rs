@@ -105,6 +105,7 @@ impl AdmmDriver {
     ///
     /// Panics if `delta0.len() != problem.dim()`.
     pub fn run(&self, problem: &mut dyn AdmmProblem, delta0: &[f32]) -> AdmmResult {
+        let _span = fsa_telemetry::span("admm");
         let n = problem.dim();
         assert_eq!(delta0.len(), n, "initial point has wrong dimension");
         let inv_sqrt_n = 1.0 / (n.max(1) as f32).sqrt();
@@ -176,6 +177,22 @@ impl AdmmDriver {
             }
         }
 
+        // Telemetry (identity-only): iteration totals and convergence
+        // tallies; the per-iteration residual records stay in `history`
+        // and are bridged into convergence traces by the attack layer,
+        // which also knows objective/support/keep-set state.
+        if fsa_telemetry::enabled() {
+            fsa_telemetry::counter("admm.runs", 1);
+            fsa_telemetry::counter("admm.iterations", history.len() as u64);
+            fsa_telemetry::counter(
+                if converged {
+                    "admm.converged"
+                } else {
+                    "admm.max_iters"
+                },
+                1,
+            );
+        }
         AdmmResult {
             z,
             delta,

@@ -92,6 +92,8 @@ impl GdaAttack {
     ///
     /// Panics if the spec's features do not match the head.
     pub fn run(&self, spec: &AttackSpec) -> GdaResult {
+        let _span = fsa_telemetry::span("gda");
+        fsa_telemetry::counter("gda.runs", 1);
         assert_eq!(
             spec.features.shape()[1],
             self.head.in_features(),

@@ -90,6 +90,8 @@ impl SbaAttack {
         features: &Tensor,
         targets: &[usize],
     ) -> (FcHead, Vec<SbaResult>) {
+        let _span = fsa_telemetry::span("sba");
+        fsa_telemetry::counter("sba.runs", 1);
         assert_eq!(
             features.shape()[0],
             targets.len(),

@@ -120,6 +120,7 @@ fn run_all(
 }
 
 fn main() {
+    let traced = fsa_bench::trace::arm_from_args();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -295,6 +296,7 @@ fn main() {
             spec.len(),
             methods.len()
         );
+        fsa_bench::trace::finish(traced, "arena");
         return;
     }
 
@@ -385,4 +387,5 @@ fn main() {
     std::fs::write(&path, &json).expect("failed to write BENCH_PR4.json");
     println!("\nwrote {}", path.display());
     print!("{json}");
+    fsa_bench::trace::finish(traced, "arena");
 }

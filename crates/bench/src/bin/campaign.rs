@@ -93,6 +93,7 @@ fn build_victim(rng: &mut Prng) -> (CwModel, Tensor, Vec<usize>) {
 }
 
 fn main() {
+    let traced = fsa_bench::trace::arm_from_args();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -178,6 +179,7 @@ fn main() {
 
     if smoke {
         println!("smoke sweep OK: {n_scenarios} scenarios bit-identical across thread counts");
+        fsa_bench::trace::finish(traced, "campaign");
         return;
     }
 
@@ -283,4 +285,5 @@ fn main() {
     std::fs::write(&path, &json).expect("failed to write BENCH_PR3.json");
     println!("\nwrote {}", path.display());
     print!("{json}");
+    fsa_bench::trace::finish(traced, "campaign");
 }

@@ -162,6 +162,7 @@ fn best_rearmed_rate(scored: &ArenaReport, cols: &[usize]) -> (f64, String) {
 }
 
 fn main() {
+    let traced = fsa_bench::trace::arm_from_args();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -465,6 +466,7 @@ fn main() {
             base_spec.len(),
             specs.len()
         );
+        fsa_bench::trace::finish(traced, "codefense");
         return;
     }
 
@@ -588,4 +590,5 @@ fn main() {
     std::fs::write(&path, &json).expect("failed to write BENCH_PR8.json");
     println!("\nwrote {}", path.display());
     print!("{json}");
+    fsa_bench::trace::finish(traced, "codefense");
 }

@@ -131,6 +131,7 @@ fn rate_cells(scored: &ArenaReport, detector_names: &[String]) -> String {
 }
 
 fn main() {
+    let traced = fsa_bench::trace::arm_from_args();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -399,6 +400,7 @@ fn main() {
             base_spec.len(),
             methods.len()
         );
+        fsa_bench::trace::finish(traced, "quant");
         return;
     }
     assert!(
@@ -475,4 +477,5 @@ fn main() {
     std::fs::write(&path, &json).expect("failed to write BENCH_PR5.json");
     println!("\nwrote {}", path.display());
     print!("{json}");
+    fsa_bench::trace::finish(traced, "quant");
 }

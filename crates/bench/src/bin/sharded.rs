@@ -102,6 +102,7 @@ fn main() {
     // Worker mode: everything below never runs in a worker process.
     fsa_harness::worker::maybe_run_worker();
 
+    let traced = fsa_bench::trace::arm_from_args();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -276,6 +277,7 @@ fn main() {
             "smoke OK: {n_scenarios} scenarios bit-identical across sharding, \
              every fault class, degraded fallback, and the seeded plan"
         );
+        fsa_bench::trace::finish(traced, "sharded");
         return;
     }
 
@@ -309,4 +311,5 @@ fn main() {
     std::fs::write(&path, &json).expect("failed to write BENCH_PR6.json");
     println!("\nwrote {}", path.display());
     print!("{json}");
+    fsa_bench::trace::finish(traced, "sharded");
 }

@@ -160,6 +160,7 @@ fn plan_observables(
 }
 
 fn main() {
+    let traced = fsa_bench::trace::arm_from_args();
     let smoke = std::env::args().any(|a| a == "--smoke");
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -414,6 +415,7 @@ fn main() {
             base_spec.len(),
             specs.len()
         );
+        fsa_bench::trace::finish(traced, "stealth");
         return;
     }
 
@@ -520,4 +522,5 @@ fn main() {
     std::fs::write(&path, &json).expect("failed to write BENCH_PR7.json");
     println!("\nwrote {}", path.display());
     print!("{json}");
+    fsa_bench::trace::finish(traced, "stealth");
 }

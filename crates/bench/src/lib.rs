@@ -37,5 +37,6 @@ pub mod baseline;
 pub mod exp;
 pub mod report;
 pub mod timing;
+pub mod trace;
 
 pub use artifacts::{Artifacts, Kind};

@@ -1,0 +1,55 @@
+//! The shared `--trace` flag for bench binaries.
+//!
+//! Every end-to-end bench bin calls [`arm_from_args`] first thing and
+//! [`finish`] last thing. When the process was started with `--trace`,
+//! telemetry is enabled for the whole run and the drained snapshot is
+//! written to `artifacts/TRACE_<bin>.json` (through the in-repo io
+//! layer, same as every other artifact) with the text profile tree
+//! printed to stdout. Without the flag both calls are no-ops, so traced
+//! and untraced runs execute the same code — the telemetry determinism
+//! contract keeps their results bit-identical.
+
+use std::path::Path;
+
+/// Enables telemetry iff `--trace` appears in the process arguments.
+/// Returns whether tracing was armed.
+pub fn arm_from_args() -> bool {
+    let armed = std::env::args().any(|a| a == "--trace");
+    if armed {
+        fsa_telemetry::set_enabled(true);
+    }
+    armed
+}
+
+/// Drains telemetry and, if `armed`, writes the trace artifact for
+/// `bin` and prints the profile tree. Call once, at the end of `main`.
+pub fn finish(armed: bool, bin: &str) {
+    if !armed {
+        return;
+    }
+    let snap = fsa_telemetry::drain();
+    println!("\n=== trace profile ({bin}) ===");
+    println!("{}", snap.render_tree());
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("artifacts")
+        .join(format!("TRACE_{bin}.json"));
+    fsa_tensor::io::write_file(&path, snap.to_json().as_bytes())
+        .unwrap_or_else(|e| panic!("failed to write {}: {e}", path.display()));
+    println!("trace written to {}", path.display());
+    fsa_telemetry::set_enabled(false);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_is_a_noop_when_unarmed() {
+        // Must not write anything or touch the telemetry state.
+        finish(false, "never_written");
+        assert!(!Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../artifacts/TRACE_never_written.json")
+            .exists());
+    }
+}

@@ -681,6 +681,7 @@ impl<'a> Campaign<'a> {
         method: &dyn AttackMethod,
         indices: &[usize],
     ) -> Vec<ScenarioOutcome> {
+        let _span = fsa_telemetry::span("campaign");
         // Quantize once per run: the storage metadata is shared
         // read-only by every scenario worker.
         let quant = match spec.precision {
@@ -703,6 +704,15 @@ impl<'a> Campaign<'a> {
         // Every scenario is a full attack — always worth a worker.
         let plan = parallel::plan_nested(indices.len(), 1, 1);
         parallel::nested_map(indices.len(), plan, |j| {
+            // Per-scenario span (gated so the disabled path never
+            // formats); scenario cells are the unit the profile tree
+            // attributes campaign time to.
+            let _span = if fsa_telemetry::enabled() {
+                fsa_telemetry::counter("campaign.scenarios", 1);
+                Some(fsa_telemetry::span(&format!("scenario#{:03}", indices[j])))
+            } else {
+                None
+            };
             let sc = scenarios[indices[j]];
             let aspec = self
                 .scenario_spec(&sc, spec.c_attack, spec.c_keep)

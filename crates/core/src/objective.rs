@@ -35,6 +35,15 @@ pub struct HingeEval {
     margins: Vec<f32>,
 }
 
+impl HingeEval {
+    /// Number of active (violated) hinges among the keep images
+    /// (`i ≥ s`) — the per-iteration keep-set health that telemetry
+    /// convergence traces record.
+    pub fn active_keep(&self, s: usize) -> usize {
+        self.margins.iter().skip(s).filter(|&&m| m > 0.0).count()
+    }
+}
+
 /// Evaluates the hinge objective and its logit gradient.
 ///
 /// `kappa ≥ 0` adds a confidence margin: an image only counts as satisfied

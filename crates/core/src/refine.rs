@@ -61,6 +61,7 @@ pub fn refine_on_support(
     drift: Option<(&[ActivationStats], f32)>,
     delta: &mut [f32],
 ) -> usize {
+    let _span = fsa_telemetry::span("refine");
     let start = selection.start_layer();
     let support: Vec<usize> = delta
         .iter()
@@ -70,6 +71,12 @@ pub fn refine_on_support(
     if support.is_empty() {
         return 0;
     }
+    let record = |executed: usize| {
+        if fsa_telemetry::enabled() {
+            fsa_telemetry::counter("refine.runs", 1);
+            fsa_telemetry::counter("refine.iterations", executed as u64);
+        }
+    };
     let step = cfg.step.unwrap_or(1.0 / (alpha + 1.0));
     // All per-iteration state is hoisted here; the loop allocates nothing.
     let mut theta = vec![0.0f32; delta.len()];
@@ -85,6 +92,7 @@ pub fn refine_on_support(
         let logits = head.forward_from_caching(start, acts, &mut bufs);
         evaluate_hinge_into(spec, logits, kappa, &mut hinge);
         if hinge.active == 0 {
+            record(iter);
             return iter;
         }
         head.backward_from_cache(start, acts, &hinge.logit_grad, &mut bufs);
@@ -110,10 +118,13 @@ pub fn refine_on_support(
                 for (k, &i) in support.iter().enumerate() {
                     delta[i] = prev[k];
                 }
+                fsa_telemetry::counter("refine.drift_stops", 1);
+                record(iter + 1);
                 return iter + 1;
             }
         }
     }
+    record(cfg.iterations);
     cfg.iterations
 }
 

@@ -203,6 +203,7 @@ impl FaultSneakingAttack {
     /// Panics if the spec's feature width does not match the head input,
     /// or any label/target is out of class range.
     pub fn run(&self, spec: &AttackSpec) -> AttackResult {
+        let _span = fsa_telemetry::span("attack");
         assert_eq!(
             spec.features.shape()[1],
             self.head.in_features(),
@@ -241,6 +242,8 @@ impl FaultSneakingAttack {
             blocks,
             block_lambda: spec.stealth.map_or(0.0, |s| s.block_lambda),
             objective_history: Vec::with_capacity(self.config.iterations),
+            trace_support: Vec::new(),
+            trace_keep: Vec::new(),
             scratch: vec![0.0; dim],
             bufs: HeadBuffers::new(),
             hinge: HingeEval::default(),
@@ -256,6 +259,28 @@ impl FaultSneakingAttack {
         });
         let admm = driver.run(&mut problem, &vec![0.0; dim]);
         let objective_history = std::mem::take(&mut problem.objective_history);
+
+        // Emit the per-iteration convergence trace (paper §4–5 style:
+        // objective, residuals, δ support, keep-set health). Purely
+        // observational — every value is read off state the solve
+        // produced anyway, so telemetry-on runs are bit-identical.
+        if fsa_telemetry::enabled() {
+            let records: Vec<fsa_telemetry::ConvergenceRecord> = admm
+                .history
+                .iter()
+                .enumerate()
+                .map(|(i, h)| fsa_telemetry::ConvergenceRecord {
+                    iter: h.iter as u32,
+                    objective: objective_history.get(i).copied().unwrap_or(f32::NAN),
+                    primal: h.primal_residual,
+                    dual: h.dual_residual,
+                    rho: h.rho,
+                    support: problem.trace_support.get(i).copied().unwrap_or(0),
+                    keep_violations: problem.trace_keep.get(i).copied().unwrap_or(0),
+                })
+                .collect();
+            fsa_telemetry::convergence_trace("admm", records);
+        }
 
         // The structured variable z is the attack's answer: it is exactly
         // sparse under ℓ0 (hard-thresholded) and exactly shrunk under ℓ2.
@@ -414,6 +439,11 @@ struct Problem<'a> {
     /// Per-dirty-block penalty `λ_b` paired with `blocks`.
     block_lambda: f32,
     objective_history: Vec<f32>,
+    /// Per-iteration `‖z‖₀` after the z-step (telemetry only; empty
+    /// while telemetry is disabled).
+    trace_support: Vec<u32>,
+    /// Per-iteration active keep-set hinges (telemetry only).
+    trace_keep: Vec<u32>,
     scratch: Vec<f32>,
     /// Head forward/backward activation and gradient buffers.
     bufs: HeadBuffers,
@@ -439,6 +469,10 @@ impl AdmmProblem for Problem<'_> {
                 block_soft_threshold_grouped(v, self.cfg.lambda, self.block_lambda, rho, b, out)
             }
         }
+        if fsa_telemetry::enabled() {
+            let support = out.iter().filter(|&&x| x != 0.0).count();
+            self.trace_support.push(support as u32);
+        }
     }
 
     fn delta_step(&mut self, z_new: &[f32], s: &[f32], rho: f32, delta: &mut [f32]) {
@@ -462,6 +496,10 @@ impl AdmmProblem for Problem<'_> {
             .forward_from_caching(self.start, self.acts, &mut self.bufs);
         evaluate_hinge_into(self.spec, logits, self.cfg.kappa, &mut self.hinge);
         self.objective_history.push(self.hinge.total);
+        if fsa_telemetry::enabled() {
+            self.trace_keep
+                .push(self.hinge.active_keep(self.spec.s()) as u32);
+        }
         if self.hinge.active == 0 {
             self.grad_flat.clear();
             self.grad_flat.resize(delta.len(), 0.0);

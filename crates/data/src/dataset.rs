@@ -124,6 +124,10 @@ impl Dataset {
             "probe size {n} exceeds {} samples",
             self.len()
         );
+        if fsa_telemetry::enabled() {
+            fsa_telemetry::counter("data.probe_splits", 1);
+            fsa_telemetry::counter("data.probe_images", n as u64);
+        }
         // Domain-separate from every other sampling stream ("prob").
         let mut rng = Prng::new(seed ^ 0x7072_6f62);
         let mut probe_idx = rng.choose_distinct(self.len(), n);

@@ -305,11 +305,20 @@ impl<'a> StealthArena<'a> {
             self.precision.name(),
             report.precision.name()
         );
+        let _span = fsa_telemetry::span("arena");
         let clean = self.suite.evaluate(&Observation {
             head: self.reference,
         });
         let plan = parallel::plan_nested(report.outcomes.len(), 1, 1);
         let rows = parallel::nested_map(report.outcomes.len(), plan, |i| {
+            // Per-scenario-row span (gated so the disabled path never
+            // formats); detector cells nest under it via the suite.
+            let _row = if fsa_telemetry::enabled() {
+                fsa_telemetry::counter("arena.rows", 1);
+                Some(fsa_telemetry::span(&format!("row#{i:03}")))
+            } else {
+                None
+            };
             let outcome = &report.outcomes[i];
             let attacked = attacked_head(
                 self.reference,

@@ -195,8 +195,22 @@ impl DefenseSuite {
     }
 
     /// Evaluates every detector against one observation, in order.
+    ///
+    /// With telemetry enabled each detector cell gets its own span
+    /// (named after the detector), so the profile tree attributes arena
+    /// time detector by detector.
     pub fn evaluate(&self, obs: &Observation<'_>) -> Vec<Verdict> {
-        self.detectors.iter().map(|d| d.evaluate(obs)).collect()
+        self.detectors
+            .iter()
+            .map(|d| {
+                let _cell = if fsa_telemetry::enabled() {
+                    Some(fsa_telemetry::span(&d.name()))
+                } else {
+                    None
+                };
+                d.evaluate(obs)
+            })
+            .collect()
     }
 }
 

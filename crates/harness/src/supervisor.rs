@@ -72,8 +72,17 @@ impl fmt::Display for FaultKind {
 /// One handled fault: which shard, which attempt, what happened, and
 /// how long the supervisor backed off before the next attempt (`None`
 /// when retries were already exhausted).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct FaultEvent {
+    /// Stable position in the merged log: events are ordered by
+    /// `(shard, attempt)` at merge time and numbered 0.. — the same
+    /// sequence on every same-seed run, regardless of which supervision
+    /// thread handled which shard first.
+    pub seq: u64,
+    /// Wall-clock stamp (ms since the Unix epoch) taken when the fault
+    /// was classified. Excluded from equality: two same-seed runs are
+    /// "the same" when every deterministic field matches.
+    pub t_wall_ms: u64,
     /// Shard index.
     pub shard: usize,
     /// Attempt number (0-based) that failed.
@@ -85,6 +94,22 @@ pub struct FaultEvent {
     /// Backoff slept before the next attempt, if one followed.
     pub backoff_ms: Option<u64>,
 }
+
+// Manual equality so wall-clock stamps never participate: determinism
+// tests compare whole logs across same-seed runs, and `t_wall_ms` is
+// the one field that legitimately differs between them.
+impl PartialEq for FaultEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+            && self.shard == other.shard
+            && self.attempt == other.attempt
+            && self.kind == other.kind
+            && self.detail == other.detail
+            && self.backoff_ms == other.backoff_ms
+    }
+}
+
+impl Eq for FaultEvent {}
 
 /// How a shard ultimately produced its outcomes.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,6 +188,96 @@ impl ExecutionLog {
             self.count(FaultKind::Spawn),
             self.degraded()
         )
+    }
+
+    /// Serializes the log as a JSON document — events in stable `seq`
+    /// order (with wall-clock stamps), resolutions in shard order — so
+    /// supervision logs can land in `artifacts/` next to bench reports.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(256 + self.events.len() * 128);
+        out.push_str("{\n  \"summary\": ");
+        out.push_str(&fsa_telemetry::json_string(&self.summary()));
+        out.push_str(",\n  \"events\": [");
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{\"seq\": {}, \"t_wall_ms\": {}, \"shard\": {}, \"attempt\": {}, \
+                 \"kind\": {}, \"detail\": {}, \"backoff_ms\": {}}}",
+                e.seq,
+                e.t_wall_ms,
+                e.shard,
+                e.attempt,
+                fsa_telemetry::json_string(&e.kind.to_string()),
+                fsa_telemetry::json_string(&e.detail),
+                match e.backoff_ms {
+                    Some(ms) => ms.to_string(),
+                    None => "null".to_string(),
+                },
+            );
+        }
+        out.push_str("\n  ],\n  \"resolutions\": [");
+        for (i, r) in self.resolutions.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            match r {
+                ShardResolution::Clean { shard, attempts } => {
+                    let _ = write!(
+                        out,
+                        "    {{\"shard\": {shard}, \"outcome\": \"clean\", \
+                         \"attempts\": {attempts}}}"
+                    );
+                }
+                ShardResolution::Degraded { shard } => {
+                    let _ = write!(out, "    {{\"shard\": {shard}, \"outcome\": \"degraded\"}}");
+                }
+            }
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Bridges the log into the telemetry event stream: one
+    /// `harness.fault` event per entry, emitted in stable `seq` order
+    /// from the merging thread, plus summary counters. No-op while
+    /// telemetry is disabled.
+    pub fn bridge_telemetry(&self) {
+        if !fsa_telemetry::enabled() {
+            return;
+        }
+        fsa_telemetry::counter("harness.shards", self.resolutions.len() as u64);
+        fsa_telemetry::counter("harness.attempts", self.total_attempts() as u64);
+        fsa_telemetry::counter("harness.degraded", self.degraded() as u64);
+        fsa_telemetry::counter("harness.faults", self.events.len() as u64);
+        for e in &self.events {
+            fsa_telemetry::counter(&format!("harness.faults.{}", e.kind), 1);
+            let mut fields = vec![
+                (
+                    "shard".to_string(),
+                    fsa_telemetry::Value::U64(e.shard as u64),
+                ),
+                (
+                    "attempt".to_string(),
+                    fsa_telemetry::Value::U64(e.attempt as u64),
+                ),
+                (
+                    "kind".to_string(),
+                    fsa_telemetry::Value::Str(e.kind.to_string()),
+                ),
+                (
+                    "detail".to_string(),
+                    fsa_telemetry::Value::Str(e.detail.clone()),
+                ),
+                (
+                    "wall_ms".to_string(),
+                    fsa_telemetry::Value::U64(e.t_wall_ms),
+                ),
+            ];
+            if let Some(ms) = e.backoff_ms {
+                fields.push(("backoff_ms".to_string(), fsa_telemetry::Value::U64(ms)));
+            }
+            fsa_telemetry::event("harness.fault", fields);
+        }
     }
 }
 
@@ -317,6 +432,7 @@ impl<'a> ShardedCampaign<'a> {
     /// re-run in process. Panics only if `method_name` is unknown or
     /// the spec is empty.
     pub fn run(&self, spec: &CampaignSpec, method_name: &str, cfg: &ExecutorConfig) -> ShardedRun {
+        let _span = fsa_telemetry::span("sharded_campaign");
         let method = crate::worker::method_from_name(method_name)
             .unwrap_or_else(|| panic!("unknown campaign method {method_name:?}"));
         let n = spec.len();
@@ -342,7 +458,15 @@ impl<'a> ShardedCampaign<'a> {
                     method: method_name.to_string(),
                     indices,
                 };
-                handles.push(scope.spawn(move || self.supervise_shard(shard, job, spec, cfg)));
+                handles.push(scope.spawn(move || {
+                    let out = self.supervise_shard(shard, job, spec, cfg);
+                    // A degraded in-process fallback records telemetry
+                    // on this thread; flush before the closure ends so
+                    // the merging thread's drain is guaranteed to see
+                    // it (TLS teardown may outlive the scope join).
+                    fsa_telemetry::flush_thread();
+                    out
+                }));
             }
             for (shard, h) in handles.into_iter().enumerate() {
                 results[shard] = Some(h.join().expect("shard supervision thread panicked"));
@@ -357,6 +481,14 @@ impl<'a> ShardedCampaign<'a> {
             log.events.extend(events);
             log.resolutions.push(resolution);
         }
+        // Shards merge in shard order and each shard records its faults
+        // in attempt order, so numbering here gives every event a stable
+        // (shard, attempt)-ordered sequence — identical across reruns
+        // even though supervision threads finish in arbitrary order.
+        for (i, e) in log.events.iter_mut().enumerate() {
+            e.seq = i as u64;
+        }
+        log.bridge_telemetry();
         debug_assert!(
             outcomes
                 .windows(2)
@@ -411,6 +543,10 @@ impl<'a> ShardedCampaign<'a> {
                         )
                     });
                     events.push(FaultEvent {
+                        // Final seq is assigned at merge time, once the
+                        // cross-shard order is known.
+                        seq: 0,
+                        t_wall_ms: fsa_telemetry::clock::wall_ms(),
                         shard,
                         attempt,
                         kind,
@@ -564,11 +700,12 @@ mod tests {
         assert_eq!(backoff_ms(u64::MAX / 2, 0, 9, 3, 16), u64::MAX);
     }
 
-    #[test]
-    fn execution_log_counts() {
-        let log = ExecutionLog {
+    fn sample_log() -> ExecutionLog {
+        ExecutionLog {
             events: vec![
                 FaultEvent {
+                    seq: 0,
+                    t_wall_ms: 1_700_000_000_000,
                     shard: 0,
                     attempt: 0,
                     kind: FaultKind::Crash,
@@ -576,10 +713,12 @@ mod tests {
                     backoff_ms: Some(50),
                 },
                 FaultEvent {
+                    seq: 1,
+                    t_wall_ms: 1_700_000_000_250,
                     shard: 1,
                     attempt: 0,
                     kind: FaultKind::Hang,
-                    detail: "y".into(),
+                    detail: "quote \" and newline \n".into(),
                     backoff_ms: None,
                 },
             ],
@@ -590,12 +729,52 @@ mod tests {
                 },
                 ShardResolution::Degraded { shard: 1 },
             ],
-        };
+        }
+    }
+
+    #[test]
+    fn execution_log_counts() {
+        let log = sample_log();
         assert_eq!(log.count(FaultKind::Crash), 1);
         assert_eq!(log.count(FaultKind::Hang), 1);
         assert_eq!(log.count(FaultKind::CorruptFrame), 0);
         assert_eq!(log.degraded(), 1);
         assert_eq!(log.total_attempts(), 3);
         assert!(log.summary().contains("2 shards"));
+    }
+
+    #[test]
+    fn fault_event_equality_ignores_wall_clock() {
+        let log = sample_log();
+        let mut other = log.clone();
+        for e in &mut other.events {
+            e.t_wall_ms += 12_345;
+        }
+        // Same deterministic fields → equal, even on a later clock.
+        assert_eq!(log, other);
+        other.events[0].attempt = 1;
+        assert_ne!(log, other);
+    }
+
+    #[test]
+    fn execution_log_serializes_to_json() {
+        let json = sample_log().to_json();
+        assert!(json.contains("\"summary\": \"2 shards"));
+        assert!(json.contains("\"kind\": \"crash\""));
+        assert!(json.contains("\"backoff_ms\": 50"));
+        assert!(json.contains("\"backoff_ms\": null"));
+        assert!(json.contains("\"t_wall_ms\": 1700000000000"));
+        assert!(json.contains("\"outcome\": \"degraded\""));
+        // The hang detail round-trips escaped, not raw.
+        assert!(json.contains("quote \\\" and newline \\n"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced JSON: {json}"
+        );
+        // Empty logs serialize cleanly too.
+        let empty = ExecutionLog::default().to_json();
+        assert!(empty.contains("\"events\": ["));
+        assert_eq!(empty.matches('{').count(), empty.matches('}').count());
     }
 }

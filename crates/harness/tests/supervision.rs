@@ -228,6 +228,51 @@ fn seeded_fault_plan_always_converges_to_the_reference_bits() {
     }
 }
 
+/// The PR 9 identity-only contract at the executor level: enabling
+/// telemetry around a sharded run (worker processes, supervision
+/// threads, merge) never changes a bit of the merged report, and the
+/// drained snapshot actually contains the executor's records.
+///
+/// Other tests in this binary may run concurrently while the switch is
+/// on and fold their own records into the shared sink, so the snapshot
+/// assertions check presence and lower bounds, never exact totals.
+#[test]
+fn sharded_fingerprints_are_bit_identical_with_telemetry_on_or_off() {
+    let spec = spec();
+    let reference = reference(&spec);
+    let cfg = config(3);
+
+    let (report_off, log_off) = sharded(&spec, &cfg);
+    assert_eq!(report_off, reference);
+
+    fsa_telemetry::set_enabled(true);
+    let (report_on, log_on) = sharded(&spec, &cfg);
+    fsa_telemetry::set_enabled(false);
+    let snap = fsa_telemetry::drain();
+
+    assert_eq!(
+        report_on, reference,
+        "telemetry perturbed the sharded report"
+    );
+    assert_eq!(report_on.fingerprint(), reference.fingerprint());
+    assert_eq!(
+        log_on, log_off,
+        "telemetry perturbed the execution log (equality ignores wall clocks)"
+    );
+
+    assert!(
+        snap.spans.iter().any(|(p, _)| p == "sharded_campaign"),
+        "no sharded_campaign span in the drained snapshot"
+    );
+    assert!(
+        snap.counters
+            .iter()
+            .any(|(n, v)| n == "harness.shards" && *v >= 3),
+        "harness.shards counter missing or too small: {:?}",
+        snap.counters
+    );
+}
+
 #[test]
 fn sba_and_gda_methods_shard_identically_too() {
     let spec = spec();

@@ -37,6 +37,7 @@ impl FaultPlan {
     /// Panics if lengths differ.
     pub fn compile(theta0: &[f32], delta: &[f32]) -> FaultPlan {
         assert_eq!(theta0.len(), delta.len(), "theta0/delta length mismatch");
+        let _span = fsa_telemetry::span("fault_plan.compile");
         let mut changes = Vec::new();
         let mut total = 0u64;
         for (i, (&t, &d)) in theta0.iter().zip(delta).enumerate() {
@@ -55,6 +56,11 @@ impl FaultPlan {
                 new,
                 flipped_bits: bits,
             });
+        }
+        if fsa_telemetry::enabled() {
+            fsa_telemetry::counter("fault_plan.compiles", 1);
+            fsa_telemetry::counter("fault_plan.words", changes.len() as u64);
+            fsa_telemetry::counter("fault_plan.bit_flips", total);
         }
         FaultPlan {
             changes,

@@ -55,12 +55,16 @@ impl FeatureCache {
     ///
     /// Panics if `images` is not `[pool, input_features]` for the model.
     pub fn build(model: &CwModel, images: &Tensor) -> Self {
+        let _span = fsa_telemetry::span("feature_cache.build");
+        fsa_telemetry::counter("feature_cache.builds", 1);
         Self::from_features(model.extract_features(images))
     }
 
     /// Extracts features through an arbitrary feature-extractor network
     /// (one batched [`Network::forward_infer`] call).
     pub fn build_from_network(extractor: &Network, images: &Tensor) -> Self {
+        let _span = fsa_telemetry::span("feature_cache.build");
+        fsa_telemetry::counter("feature_cache.builds", 1);
         Self::from_features(extractor.forward_infer(images))
     }
 
@@ -105,6 +109,12 @@ impl FeatureCache {
     ///
     /// Panics if any row index is out of range.
     pub fn gather(&self, rows: &[usize]) -> Tensor {
+        // Every gather is a cache hit that skipped the conv stack; the
+        // counters quantify how much extraction the cache absorbed.
+        if fsa_telemetry::enabled() {
+            fsa_telemetry::counter("feature_cache.gathers", 1);
+            fsa_telemetry::counter("feature_cache.rows_served", rows.len() as u64);
+        }
         let d = self.dim();
         let mut out = Tensor::zeros(&[rows.len(), d]);
         for (r, &i) in rows.iter().enumerate() {

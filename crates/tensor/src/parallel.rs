@@ -246,18 +246,35 @@ impl NestedPlan {
 /// ```
 pub fn plan_nested(items: usize, rows_per_item: usize, min_rows: usize) -> NestedPlan {
     let budget = max_threads();
-    if budget <= 1 || items <= 1 {
-        return NestedPlan::Serial;
+    let plan = if budget <= 1 || items <= 1 {
+        NestedPlan::Serial
+    } else {
+        let total_rows = items.saturating_mul(rows_per_item.max(1));
+        let workers = budget.min(total_rows / min_rows.max(1)).min(items).max(1);
+        if workers <= 1 {
+            NestedPlan::Serial
+        } else {
+            NestedPlan::Batch {
+                workers,
+                inner_budget: (budget / workers).max(1),
+            }
+        }
+    };
+    // Telemetry is identity-only: counting the decision never changes
+    // it. Only *real* decisions are counted — with a budget wall of 1
+    // or a single item the outcome is forced, and those calls sit on
+    // per-kernel hot paths (thousands per sweep) where even a counter
+    // bump is measurable.
+    if fsa_telemetry::enabled() && budget > 1 && items > 1 {
+        match plan {
+            NestedPlan::Serial => fsa_telemetry::counter("parallel.plan.serial", 1),
+            NestedPlan::Batch { workers, .. } => {
+                fsa_telemetry::counter("parallel.plan.batch", 1);
+                fsa_telemetry::counter("parallel.plan.batch_workers", workers as u64);
+            }
+        }
     }
-    let total_rows = items.saturating_mul(rows_per_item.max(1));
-    let workers = budget.min(total_rows / min_rows.max(1)).min(items).max(1);
-    if workers <= 1 {
-        return NestedPlan::Serial;
-    }
-    NestedPlan::Batch {
-        workers,
-        inner_budget: (budget / workers).max(1),
-    }
+    plan
 }
 
 /// Executes `plan` over `0..items`: `f(range)` runs once per worker
@@ -409,10 +426,36 @@ pub fn par_items<T: Send>(items: Vec<T>, f: impl Fn(T) + Sync) {
         }
         return;
     }
+    // When telemetry is enabled, workers inherit the spawning thread's
+    // span path and record their busy time under a `worker` span, so the
+    // profile tree keeps its logical shape at any thread count. Spans
+    // only observe — the work itself is identical with or without them.
+    let parent = if fsa_telemetry::enabled() {
+        fsa_telemetry::counter("parallel.par_items.dispatches", 1);
+        fsa_telemetry::counter("parallel.par_items.workers", items.len() as u64);
+        Some(fsa_telemetry::current_path())
+    } else {
+        None
+    };
+    let parent = &parent;
     let f = &f;
     std::thread::scope(|scope| {
         for item in items {
-            scope.spawn(move || f(item));
+            scope.spawn(move || match parent {
+                Some(p) => {
+                    fsa_telemetry::with_path(p, || {
+                        let _busy = fsa_telemetry::span("worker");
+                        f(item);
+                    });
+                    // Explicit flush, sequenced before the scope joins:
+                    // `thread::scope` only waits for this closure to
+                    // finish, not for the OS thread's TLS teardown, so
+                    // a destructor-only flush can land after the
+                    // spawner has already drained the sink.
+                    fsa_telemetry::flush_thread();
+                }
+                None => f(item),
+            });
         }
     });
 }

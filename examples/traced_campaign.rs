@@ -1,0 +1,120 @@
+//! Traced campaign: run a scenario sweep with telemetry on and read
+//! what it observed.
+//!
+//! The three-minute tour of the observability layer: enable the global
+//! switch, run a small campaign grid, drain the snapshot, and walk its
+//! four kinds of data — the span tree (where the time went), the
+//! counters (what the scheduler and caches did), and the per-scenario
+//! ADMM convergence traces (the paper's §4/§5 curves). The enabled run
+//! is **identity-only**: the final assert checks the report fingerprint
+//! matches a telemetry-off run bit for bit.
+//!
+//! ```text
+//! cargo run --release --example traced_campaign
+//! ```
+
+use fault_sneaking::attack::campaign::{Campaign, CampaignSpec};
+use fault_sneaking::attack::{AttackConfig, ParamSelection};
+use fault_sneaking::nn::feature_cache::FeatureCache;
+use fault_sneaking::nn::head::FcHead;
+use fault_sneaking::nn::head_train::{train_head, HeadTrainConfig};
+use fault_sneaking::telemetry;
+use fault_sneaking::tensor::{Prng, Tensor};
+
+fn main() {
+    let mut rng = Prng::new(2026);
+
+    // 1. A small victim and a 4-scenario grid (S ∈ {1,2} × K ∈ {4,8}).
+    let (features, labels) = clustered_features(100, 12, 4, &mut rng);
+    let mut head = FcHead::from_dims(&[12, 24, 4], &mut rng);
+    train_head(
+        &mut head,
+        &features,
+        &labels,
+        &HeadTrainConfig {
+            epochs: 20,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let campaign = Campaign::new(
+        &head,
+        ParamSelection::last_layer(&head),
+        FeatureCache::from_features(features),
+        labels,
+    );
+    let spec = CampaignSpec::grid(vec![1, 2], vec![4, 8]).with_config(AttackConfig {
+        iterations: 50,
+        ..AttackConfig::default()
+    });
+
+    // 2. Reference run with telemetry off (the default state).
+    let reference = campaign.run(&spec);
+
+    // 3. The same run, observed: enable, run, disable, drain.
+    telemetry::set_enabled(true);
+    let observed = campaign.run(&spec);
+    telemetry::set_enabled(false);
+    let snap = telemetry::drain();
+
+    // 4. Identity-only: observation never changed a bit.
+    assert_eq!(observed.fingerprint(), reference.fingerprint());
+    println!(
+        "fingerprint {:#018x} — identical with telemetry on and off\n",
+        observed.fingerprint()
+    );
+
+    // 5. The rendered profile: span tree (hierarchical wall-clock
+    //    attribution; a `worker` path segment appears only where the
+    //    nested scheduler actually dispatched scoped threads), counters
+    //    (scheduler decisions, cache traffic, solver totals), and a
+    //    one-line summary per convergence trace.
+    println!("{}", snap.render_tree());
+
+    // 6. The structured data behind the rendering — e.g. one counter…
+    let scenarios = snap
+        .counters
+        .iter()
+        .find(|(name, _)| name == "campaign.scenarios")
+        .map_or(0, |(_, v)| *v);
+    println!("campaign.scenarios counter: {scenarios}");
+
+    // 7. …and the full convergence traces: one per scenario, one record
+    //    per ADMM iteration — objective, residuals, δ support size,
+    //    keep-set violations.
+    println!("\n== convergence (first and last iteration per scenario) ==");
+    for trace in &snap.convergence {
+        let (first, last) = (&trace.records[0], &trace.records[trace.records.len() - 1]);
+        println!(
+            "  {}/{}: iter {} objective {:.4} support {} -> iter {} objective {:.4} support {}",
+            trace.ctx,
+            trace.name,
+            first.iter,
+            first.objective,
+            first.support,
+            last.iter,
+            last.objective,
+            last.support
+        );
+    }
+
+    // Snapshots serialize to JSON for artifacts (`Snapshot::to_json`);
+    // the bench bins write them under artifacts/ via `--trace`.
+    println!("\nsnapshot JSON: {} bytes", snap.to_json().len());
+}
+
+/// Class-clustered Gaussian features (class k concentrates on coordinates
+/// `j ≡ k mod classes`).
+fn clustered_features(n: usize, d: usize, classes: usize, rng: &mut Prng) -> (Tensor, Vec<usize>) {
+    let mut x = Tensor::zeros(&[n, d]);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        labels.push(class);
+        for j in 0..d {
+            let center = if j % classes == class { 2.0 } else { 0.0 };
+            x.row_mut(i)[j] = rng.normal(center, 0.4);
+        }
+    }
+    (x, labels)
+}

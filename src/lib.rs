@@ -30,7 +30,12 @@
 //!   versioned, checksummed [`attack::campaign::wire`] frames, with
 //!   deterministic fault injection proving the merged report stays
 //!   bit-identical under crashes, hangs, and corrupted frames;
-//! * [`tensor`] — the dense `f32` tensor substrate everything runs on.
+//! * [`tensor`] — the dense `f32` tensor substrate everything runs on;
+//! * [`telemetry`] — deterministic-safe observability (hierarchical
+//!   spans, counters/histograms, per-iteration ADMM convergence
+//!   traces): off by default, and **identity-only** when enabled — all
+//!   report fingerprints stay bit-identical with telemetry on or off
+//!   (`tests/telemetry_determinism.rs`).
 //!
 //! # Stealth is measured, not asserted
 //!
@@ -129,4 +134,5 @@ pub use fsa_defense as defense;
 pub use fsa_harness as harness;
 pub use fsa_memfault as memfault;
 pub use fsa_nn as nn;
+pub use fsa_telemetry as telemetry;
 pub use fsa_tensor as tensor;

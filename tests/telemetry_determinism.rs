@@ -1,0 +1,176 @@
+//! Integration: telemetry is **identity-only** — enabling it never
+//! changes a result bit.
+//!
+//! The campaign report and the full attack×detector arena matrix are
+//! computed with telemetry off (the reference) and with telemetry on,
+//! at `FSA_THREADS` = 1, 2, 3, and 8; every pairing must be
+//! bit-identical (same `PartialEq` bits, same FNV fingerprint). The
+//! telemetry-on runs must also actually record: empty snapshots would
+//! make the identity claim vacuous. The sharded-executor variant of
+//! this test lives in `crates/harness/tests/supervision.rs` (worker
+//! binaries are only resolvable from that crate's test context); the
+//! unit battery on span-tree merging, histogram bucket edges, and
+//! counter saturation lives in `fsa-telemetry`'s own tests.
+
+use fault_sneaking::attack::campaign::{Campaign, CampaignSpec, FsaMethod};
+use fault_sneaking::attack::{AttackConfig, ParamSelection};
+use fault_sneaking::defense::{DefenseSuite, StealthArena};
+use fault_sneaking::memfault::DramGeometry;
+use fault_sneaking::nn::feature_cache::FeatureCache;
+use fault_sneaking::nn::head::FcHead;
+use fault_sneaking::nn::head_train::{train_head, HeadTrainConfig};
+use fault_sneaking::telemetry;
+use fault_sneaking::tensor::{parallel, Prng, Tensor};
+
+/// Class-clustered Gaussian features split into an attack pool and a
+/// disjoint probe set, plus a head trained on the pool (the same
+/// fixture family as `tests/arena_determinism.rs`).
+fn victim() -> (FcHead, FeatureCache, Vec<usize>, FeatureCache, Vec<usize>) {
+    let mut rng = Prng::new(919191);
+    let n = 160;
+    let d = 16;
+    let classes = 4;
+    let mut x = Tensor::zeros(&[n, d]);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        labels.push(class);
+        for j in 0..d {
+            let center = if j % classes == class { 1.5 } else { 0.0 };
+            x.row_mut(i)[j] = rng.normal(center, 0.5);
+        }
+    }
+    let mut head = FcHead::from_dims(&[d, 24, 24, classes], &mut rng);
+    train_head(
+        &mut head,
+        &x,
+        &labels,
+        &HeadTrainConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let pool_idx: Vec<usize> = (0..120).collect();
+    let probe_idx: Vec<usize> = (120..160).collect();
+    let gather = |idx: &[usize]| {
+        let mut out = Tensor::zeros(&[idx.len(), d]);
+        let mut l = Vec::with_capacity(idx.len());
+        for (r, &i) in idx.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(x.row(i));
+            l.push(labels[i]);
+        }
+        (FeatureCache::from_features(out), l)
+    };
+    let (pool, pool_labels) = gather(&pool_idx);
+    let (probe, probe_labels) = gather(&probe_idx);
+    (head, pool, pool_labels, probe, probe_labels)
+}
+
+/// One test function on purpose: telemetry's enable flag and the thread
+/// override are both process-global, so interleaving with a second test
+/// in this binary would race them.
+#[test]
+fn reports_are_bit_identical_with_telemetry_on_or_off() {
+    let (head, pool, pool_labels, probe, probe_labels) = victim();
+    let selection = ParamSelection::last_layer(&head);
+    let campaign = Campaign::new(&head, selection.clone(), pool, pool_labels);
+    let suite = DefenseSuite::standard(
+        &head,
+        &probe,
+        &probe_labels,
+        DramGeometry {
+            banks: 2,
+            rows_per_bank: 256,
+            row_bytes: 64,
+        },
+        0.1,
+        0.75,
+    );
+    let arena = StealthArena::new(&head, selection, suite);
+    let spec = CampaignSpec::grid(vec![1, 2], vec![4, 12])
+        .with_config(AttackConfig {
+            iterations: 80,
+            ..AttackConfig::default()
+        })
+        .with_weights(20.0, 1.0);
+
+    // Start from a clean slate whatever ran in this process before.
+    telemetry::set_enabled(false);
+    let _ = telemetry::drain();
+
+    parallel::set_threads(1);
+    let campaign_ref = campaign.run_method(&spec, &FsaMethod);
+    let arena_ref = arena.score_report(&campaign_ref);
+
+    for threads in [1usize, 2, 3, 8] {
+        parallel::set_threads(threads);
+
+        // Telemetry off: pure thread-count determinism (the existing
+        // workspace guarantee, re-checked as this test's baseline).
+        let campaign_off = campaign.run_method(&spec, &FsaMethod);
+        assert!(
+            campaign_off == campaign_ref,
+            "campaign report changed bits at {threads} threads (telemetry off)"
+        );
+        let arena_off = arena.score_report(&campaign_off);
+        assert!(
+            arena_off == arena_ref,
+            "arena report changed bits at {threads} threads (telemetry off)"
+        );
+
+        // Telemetry on: the identity-only contract under test.
+        telemetry::set_enabled(true);
+        let campaign_on = campaign.run_method(&spec, &FsaMethod);
+        let arena_on = arena.score_report(&campaign_on);
+        telemetry::set_enabled(false);
+        let snap = telemetry::drain();
+
+        assert!(
+            campaign_on == campaign_ref,
+            "telemetry perturbed the campaign report at {threads} threads"
+        );
+        assert_eq!(campaign_on.fingerprint(), campaign_ref.fingerprint());
+        assert!(
+            arena_on == arena_ref,
+            "telemetry perturbed the arena report at {threads} threads"
+        );
+        assert_eq!(arena_on.fingerprint(), arena_ref.fingerprint());
+
+        // Non-vacuity: the instrumented layers really recorded.
+        assert!(
+            snap.spans.iter().any(|(p, _)| p == "campaign"),
+            "no campaign span at {threads} threads"
+        );
+        // At >1 effective threads the dispatcher inserts a `worker`
+        // segment (`campaign/worker/scenario#...`), so match on the
+        // logical segments rather than the exact path shape.
+        assert!(
+            snap.spans
+                .iter()
+                .any(|(p, _)| p.starts_with("campaign/") && p.contains("scenario#")),
+            "no per-scenario spans at {threads} threads"
+        );
+        assert!(
+            snap.spans
+                .iter()
+                .any(|(p, _)| p.starts_with("arena/") && p.contains("row#")),
+            "no per-row arena spans at {threads} threads"
+        );
+        assert!(
+            snap.spans.iter().any(|(p, _)| p.contains("checksum")),
+            "no per-detector-cell spans at {threads} threads"
+        );
+        assert!(
+            !snap.convergence.is_empty(),
+            "no ADMM convergence traces at {threads} threads"
+        );
+        assert!(
+            snap.counters
+                .iter()
+                .any(|(name, v)| name == "campaign.scenarios" && *v == spec.len() as u64),
+            "campaign.scenarios counter missing or wrong at {threads} threads"
+        );
+    }
+    parallel::set_threads(0);
+}
