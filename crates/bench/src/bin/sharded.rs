@@ -10,23 +10,35 @@
 //! truncated result frames), and finally under a seeded pseudo-random
 //! fault plan. The run aborts (non-zero exit) on any divergence.
 //!
-//! Emits `BENCH_PR6.json` at the workspace root.
+//! `--transport socket` reruns the battery over the loopback
+//! [`SocketTransport`] (PR 10): clean sweeps are additionally
+//! cross-checked bit-for-bit against a pipe-transport run at every
+//! shard count, the fault battery swaps in the network classes
+//! (partition → crash, slow link → hang, duplicated and reordered
+//! delivery → corrupt frame), and the seeded plan draws from the full
+//! network fault alphabet.
+//!
+//! Emits `BENCH_PR6.json` (pipe, the default) or `BENCH_PR10.json`
+//! (`--transport socket`) at the workspace root.
 //!
 //! Run: `cargo run --release -p fsa-bench --bin sharded`
 //! CI smoke: `cargo run -p fsa-bench --bin sharded -- --smoke`
 //! (2-scenario grid, no JSON artifact; the CI matrix also sets
-//! `FSA_FAULT_SEED` so the env-gated planner path is exercised).
+//! `FSA_FAULT_SEED` so the env-gated planner path is exercised —
+//! each transport routes the seed into its own plan alphabet).
 
 use fsa_attack::campaign::{Campaign, CampaignReport, CampaignSpec, SparsityBudget};
 use fsa_attack::{AttackConfig, FsaMethod, ParamSelection};
 use fsa_harness::injector::{FaultDirective, FaultPlanner};
 use fsa_harness::supervisor::{ExecutorConfig, FaultKind, ShardedCampaign, ShardedRun};
+use fsa_harness::transport::{SocketConfig, SocketTransport};
 use fsa_nn::conv::VolumeDims;
 use fsa_nn::cw::{CwConfig, CwModel};
 use fsa_nn::head_train::{train_head, HeadTrainConfig};
 use fsa_nn::FeatureCache;
 use fsa_tensor::{Prng, Tensor};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Class-clustered images: class `c` lights up quadrant `c` (same
@@ -103,12 +115,22 @@ fn main() {
     fsa_harness::worker::maybe_run_worker();
 
     let traced = fsa_bench::trace::arm_from_args();
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let socket = match args.iter().position(|a| a == "--transport") {
+        Some(i) => match args.get(i + 1).map(String::as_str) {
+            Some("socket") => true,
+            Some("pipe") => false,
+            other => panic!("--transport takes `pipe` or `socket`, got {other:?}"),
+        },
+        None => false,
+    };
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     println!(
-        "== fault-tolerant sharded campaign (host cores: {host_cores}{}) ==",
+        "== fault-tolerant sharded campaign (host cores: {host_cores}, transport: {}{}) ==",
+        if socket { "socket" } else { "pipe" },
         if smoke { ", smoke" } else { "" }
     );
 
@@ -161,14 +183,31 @@ fn main() {
     let deadline = Duration::from_secs(if smoke { 60 } else { 120 });
     // Clean runs must never pick up an ambient FSA_FAULT_SEED — the
     // env-gated planner gets its own dedicated section below.
-    let clean_config = |shards: usize| {
+    let pipe_config = |shards: usize| {
         ExecutorConfig::new(shards)
             .with_deadline(deadline)
             .with_planner(None)
     };
+    // Socket runs keep a tight liveness policy (50 ms beats, 300 ms
+    // silence window) so the slow-link case resolves at the window,
+    // not the deadline; heartbeats keep clean shards alive through
+    // arbitrarily long solves.
+    let transport: Option<Arc<SocketTransport>> = socket.then(|| {
+        Arc::new(SocketTransport::new(SocketConfig {
+            heartbeat_ms: 50,
+            miss_threshold: 6,
+            poll: Duration::from_millis(5),
+        }))
+    });
+    let clean_config = |shards: usize| match &transport {
+        Some(t) => pipe_config(shards).with_transport(t.clone()),
+        None => pipe_config(shards),
+    };
 
     // Clean shard-count sweep: every merged report must equal the
-    // reference bit for bit, with an empty fault log.
+    // reference bit for bit, with an empty fault log. Over the socket
+    // transport, every count is additionally cross-checked against a
+    // pipe-transport run of the same sweep.
     let shard_counts: &[usize] = if smoke { &[2] } else { &[1, 2, 3, 8] };
     let mut sweep_lines = Vec::new();
     for &shards in shard_counts {
@@ -177,40 +216,86 @@ fn main() {
         let ms = t.elapsed().as_secs_f64() * 1e3;
         check(&format!("{shards} shards (clean)"), &run, &reference);
         assert!(run.log.events.is_empty(), "clean run recorded faults");
-        sweep_lines.push(format!(
-            "{{\"shards\": {shards}, \"campaign_ms\": {ms:.3}, \"bit_identical\": true}}"
-        ));
+        if socket {
+            let t = Instant::now();
+            let pipe_run = sharded.run(&spec, "fsa", &pipe_config(shards));
+            let pipe_ms = t.elapsed().as_secs_f64() * 1e3;
+            assert!(
+                run.report == pipe_run.report,
+                "{shards} shards: socket and pipe transports disagree"
+            );
+            assert_eq!(run.report.fingerprint(), pipe_run.report.fingerprint());
+            println!("{shards} shards (pipe cross-check): bit-identical");
+            sweep_lines.push(format!(
+                "{{\"shards\": {shards}, \"socket_ms\": {ms:.3}, \
+                 \"pipe_ms\": {pipe_ms:.3}, \"registrations\": {}, \
+                 \"bit_identical\": true}}",
+                run.log.registrations
+            ));
+        } else {
+            sweep_lines.push(format!(
+                "{{\"shards\": {shards}, \"campaign_ms\": {ms:.3}, \"bit_identical\": true}}"
+            ));
+        }
     }
 
     // Fault battery: each class injected on every shard's first
     // attempt; the retry (or checksum rejection + retry) must recover
-    // the exact reference bits.
-    let fault_cases: Vec<(&str, FaultDirective, FaultKind)> = vec![
-        (
-            "worker-kill",
-            FaultDirective::KillAfter(0),
-            FaultKind::Crash,
-        ),
-        (
-            "worker-hang",
-            FaultDirective::StallMs(600_000),
-            FaultKind::Hang,
-        ),
-        (
-            "bit-flipped-frame",
-            FaultDirective::FlipBit {
-                frame: 0,
-                byte: 40,
-                bit: 3,
-            },
-            FaultKind::CorruptFrame,
-        ),
-        (
-            "truncated-frame",
-            FaultDirective::TruncateFrame(0),
-            FaultKind::CorruptFrame,
-        ),
-    ];
+    // the exact reference bits. The socket leg swaps in the network
+    // classes, which only exist on a real link. Smoke shards hold a
+    // single scenario, so mid-stream faults target frame 0 there.
+    let mid = u32::from(!smoke);
+    let fault_cases: Vec<(&str, FaultDirective, FaultKind)> = if socket {
+        vec![
+            (
+                "network-partition",
+                FaultDirective::Partition(mid),
+                FaultKind::Crash,
+            ),
+            (
+                "slow-link",
+                FaultDirective::SlowLinkMs(30_000),
+                FaultKind::Hang,
+            ),
+            (
+                "duplicate-delivery",
+                FaultDirective::DuplicateFrame(mid),
+                FaultKind::CorruptFrame,
+            ),
+            (
+                "reorder-delivery",
+                FaultDirective::ReorderFrames(0),
+                FaultKind::CorruptFrame,
+            ),
+        ]
+    } else {
+        vec![
+            (
+                "worker-kill",
+                FaultDirective::KillAfter(0),
+                FaultKind::Crash,
+            ),
+            (
+                "worker-hang",
+                FaultDirective::StallMs(600_000),
+                FaultKind::Hang,
+            ),
+            (
+                "bit-flipped-frame",
+                FaultDirective::FlipBit {
+                    frame: 0,
+                    byte: 40,
+                    bit: 3,
+                },
+                FaultKind::CorruptFrame,
+            ),
+            (
+                "truncated-frame",
+                FaultDirective::TruncateFrame(0),
+                FaultKind::CorruptFrame,
+            ),
+        ]
+    };
     // The hang case waits out one full deadline per shard; keep it
     // short here so the battery stays minutes-fast.
     let fault_deadline = Duration::from_secs(if smoke { 20 } else { 45 });
@@ -253,13 +338,24 @@ fn main() {
     let degraded_summary = run.log.summary();
 
     // Env-gated planner: when the CI matrix sets FSA_FAULT_SEED, run
-    // the seeded plan it selects; otherwise exercise a fixed seed.
-    let (seed_label, seeded_planner) = match FaultPlanner::from_env() {
-        Some(p) => ("FSA_FAULT_SEED (env)".to_string(), p),
-        None => (
-            "seed 0xfa (built-in)".to_string(),
-            FaultPlanner::seeded(0xfa),
-        ),
+    // the seeded plan it selects; otherwise exercise a fixed seed. The
+    // socket leg routes the same seed into the full network alphabet.
+    let (seed_label, seeded_planner) = if socket {
+        match FaultPlanner::from_env_network() {
+            Some(p) => ("FSA_FAULT_SEED (env, network alphabet)".to_string(), p),
+            None => (
+                "seed 0xfa (built-in, network alphabet)".to_string(),
+                FaultPlanner::seeded_network(0xfa),
+            ),
+        }
+    } else {
+        match FaultPlanner::from_env() {
+            Some(p) => ("FSA_FAULT_SEED (env)".to_string(), p),
+            None => (
+                "seed 0xfa (built-in)".to_string(),
+                FaultPlanner::seeded(0xfa),
+            ),
+        }
     };
     let cfg = clean_config(3)
         .with_deadline(fault_deadline)
@@ -272,27 +368,40 @@ fn main() {
     );
     let seeded_summary = run.log.summary();
 
+    let transport_name = if socket { "socket" } else { "pipe" };
     if smoke {
         println!(
-            "smoke OK: {n_scenarios} scenarios bit-identical across sharding, \
-             every fault class, degraded fallback, and the seeded plan"
+            "smoke OK [{transport_name}]: {n_scenarios} scenarios bit-identical \
+             across sharding, every fault class, degraded fallback, and the \
+             seeded plan"
         );
         fsa_bench::trace::finish(traced, "sharded");
         return;
     }
 
+    let (pr, artifact) = if socket {
+        (10, "BENCH_PR10.json")
+    } else {
+        (6, "BENCH_PR6.json")
+    };
     let json = format!(
-        "{{\n  \"pr\": 6,\n  \"host_cores\": {host_cores},\n  \"config\": \"cw_tiny_20px\",\n  \
+        "{{\n  \"pr\": {pr},\n  \"transport\": \"{transport_name}\",\n  \
+         \"host_cores\": {host_cores},\n  \"config\": \"cw_tiny_20px\",\n  \
          \"scenarios\": {n_scenarios},\n  \
          \"single_process_ms\": {single_ms:.3},\n  \
          \"report_fingerprint\": \"{:#018x}\",\n  \
-         \"bit_identical_across_shard_counts\": true,\n  \
+         \"bit_identical_across_shard_counts\": true,\n  {}\
          \"bit_identical_under_all_fault_classes\": true,\n  \
          \"degraded_fallback\": \"{degraded_summary}\",\n  \
          \"seeded_plan\": \"{seeded_summary}\",\n  \
          \"note\": \"{}\",\n  \
          \"shard_sweep\": [\n    {}\n  ],\n  \"fault_battery\": [\n    {}\n  ]\n}}\n",
         reference.fingerprint(),
+        if socket {
+            "\"bit_identical_to_pipe_transport\": true,\n  "
+        } else {
+            ""
+        },
         if host_cores == 1 {
             "single-core host: process sharding is correctness-verified \
              (bit-identical at every shard count and under every injected \
@@ -307,8 +416,8 @@ fn main() {
     );
     let path: PathBuf = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
-        .join("BENCH_PR6.json");
-    std::fs::write(&path, &json).expect("failed to write BENCH_PR6.json");
+        .join(artifact);
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("failed to write {artifact}: {e}"));
     println!("\nwrote {}", path.display());
     print!("{json}");
     fsa_bench::trace::finish(traced, "sharded");

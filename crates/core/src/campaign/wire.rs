@@ -48,9 +48,9 @@ use std::error::Error;
 use std::fmt;
 
 /// Version of every payload layout in this module; bump on any change.
-/// (v3: spec and report payloads gained the optional defense-suite
-/// audit-schedule seed.)
-pub const WIRE_VERSION: u32 = 3;
+/// (v4: the socket transport's registration/liveness frames — worker
+/// hello and heartbeat — joined the frame family.)
+pub const WIRE_VERSION: u32 = 4;
 
 /// Frame tag: a [`CampaignSpec`] payload.
 pub const SPEC_TAG: &[u8; 4] = b"FSCS";
@@ -60,6 +60,24 @@ pub const OUTCOME_TAG: &[u8; 4] = b"FSCO";
 pub const REPORT_TAG: &[u8; 4] = b"FSCR";
 /// Frame tag: end-of-stream marker carrying the emitted-frame count.
 pub const END_TAG: &[u8; 4] = b"FSCE";
+/// Frame tag: a worker's registration hello ([`WorkerHello`]).
+pub const HELLO_TAG: &[u8; 4] = b"FSHL";
+/// Frame tag: a worker liveness heartbeat ([`Heartbeat`]).
+pub const HEARTBEAT_TAG: &[u8; 4] = b"FSHB";
+
+/// Version of the registration *handshake* itself, carried inside the
+/// hello payload — separate from [`WIRE_VERSION`] (which covers frame
+/// layouts) so the supervisor can refuse a worker speaking an
+/// incompatible registration protocol with a classified error instead
+/// of a generic decode failure.
+pub const HELLO_PROTO_VERSION: u32 = 1;
+
+/// Capability bit: the worker emits heartbeat frames interleaved with
+/// its outcome stream.
+pub const CAP_HEARTBEAT: u64 = 1 << 0;
+/// Capability bit: the worker accepts campaign shard jobs (the only
+/// job family that exists today).
+pub const CAP_SHARD_JOBS: u64 = 1 << 1;
 
 /// Why a wire frame could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +94,10 @@ pub enum WireError {
     },
     /// The frame was written by a different wire version.
     Version(u32),
+    /// A hello frame carried an unsupported registration-protocol
+    /// version: the worker speaks a different handshake than this
+    /// supervisor, so registration is refused outright.
+    Hello(u32),
 }
 
 impl fmt::Display for WireError {
@@ -89,6 +111,11 @@ impl fmt::Display for WireError {
             WireError::Version(v) => {
                 write!(f, "unsupported wire version {v} (expected {WIRE_VERSION})")
             }
+            WireError::Hello(v) => write!(
+                f,
+                "unsupported hello protocol version {v} (expected {HELLO_PROTO_VERSION}); \
+                 registration refused"
+            ),
         }
     }
 }
@@ -570,6 +597,236 @@ pub fn read_outcome(dec: &mut Decoder<'_>) -> Result<ScenarioOutcome, DecodeErro
 }
 
 // ---------------------------------------------------------------------
+// Registration / liveness frames (the socket transport's handshake).
+// ---------------------------------------------------------------------
+
+/// A worker's registration frame: the first thing it writes after
+/// connecting a socket to the supervisor.
+///
+/// Carries the shard identity the supervisor assigned it (echoed back
+/// so a crossed connection is caught at registration, not at index
+/// validation), the registration-protocol version (refused outright on
+/// mismatch — see [`HELLO_PROTO_VERSION`]), and a capability word
+/// ([`CAP_HEARTBEAT`], [`CAP_SHARD_JOBS`]) so the supervisor knows what
+/// the worker can do before shipping it a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerHello {
+    /// The worker id (shard index) the supervisor assigned via the
+    /// spawn environment, echoed back for cross-connection detection.
+    pub worker_id: u64,
+    /// Registration-protocol version; must equal
+    /// [`HELLO_PROTO_VERSION`].
+    pub proto_version: u32,
+    /// Capability bits ([`CAP_HEARTBEAT`] | [`CAP_SHARD_JOBS`] today).
+    pub capabilities: u64,
+}
+
+impl WorkerHello {
+    /// The hello a current-build worker sends: this registration
+    /// protocol version, all capabilities.
+    pub fn current(worker_id: u64) -> Self {
+        Self {
+            worker_id,
+            proto_version: HELLO_PROTO_VERSION,
+            capabilities: CAP_HEARTBEAT | CAP_SHARD_JOBS,
+        }
+    }
+}
+
+/// A worker liveness beat: frame `seq` increments per beat so a
+/// replayed/duplicated beat is visible (heartbeats carry no result
+/// data and never enter any fingerprint — they exist purely so the
+/// supervisor can tell a slow link from a dead worker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// The beating worker's id (shard index).
+    pub worker_id: u64,
+    /// Monotonic beat counter, starting at 0.
+    pub seq: u64,
+}
+
+/// Encodes a [`WorkerHello`] as a complete checksummed frame.
+pub fn encode_hello_frame(hello: &WorkerHello) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u64(hello.worker_id);
+    enc.put_u32(hello.proto_version);
+    enc.put_u64(hello.capabilities);
+    frame(HELLO_TAG, &enc.into_bytes())
+}
+
+/// Decodes a [`HELLO_TAG`] payload into a [`WorkerHello`].
+///
+/// # Errors
+///
+/// Returns [`WireError::Hello`] when the registration-protocol version
+/// is not [`HELLO_PROTO_VERSION`], or a decode error on malformed
+/// payload.
+pub fn decode_hello_payload(payload: &[u8]) -> Result<WorkerHello, WireError> {
+    let mut dec = Decoder::new(payload);
+    let worker_id = dec.read_u64()?;
+    let proto_version = dec.read_u32()?;
+    let capabilities = dec.read_u64()?;
+    check_drained(&dec)?;
+    if proto_version != HELLO_PROTO_VERSION {
+        return Err(WireError::Hello(proto_version));
+    }
+    Ok(WorkerHello {
+        worker_id,
+        proto_version,
+        capabilities,
+    })
+}
+
+/// Decodes a frame written by [`encode_hello_frame`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on any frame fault, a wrong tag, or a refused
+/// registration-protocol version.
+pub fn decode_hello_frame(bytes: &[u8]) -> Result<WorkerHello, WireError> {
+    let mut dec = Decoder::new(bytes);
+    let payload = expect_frame(&mut dec, HELLO_TAG)?;
+    decode_hello_payload(&payload)
+}
+
+/// Encodes a [`Heartbeat`] as a complete checksummed frame.
+pub fn encode_heartbeat_frame(beat: &Heartbeat) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u64(beat.worker_id);
+    enc.put_u64(beat.seq);
+    frame(HEARTBEAT_TAG, &enc.into_bytes())
+}
+
+/// Decodes a [`HEARTBEAT_TAG`] payload into a [`Heartbeat`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed payload.
+pub fn decode_heartbeat_payload(payload: &[u8]) -> Result<Heartbeat, WireError> {
+    let mut dec = Decoder::new(payload);
+    let beat = Heartbeat {
+        worker_id: dec.read_u64()?,
+        seq: dec.read_u64()?,
+    };
+    check_drained(&dec)?;
+    Ok(beat)
+}
+
+/// Decodes a frame written by [`encode_heartbeat_frame`].
+///
+/// # Errors
+///
+/// Returns [`WireError`] on any frame fault or a wrong tag.
+pub fn decode_heartbeat_frame(bytes: &[u8]) -> Result<Heartbeat, WireError> {
+    let mut dec = Decoder::new(bytes);
+    let payload = expect_frame(&mut dec, HEARTBEAT_TAG)?;
+    decode_heartbeat_payload(&payload)
+}
+
+// ---------------------------------------------------------------------
+// Incremental frame extraction.
+// ---------------------------------------------------------------------
+
+/// Fixed frame-header size: tag (4) ‖ version (4) ‖ payload length (8).
+const FRAME_HEADER_BYTES: usize = 16;
+/// Trailing checksum size.
+const FRAME_TRAILER_BYTES: usize = 8;
+/// Upper bound on a sane frame payload (job frames ship whole feature
+/// tensors, so this is generous — it only exists to turn a corrupted
+/// length word into an immediate error).
+const MAX_FRAME_PAYLOAD: usize = 1 << 30;
+
+/// Incremental frame extractor for byte streams with arbitrary read
+/// fragmentation.
+///
+/// Pipes hand `read_to_end` a complete buffer, so the original decoders
+/// could assume whole frames; sockets deliver *short reads* — a frame
+/// can arrive one byte at a time, split anywhere, including mid-header.
+/// The accumulator buffers pushed bytes and yields a frame only once
+/// its header, payload, and checksum trailer are all present, verifying
+/// version and checksum exactly like [`read_frame`]. The wire version
+/// is checked as soon as the first 8 bytes arrive, so version skew is
+/// reported eagerly rather than after a never-arriving payload.
+#[derive(Debug, Default)]
+pub struct FrameAccumulator {
+    buf: Vec<u8>,
+}
+
+impl FrameAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly-read bytes (any fragmentation, including empty).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a completed frame.
+    pub fn residual(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Takes the buffered-but-unconsumed bytes out of the accumulator,
+    /// leaving it empty. Used at protocol phase changes — e.g. after
+    /// the registration hello is extracted, any bytes that arrived in
+    /// the same read belong to the result stream and are handed to its
+    /// parser rather than lost.
+    pub fn take_residual(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Extracts the next complete frame, if the buffer holds one.
+    ///
+    /// Returns `Ok(None)` while the next frame is still incomplete.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on version skew (eagerly, once the header's
+    /// version word is present) or checksum mismatch. After an error the
+    /// accumulator's contents are unspecified; the stream is dead.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if self.buf.len() >= 8 {
+            let version = u32::from_le_bytes(self.buf[4..8].try_into().expect("4 bytes"));
+            if version != WIRE_VERSION {
+                return Err(WireError::Version(version));
+            }
+        }
+        if self.buf.len() < FRAME_HEADER_BYTES {
+            return Ok(None);
+        }
+        let len = u64::from_le_bytes(self.buf[8..16].try_into().expect("8 bytes")) as usize;
+        // A corrupted length word must fail now, not leave the stream
+        // waiting forever for bytes that will never come (the checksum
+        // can only catch it once the claimed payload has fully arrived).
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(WireError::Decode(DecodeError::new(format!(
+                "absurd frame payload length {len}"
+            ))));
+        }
+        let total = FRAME_HEADER_BYTES + len + FRAME_TRAILER_BYTES;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let mut tag = [0u8; 4];
+        tag.copy_from_slice(&self.buf[..4]);
+        let payload = self.buf[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + len].to_vec();
+        let stored = u64::from_le_bytes(
+            self.buf[FRAME_HEADER_BYTES + len..total]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        let computed = frame_checksum(&tag, &payload);
+        if stored != computed {
+            return Err(WireError::Checksum { stored, computed });
+        }
+        self.buf.drain(..total);
+        Ok(Some(Frame { tag, payload }))
+    }
+}
+
+// ---------------------------------------------------------------------
 // One-shot framed encoders/decoders.
 // ---------------------------------------------------------------------
 
@@ -844,5 +1101,120 @@ mod tests {
         let f = read_frame(&mut dec).unwrap();
         assert_eq!(&f.tag, END_TAG);
         assert_eq!(decode_end_payload(&f.payload).unwrap(), 42);
+    }
+
+    #[test]
+    fn hello_frame_roundtrip() {
+        let hello = WorkerHello::current(7);
+        assert_eq!(hello.proto_version, HELLO_PROTO_VERSION);
+        assert_ne!(hello.capabilities & CAP_HEARTBEAT, 0);
+        assert_ne!(hello.capabilities & CAP_SHARD_JOBS, 0);
+        let bytes = encode_hello_frame(&hello);
+        assert_eq!(decode_hello_frame(&bytes).unwrap(), hello);
+    }
+
+    #[test]
+    fn wrong_hello_protocol_version_is_refused_with_a_classified_error() {
+        let rogue = WorkerHello {
+            worker_id: 3,
+            proto_version: HELLO_PROTO_VERSION + 1,
+            capabilities: CAP_HEARTBEAT,
+        };
+        let bytes = encode_hello_frame(&rogue);
+        // The frame itself is intact (version word, checksum) — the
+        // refusal must come from the handshake layer, classified.
+        match decode_hello_frame(&bytes) {
+            Err(WireError::Hello(v)) => assert_eq!(v, HELLO_PROTO_VERSION + 1),
+            other => panic!("wrong-proto hello decoded as {other:?}"),
+        }
+    }
+
+    #[test]
+    fn heartbeat_frame_roundtrip() {
+        let beat = Heartbeat {
+            worker_id: 2,
+            seq: 99,
+        };
+        let bytes = encode_heartbeat_frame(&beat);
+        assert_eq!(decode_heartbeat_frame(&bytes).unwrap(), beat);
+    }
+
+    #[test]
+    fn accumulator_extracts_frames_fed_one_byte_at_a_time() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_hello_frame(&WorkerHello::current(0)));
+        stream.extend_from_slice(&encode_heartbeat_frame(&Heartbeat {
+            worker_id: 0,
+            seq: 0,
+        }));
+        stream.extend_from_slice(&encode_outcome_frame(&small_outcome()));
+        stream.extend_from_slice(&encode_end_frame(1));
+        let mut acc = FrameAccumulator::new();
+        let mut frames = Vec::new();
+        for &b in &stream {
+            acc.push(&[b]);
+            while let Some(f) = acc.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(acc.residual(), 0);
+        let tags: Vec<[u8; 4]> = frames.iter().map(|f| f.tag).collect();
+        assert_eq!(
+            tags,
+            vec![*HELLO_TAG, *HEARTBEAT_TAG, *OUTCOME_TAG, *END_TAG]
+        );
+        assert_eq!(
+            decode_hello_payload(&frames[0].payload).unwrap(),
+            WorkerHello::current(0)
+        );
+        let mut p = Decoder::new(&frames[2].payload);
+        assert_eq!(read_outcome(&mut p).unwrap(), small_outcome());
+    }
+
+    #[test]
+    fn accumulator_rejects_version_skew_before_the_payload_arrives() {
+        let mut bytes = encode_end_frame(0);
+        bytes[4] ^= 0xFF;
+        let mut acc = FrameAccumulator::new();
+        // Only the first 8 bytes: no payload, no checksum — the skew
+        // must already be visible.
+        acc.push(&bytes[..8]);
+        assert!(matches!(acc.next_frame(), Err(WireError::Version(_))));
+    }
+
+    #[test]
+    fn accumulator_rejects_a_flipped_payload_bit() {
+        let mut bytes = encode_outcome_frame(&small_outcome());
+        let mid = FRAME_HEADER_BYTES + (bytes.len() - FRAME_HEADER_BYTES - 8) / 2;
+        bytes[mid] ^= 0x04;
+        let mut acc = FrameAccumulator::new();
+        acc.push(&bytes);
+        assert!(matches!(acc.next_frame(), Err(WireError::Checksum { .. })));
+    }
+
+    #[test]
+    fn accumulator_rejects_an_absurd_length_word_immediately() {
+        let mut bytes = encode_end_frame(0);
+        // Overwrite the length word with something enormous; without
+        // the cap the accumulator would wait forever for the payload.
+        bytes[8..16].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let mut acc = FrameAccumulator::new();
+        acc.push(&bytes[..FRAME_HEADER_BYTES]);
+        assert!(matches!(acc.next_frame(), Err(WireError::Decode(_))));
+    }
+
+    #[test]
+    fn accumulator_waits_on_incomplete_frames_without_error() {
+        let bytes = encode_end_frame(3);
+        let mut acc = FrameAccumulator::new();
+        for cut in [0, 3, 8, 15, bytes.len() - 1] {
+            let mut partial = FrameAccumulator::new();
+            partial.push(&bytes[..cut]);
+            assert!(matches!(partial.next_frame(), Ok(None)), "cut {cut}");
+        }
+        acc.push(&bytes);
+        let f = acc.next_frame().unwrap().unwrap();
+        assert_eq!(&f.tag, END_TAG);
+        assert_eq!(acc.next_frame().unwrap(), None);
     }
 }

@@ -9,9 +9,14 @@
 //! stalling past the supervisor's deadline, truncating a result frame,
 //! or flipping a bit inside one (routed through
 //! [`fsa_memfault::bits::flip_bits`], the same machinery the attack
-//! itself models). Because the plan is seeded, every test run injects
-//! the exact same faults — failures reproduce, and the recovery path is
-//! exercised deterministically.
+//! itself models). The socket transport adds three *network* classes —
+//! [`FaultDirective::Partition`] (drop the link mid-stream),
+//! [`FaultDirective::SlowLinkMs`] (paced writes that trip the
+//! heartbeat but never a checksum), and
+//! [`FaultDirective::ReorderFrames`] (out-of-order delivery of
+//! individually valid frames). Because the plan is seeded, every test
+//! run injects the exact same faults — failures reproduce, and the
+//! recovery path is exercised deterministically.
 
 use fsa_tensor::Prng;
 use std::fmt;
@@ -53,6 +58,22 @@ pub enum FaultDirective {
     /// two byte-identical, individually *valid* frames. Checksums can't
     /// catch this one; only the stream-level duplicate-index check does.
     DuplicateFrame(u32),
+    /// Drop the link mid-stream after emitting `n` outcome frames: the
+    /// socket worker hard-closes its connection and exits non-zero (a
+    /// pipe worker just exits non-zero — same observable). Classified
+    /// as a crash via the exit status.
+    Partition(u32),
+    /// A slow link: suppress heartbeats and pace every frame write by
+    /// sleeping `ms` first. The frames themselves stay checksum-clean —
+    /// what fails is liveness, so the supervisor classifies a hang
+    /// (heartbeat-window expiry on the socket transport, the attempt
+    /// deadline on pipes).
+    SlowLinkMs(u64),
+    /// Reordered delivery: hold outcome frame `n` and deliver it after
+    /// the *following* frame (after END when `n` is the last). Every
+    /// delivered frame is individually valid; the stream-level
+    /// index-order / trailing-bytes validation is what catches it.
+    ReorderFrames(u32),
 }
 
 impl FaultDirective {
@@ -66,6 +87,9 @@ impl FaultDirective {
                 format!("bitflip:{frame}:{byte}:{bit}")
             }
             FaultDirective::DuplicateFrame(n) => format!("dup:{n}"),
+            FaultDirective::Partition(n) => format!("part:{n}"),
+            FaultDirective::SlowLinkMs(ms) => format!("slow:{ms}"),
+            FaultDirective::ReorderFrames(n) => format!("reorder:{n}"),
         }
     }
 
@@ -85,6 +109,9 @@ impl FaultDirective {
                 bit: parts.next()?.parse().ok()?,
             },
             "dup" => FaultDirective::DuplicateFrame(parts.next()?.parse().ok()?),
+            "part" => FaultDirective::Partition(parts.next()?.parse().ok()?),
+            "slow" => FaultDirective::SlowLinkMs(parts.next()?.parse().ok()?),
+            "reorder" => FaultDirective::ReorderFrames(parts.next()?.parse().ok()?),
             _ => return None,
         };
         if parts.next().is_some() {
@@ -114,6 +141,11 @@ enum Mode {
     /// Seeded pseudo-random faults on attempts 0 and 1 only, so every
     /// shard is guaranteed clean by its third attempt.
     Seeded(u64),
+    /// Like `Seeded`, but drawing from the full fault alphabet
+    /// including the network classes (partition, slow link, reorder).
+    /// Only for socket-transport runs: the network classes degrade to
+    /// their pipe analogues but were designed to exercise the link.
+    SeededNetwork(u64),
 }
 
 /// Plans which worker spawns misbehave and how.
@@ -157,11 +189,34 @@ impl FaultPlanner {
         }
     }
 
+    /// Seeded plan over the *full* fault alphabet — the five process
+    /// faults plus the three network classes (partition, slow link,
+    /// reordered delivery). Same guarantees as [`FaultPlanner::seeded`]:
+    /// pure in `(seed, shard, attempt)`, clean from attempt 2 on. Meant
+    /// for socket-transport runs, where the network classes exercise
+    /// the link itself; the shared process-fault draws are identical to
+    /// `seeded` only in distribution, not value — the class space
+    /// differs, so the streams diverge.
+    pub fn seeded_network(seed: u64) -> Self {
+        Self {
+            mode: Mode::SeededNetwork(seed),
+        }
+    }
+
     /// Builds the seeded planner from [`FAULT_SEED_ENV`] if it is set
     /// to a valid `u64`; `None` otherwise.
     pub fn from_env() -> Option<Self> {
         let raw = std::env::var(FAULT_SEED_ENV).ok()?;
         raw.trim().parse::<u64>().ok().map(Self::seeded)
+    }
+
+    /// Like [`FaultPlanner::from_env`], but routing the same
+    /// [`FAULT_SEED_ENV`] seed into the full-alphabet
+    /// [`FaultPlanner::seeded_network`] plan — the socket-transport
+    /// bench leg uses this so one CI seed drives both transports.
+    pub fn from_env_network() -> Option<Self> {
+        let raw = std::env::var(FAULT_SEED_ENV).ok()?;
+        raw.trim().parse::<u64>().ok().map(Self::seeded_network)
     }
 
     /// The directive (if any) for spawning `shard`'s attempt number
@@ -181,39 +236,57 @@ impl FaultPlanner {
                 max_attempt,
             } => (attempt < *max_attempt).then_some(*directive),
             Mode::Persistent(directive) => Some(*directive),
-            Mode::Seeded(seed) => {
-                if attempt >= 2 {
-                    return None;
-                }
-                // Distinct stream per (shard, attempt): fork keys the
-                // stream off the draw sequence, so mix the shard into
-                // the seed and the attempt into the stream.
-                let mut rng = Prng::new(seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15))
-                    .fork(attempt as u64);
-                if !rng.bernoulli(0.5) {
-                    return None;
-                }
-                // A stall must outlive the deadline to register as a
-                // hang; frame indices must land inside the shard.
-                let stall = deadline.as_millis() as u64 + 200 + rng.below(200) as u64;
-                let frame = rng.below(shard_len.max(1)) as u32;
-                Some(match rng.below(5) {
-                    0 => FaultDirective::KillAfter(frame),
-                    1 => FaultDirective::StallMs(stall),
-                    2 => FaultDirective::TruncateFrame(frame),
-                    3 => FaultDirective::DuplicateFrame(frame),
-                    _ => FaultDirective::FlipBit {
-                        frame,
-                        // Offset past the 16-byte header lands the flip
-                        // in the payload region of any outcome frame
-                        // (payloads are always > 48 bytes).
-                        byte: 16 + rng.below(32) as u32,
-                        bit: rng.below(8) as u8,
-                    },
-                })
-            }
+            Mode::Seeded(seed) => seeded_draw(*seed, shard, attempt, deadline, shard_len, 5),
+            Mode::SeededNetwork(seed) => seeded_draw(*seed, shard, attempt, deadline, shard_len, 8),
         }
     }
+}
+
+/// The shared seeded draw: `classes` bounds the fault alphabet (5 =
+/// process faults only, 8 = plus the network classes), everything else
+/// is identical between the two seeded modes.
+fn seeded_draw(
+    seed: u64,
+    shard: usize,
+    attempt: u32,
+    deadline: Duration,
+    shard_len: usize,
+    classes: usize,
+) -> Option<FaultDirective> {
+    if attempt >= 2 {
+        return None;
+    }
+    // Distinct stream per (shard, attempt): fork keys the stream off
+    // the draw sequence, so mix the shard into the seed and the
+    // attempt into the stream.
+    let mut rng =
+        Prng::new(seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)).fork(attempt as u64);
+    if !rng.bernoulli(0.5) {
+        return None;
+    }
+    // A stall must outlive the deadline to register as a hang; frame
+    // indices must land inside the shard.
+    let stall = deadline.as_millis() as u64 + 200 + rng.below(200) as u64;
+    let frame = rng.below(shard_len.max(1)) as u32;
+    Some(match rng.below(classes) {
+        0 => FaultDirective::KillAfter(frame),
+        1 => FaultDirective::StallMs(stall),
+        2 => FaultDirective::TruncateFrame(frame),
+        3 => FaultDirective::DuplicateFrame(frame),
+        4 => FaultDirective::FlipBit {
+            frame,
+            // Offset past the 16-byte header lands the flip in the
+            // payload region of any outcome frame (payloads are always
+            // > 48 bytes).
+            byte: 16 + rng.below(32) as u32,
+            bit: rng.below(8) as u8,
+        },
+        5 => FaultDirective::Partition(frame),
+        // A slow-link pace past the deadline guarantees the heartbeat
+        // window (always ≤ the deadline in practice) expires first.
+        6 => FaultDirective::SlowLinkMs(stall),
+        _ => FaultDirective::ReorderFrames(frame),
+    })
 }
 
 #[cfg(test)]
@@ -232,6 +305,9 @@ mod tests {
                 bit: 5,
             },
             FaultDirective::DuplicateFrame(3),
+            FaultDirective::Partition(1),
+            FaultDirective::SlowLinkMs(700),
+            FaultDirective::ReorderFrames(2),
         ];
         for d in cases {
             assert_eq!(FaultDirective::from_env_str(&d.to_env()), Some(d));
@@ -249,6 +325,10 @@ mod tests {
             "nope:3",
             "dup",
             "dup:x",
+            "part",
+            "part:x",
+            "slow:1:2",
+            "reorder:",
         ] {
             assert_eq!(FaultDirective::from_env_str(s), None, "{s:?}");
         }
@@ -288,6 +368,38 @@ mod tests {
             assert_eq!(p.directive(shard, 2, d, 6), None);
             assert_eq!(p.directive(shard, 3, d, 6), None);
         }
+    }
+
+    #[test]
+    fn seeded_network_planner_is_deterministic_and_draws_network_classes() {
+        let p = FaultPlanner::seeded_network(0x0600_13a7);
+        let d = Duration::from_millis(500);
+        let mut network_hits = 0usize;
+        for shard in 0..64 {
+            for attempt in 0..2 {
+                let a = p.directive(shard, attempt, d, 6);
+                assert_eq!(a, p.directive(shard, attempt, d, 6));
+                match a {
+                    Some(FaultDirective::SlowLinkMs(ms) | FaultDirective::StallMs(ms)) => {
+                        assert!(ms > d.as_millis() as u64);
+                        if matches!(a, Some(FaultDirective::SlowLinkMs(_))) {
+                            network_hits += 1;
+                        }
+                    }
+                    Some(FaultDirective::Partition(n) | FaultDirective::ReorderFrames(n)) => {
+                        assert!(n < 6);
+                        network_hits += 1;
+                    }
+                    _ => {}
+                }
+            }
+            // Clean from attempt 2 on, same as the process-fault plan.
+            assert_eq!(p.directive(shard, 2, d, 6), None);
+        }
+        assert!(
+            network_hits > 0,
+            "network plan never drew a network fault across 64 shards"
+        );
     }
 
     #[test]

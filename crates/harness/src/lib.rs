@@ -29,19 +29,37 @@
 //! * every fault handled is recorded in a structured
 //!   [`ExecutionLog`].
 //!
+//! The worker link is a pluggable [`transport`]: the default
+//! [`PipeTransport`] talks over a stdin/stdout pipe pair, and
+//! [`SocketTransport`] over loopback TCP — the supervisor binds a
+//! listener, the worker connects back, registers with a versioned
+//! hello frame (worker id, protocol version, capability word), and
+//! beats a heartbeat from a dedicated thread so a silent link is
+//! declared dead (**hang**) without waiting out the full deadline,
+//! while a reset link is a **crash**. Both transports feed the same
+//! retry/degrade policy, so the merged report stays bit-identical by
+//! construction whichever link carried each shard.
+//!
 //! The [`injector`] drives the proof: deterministic, env-gated fault
 //! directives (kill-after-N-scenarios, stall past the deadline,
 //! truncate or bit-flip a result frame — the flip routed through
-//! [`fsa_memfault::bits`]) that the test battery and the `sharded`
-//! bench bin use to show the merged report is bit-identical under every
-//! injected failure mode.
+//! [`fsa_memfault::bits`] — and, on the socket link, partition the
+//! connection, pace it past the heartbeat window, or reorder frame
+//! delivery) that the test battery and the `sharded` bench bin use to
+//! show the merged report is bit-identical under every injected
+//! failure mode.
 
 #![warn(missing_docs)]
 
 pub mod injector;
 pub mod proto;
 pub mod supervisor;
+pub mod transport;
 pub mod worker;
 
 pub use injector::{FaultDirective, FaultPlanner};
 pub use supervisor::{ExecutionLog, ExecutorConfig, FaultKind, ShardedCampaign, ShardedRun};
+pub use transport::{
+    AttemptContext, AttemptStats, HeartbeatMonitor, PipeTransport, SocketConfig, SocketTransport,
+    Transport,
+};

@@ -71,7 +71,29 @@ impl ShardJob {
     pub fn decode(bytes: &[u8]) -> Result<Self, WireError> {
         let mut dec = Decoder::new(bytes);
         let payload = wire::expect_frame(&mut dec, JOB_TAG)?;
-        let mut p = Decoder::new(&payload);
+        Self::decode_payload(&payload)
+    }
+
+    /// Decodes a job from an already-extracted frame — the socket
+    /// worker accumulates frames incrementally
+    /// ([`wire::FrameAccumulator`]) because a socket has no EOF to
+    /// delimit the job the way the pipe worker's `read_to_end` does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on a wrong tag or payload corruption.
+    pub fn from_frame(f: &wire::Frame) -> Result<Self, WireError> {
+        if &f.tag != JOB_TAG {
+            return Err(WireError::Decode(DecodeError::new(format!(
+                "expected shard-job frame, got tag {:?}",
+                f.tag
+            ))));
+        }
+        Self::decode_payload(&f.payload)
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<Self, WireError> {
+        let mut p = Decoder::new(payload);
         let head = FcHead::decode(&mut p)?;
         let selection = wire::read_selection(&mut p)?;
         let nl = p.read_u64()? as usize;
@@ -181,9 +203,181 @@ impl From<DecodeError> for ProtoError {
     }
 }
 
+/// One protocol-relevant thing a pushed chunk of bytes produced.
+///
+/// The socket transport's read loop uses these to drive its liveness
+/// policy: *any* completed frame proves the worker is alive, and
+/// heartbeats prove it even between slow scenarios.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamEvent {
+    /// A scenario outcome arrived (its scenario index).
+    Outcome(usize),
+    /// A liveness heartbeat arrived.
+    Heartbeat(wire::Heartbeat),
+    /// The END frame arrived; the stream is complete.
+    End,
+}
+
+/// Incremental, fragmentation-tolerant parser for a worker's result
+/// stream.
+///
+/// The original parser consumed a *complete* buffer (`read_to_end` on a
+/// pipe); a socket delivers short reads, so frames arrive split at
+/// arbitrary byte boundaries — including mid-header. This parser
+/// accepts bytes as they come ([`StreamParser::push`]), surfaces each
+/// completed frame as a [`StreamEvent`], applies every validation the
+/// one-shot parser applied (checksums and version via
+/// [`wire::FrameAccumulator`], duplicate-index rejection as frames
+/// arrive, END-count agreement, nothing after END), and finishes with
+/// the index-sequence check once the caller declares EOF
+/// ([`StreamParser::finish`]). [`parse_worker_stream`] is now a thin
+/// wrapper over this type, so the pipe and socket transports share one
+/// set of validation semantics by construction.
+#[derive(Debug)]
+pub struct StreamParser {
+    acc: wire::FrameAccumulator,
+    outcomes: Vec<ScenarioOutcome>,
+    expected: Vec<usize>,
+    /// `Some(count)` once the END frame arrived.
+    ended: Option<u64>,
+    /// Heartbeat frames seen (stripped from the outcome stream).
+    heartbeats: u64,
+}
+
+impl StreamParser {
+    /// Creates a parser for a shard assigned `expected` scenario
+    /// indices.
+    pub fn new(expected: &[usize]) -> Self {
+        Self {
+            acc: wire::FrameAccumulator::new(),
+            outcomes: Vec::with_capacity(expected.len()),
+            expected: expected.to_vec(),
+            ended: None,
+            heartbeats: 0,
+        }
+    }
+
+    /// Whether the END frame has arrived.
+    pub fn ended(&self) -> bool {
+        self.ended.is_some()
+    }
+
+    /// Heartbeat frames consumed so far.
+    pub fn heartbeats(&self) -> u64 {
+        self.heartbeats
+    }
+
+    /// Feeds newly-read bytes (any fragmentation) and returns the
+    /// protocol events completed by them, in stream order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError`] on the first violation: frame corruption,
+    /// version skew, an unexpected tag, a duplicated scenario index, an
+    /// END count that disagrees with the outcomes received, or any
+    /// bytes after END.
+    pub fn push(&mut self, bytes: &[u8]) -> Result<Vec<StreamEvent>, ProtoError> {
+        self.acc.push(bytes);
+        let mut events = Vec::new();
+        loop {
+            if self.ended.is_some() && self.acc.residual() != 0 {
+                return Err(ProtoError::TrailingBytes(self.acc.residual()));
+            }
+            let Some(f) = self.acc.next_frame()? else {
+                return Ok(events);
+            };
+            if &f.tag == wire::END_TAG {
+                let claimed = wire::decode_end_payload(&f.payload)?;
+                if claimed != self.outcomes.len() as u64 {
+                    return Err(ProtoError::CountMismatch {
+                        claimed,
+                        received: self.outcomes.len() as u64,
+                    });
+                }
+                self.ended = Some(claimed);
+                events.push(StreamEvent::End);
+                continue;
+            }
+            if &f.tag == wire::HEARTBEAT_TAG {
+                let beat = wire::decode_heartbeat_payload(&f.payload)?;
+                self.heartbeats += 1;
+                events.push(StreamEvent::Heartbeat(beat));
+                continue;
+            }
+            if &f.tag != wire::OUTCOME_TAG {
+                return Err(ProtoError::Frame(WireError::Decode(DecodeError::new(
+                    format!("unexpected frame tag {:?} in result stream", f.tag),
+                ))));
+            }
+            let mut p = Decoder::new(&f.payload);
+            let o = wire::read_outcome(&mut p)?;
+            if p.remaining() != 0 {
+                return Err(ProtoError::Frame(WireError::Decode(DecodeError::new(
+                    "trailing bytes after outcome payload",
+                ))));
+            }
+            // Explicit duplicate rejection, checked as frames arrive: a
+            // repeated scenario index is a protocol violation on its
+            // own, whatever the END count or the index sequence later
+            // claim.
+            if self
+                .outcomes
+                .iter()
+                .any(|prev| prev.scenario.index == o.scenario.index)
+            {
+                return Err(ProtoError::DuplicateIndex {
+                    index: o.scenario.index,
+                    position: self.outcomes.len(),
+                });
+            }
+            events.push(StreamEvent::Outcome(o.scenario.index));
+            self.outcomes.push(o);
+        }
+    }
+
+    /// Declares EOF and runs the whole-stream checks: END present, no
+    /// partial frame left behind, and the scenario indices exactly the
+    /// assigned ones in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError`] describing the first violation found.
+    pub fn finish(self) -> Result<Vec<ScenarioOutcome>, ProtoError> {
+        match self.ended {
+            None if self.acc.residual() != 0 => {
+                // The stream died inside a frame: the same class of
+                // error the one-shot decoder reported for a torn frame.
+                return Err(ProtoError::Frame(WireError::Decode(DecodeError::new(
+                    format!(
+                        "stream ended mid-frame with {} buffered bytes",
+                        self.acc.residual()
+                    ),
+                ))));
+            }
+            None => return Err(ProtoError::MissingEnd),
+            Some(_) => {}
+        }
+        if self.outcomes.len() != self.expected.len() {
+            return Err(ProtoError::CountMismatch {
+                claimed: self.outcomes.len() as u64,
+                received: self.expected.len() as u64,
+            });
+        }
+        for (pos, (o, &want)) in self.outcomes.iter().zip(&self.expected).enumerate() {
+            if o.scenario.index != want {
+                return Err(ProtoError::IndexMismatch { position: pos });
+            }
+        }
+        Ok(self.outcomes)
+    }
+}
+
 /// Parses a worker's complete stdout into its outcomes, verifying frame
 /// integrity, the end-of-stream count, and that the scenario indices are
 /// exactly the assigned ones in order.
+///
+/// Implemented on top of [`StreamParser`], so a buffer parsed whole and
+/// the same bytes fed one at a time produce identical results.
 ///
 /// # Errors
 ///
@@ -192,64 +386,9 @@ pub fn parse_worker_stream(
     bytes: &[u8],
     expected: &[usize],
 ) -> Result<Vec<ScenarioOutcome>, ProtoError> {
-    let mut dec = Decoder::new(bytes);
-    let mut outcomes: Vec<ScenarioOutcome> = Vec::with_capacity(expected.len());
-    loop {
-        if dec.remaining() == 0 {
-            return Err(ProtoError::MissingEnd);
-        }
-        let f = wire::read_frame(&mut dec)?;
-        if &f.tag == wire::END_TAG {
-            let claimed = wire::decode_end_payload(&f.payload)?;
-            if claimed != outcomes.len() as u64 {
-                return Err(ProtoError::CountMismatch {
-                    claimed,
-                    received: outcomes.len() as u64,
-                });
-            }
-            if dec.remaining() != 0 {
-                return Err(ProtoError::TrailingBytes(dec.remaining()));
-            }
-            break;
-        }
-        if &f.tag != wire::OUTCOME_TAG {
-            return Err(ProtoError::Frame(WireError::Decode(DecodeError::new(
-                format!("unexpected frame tag {:?} in result stream", f.tag),
-            ))));
-        }
-        let mut p = Decoder::new(&f.payload);
-        let o = wire::read_outcome(&mut p)?;
-        if p.remaining() != 0 {
-            return Err(ProtoError::Frame(WireError::Decode(DecodeError::new(
-                "trailing bytes after outcome payload",
-            ))));
-        }
-        // Explicit duplicate rejection, checked as frames arrive: a
-        // repeated scenario index is a protocol violation on its own,
-        // whatever the END count or the index sequence later claim.
-        if outcomes
-            .iter()
-            .any(|p| p.scenario.index == o.scenario.index)
-        {
-            return Err(ProtoError::DuplicateIndex {
-                index: o.scenario.index,
-                position: outcomes.len(),
-            });
-        }
-        outcomes.push(o);
-    }
-    if outcomes.len() != expected.len() {
-        return Err(ProtoError::CountMismatch {
-            claimed: outcomes.len() as u64,
-            received: expected.len() as u64,
-        });
-    }
-    for (pos, (o, &want)) in outcomes.iter().zip(expected).enumerate() {
-        if o.scenario.index != want {
-            return Err(ProtoError::IndexMismatch { position: pos });
-        }
-    }
-    Ok(outcomes)
+    let mut parser = StreamParser::new(expected);
+    parser.push(bytes)?;
+    parser.finish()
 }
 
 #[cfg(test)]
@@ -404,5 +543,118 @@ mod tests {
             parse_worker_stream(&bytes, &[0]),
             Err(ProtoError::CountMismatch { .. })
         ));
+    }
+
+    // ── incremental parsing (socket short reads) ─────────────────────
+
+    /// The latent partial-read assumption: pipes delivered whole
+    /// buffers via `read_to_end`, sockets deliver arbitrary fragments.
+    /// Feeding the stream one byte at a time must produce the same
+    /// outcomes as parsing it whole.
+    #[test]
+    fn one_byte_at_a_time_matches_whole_buffer_parse() {
+        let indices = vec![3usize, 1, 4, 1 + 4, 9];
+        let bytes = stream(&indices);
+        let whole = parse_worker_stream(&bytes, &indices).expect("whole parse");
+
+        let mut parser = StreamParser::new(&indices);
+        let mut events = Vec::new();
+        for &b in &bytes {
+            events.extend(parser.push(&[b]).expect("byte push"));
+        }
+        assert!(parser.ended());
+        let trickled = parser.finish().expect("trickled parse");
+        assert_eq!(trickled, whole);
+        // Every outcome and the END must have surfaced as events.
+        let outcomes: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::Outcome(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(outcomes, indices);
+        assert_eq!(events.last(), Some(&StreamEvent::End));
+    }
+
+    /// Fragment boundaries chosen adversarially (mid-header,
+    /// mid-payload, mid-checksum) by a seeded chunker: every chunking
+    /// of a valid stream parses to the same outcomes.
+    #[test]
+    fn seeded_random_fragmentation_is_boundary_invariant() {
+        let indices = vec![0usize, 1, 2, 3];
+        let bytes = stream(&indices);
+        let whole = parse_worker_stream(&bytes, &indices).expect("whole parse");
+        let mut rng = Prng::new(0x10_50C3);
+        for _ in 0..50 {
+            let mut parser = StreamParser::new(&indices);
+            let mut at = 0usize;
+            while at < bytes.len() {
+                let take = 1 + rng.below((bytes.len() - at).min(13));
+                parser.push(&bytes[at..at + take]).expect("chunk push");
+                at += take;
+            }
+            assert_eq!(parser.finish().expect("chunked parse"), whole);
+        }
+    }
+
+    /// Heartbeat frames may interleave anywhere in the result stream:
+    /// they surface as liveness events and are stripped from the
+    /// outcome sequence, which must still validate exactly.
+    #[test]
+    fn heartbeats_interleave_without_entering_the_outcome_stream() {
+        use fsa_attack::campaign::wire::{encode_heartbeat_frame, Heartbeat};
+        let indices = vec![5usize, 6, 7];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_heartbeat_frame(&Heartbeat {
+            worker_id: 2,
+            seq: 0,
+        }));
+        for (n, &i) in indices.iter().enumerate() {
+            bytes.extend_from_slice(&encode_outcome_frame(&outcome(i)));
+            bytes.extend_from_slice(&encode_heartbeat_frame(&Heartbeat {
+                worker_id: 2,
+                seq: n as u64 + 1,
+            }));
+        }
+        bytes.extend_from_slice(&encode_end_frame(indices.len() as u64));
+
+        let mut parser = StreamParser::new(&indices);
+        let events = parser.push(&bytes).expect("push");
+        let beats: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                StreamEvent::Heartbeat(h) => Some(h.seq),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(beats, vec![0, 1, 2, 3]);
+        assert_eq!(parser.heartbeats(), 4);
+        let parsed = parser.finish().expect("parse");
+        let got: Vec<usize> = parsed.iter().map(|o| o.scenario.index).collect();
+        assert_eq!(got, indices);
+    }
+
+    /// A stream that dies mid-frame (torn write at the partition) is a
+    /// frame error at finish, exactly like the one-shot decoder
+    /// reported for a truncated buffer.
+    #[test]
+    fn stream_dying_mid_frame_is_a_frame_error_at_finish() {
+        let bytes = stream(&[0]);
+        let mut parser = StreamParser::new(&[0]);
+        parser.push(&bytes[..bytes.len() - 3]).expect("push");
+        assert!(!parser.ended());
+        assert!(matches!(parser.finish(), Err(ProtoError::Frame(_))));
+    }
+
+    /// Bytes arriving after END are trailing bytes even when they land
+    /// in a later push than the END frame did.
+    #[test]
+    fn bytes_after_end_in_a_later_push_are_trailing() {
+        let bytes = stream(&[0]);
+        let mut parser = StreamParser::new(&[0]);
+        parser.push(&bytes).expect("push");
+        assert!(parser.ended());
+        assert_eq!(parser.push(&[0xAB]), Err(ProtoError::TrailingBytes(1)));
     }
 }

@@ -21,14 +21,22 @@
 //!   campaign always completes and the merged report is bit-identical
 //!   no matter which recovery path produced each shard.
 //!
+//! The worker link itself is pluggable ([`ExecutorConfig::transport`]):
+//! the default [`PipeTransport`] talks over a stdin/stdout pipe pair,
+//! and [`crate::transport::SocketTransport`] over a loopback TCP
+//! connection with registration and heartbeats. Both classify failures
+//! into the same [`FaultKind`]s feeding the same policy above, so the
+//! transport never changes the merged bits.
+//!
 //! Because shards are contiguous index ranges and outcomes are merged
 //! in shard order, the merged outcome vector is in scenario order by
 //! construction — the same order `Campaign::run_method` produces — and
 //! the merged [`CampaignReport`]'s FNV fingerprint equals the
 //! single-process one.
 
-use crate::injector::{FaultDirective, FaultPlanner, FAULT_ENV};
-use crate::proto::{parse_worker_stream, ShardJob};
+use crate::injector::FaultPlanner;
+use crate::proto::ShardJob;
+use crate::transport::{AttemptContext, AttemptStats, PipeTransport, Transport};
 use crate::worker::WORKER_FLAG;
 use fsa_attack::campaign::{CampaignReport, CampaignSpec, ScenarioOutcome};
 use fsa_attack::{Campaign, ParamSelection};
@@ -37,10 +45,9 @@ use fsa_nn::head::FcHead;
 use fsa_tensor::parallel::split_ranges;
 use fsa_tensor::Prng;
 use std::fmt;
-use std::io::{Read, Write};
 use std::path::PathBuf;
-use std::process::{Child, Command, Stdio};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// How a failed worker attempt was classified.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,13 +147,34 @@ impl ShardResolution {
 /// Structured record of everything the supervisor handled during one
 /// sharded run: every fault, every backoff, and how each shard was
 /// finally resolved.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecutionLog {
     /// Every classified fault, in the order it was handled per shard.
     pub events: Vec<FaultEvent>,
     /// One resolution per shard, in shard order.
     pub resolutions: Vec<ShardResolution>,
+    /// Heartbeat frames received across all attempts (socket transport
+    /// only; 0 on pipes). The count depends on wall-clock timing, so
+    /// it is excluded from equality — see the `PartialEq` impl.
+    pub heartbeats: u64,
+    /// Worker registrations accepted (valid hello frames; socket
+    /// transport only, 0 on pipes). Excluded from equality alongside
+    /// `heartbeats`: liveness bookkeeping, not result bits.
+    pub registrations: u64,
 }
+
+// Manual equality, same contract as `FaultEvent`: determinism tests
+// compare whole logs across same-seed runs, and the liveness counters
+// (how many heartbeats fit in a wall-clock window, whether a worker
+// registered before an injected fault felled it) are the fields that
+// legitimately differ between them.
+impl PartialEq for ExecutionLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.events == other.events && self.resolutions == other.resolutions
+    }
+}
+
+impl Eq for ExecutionLog {}
 
 impl ExecutionLog {
     /// Number of recorded faults of `kind`.
@@ -178,7 +206,7 @@ impl ExecutionLog {
 
     /// One-line summary for logs and bench output.
     pub fn summary(&self) -> String {
-        format!(
+        let mut s = format!(
             "{} shards, {} faults (crash {}, hang {}, corrupt {}, spawn {}), {} degraded",
             self.resolutions.len(),
             self.events.len(),
@@ -187,7 +215,14 @@ impl ExecutionLog {
             self.count(FaultKind::CorruptFrame),
             self.count(FaultKind::Spawn),
             self.degraded()
-        )
+        );
+        if self.registrations > 0 || self.heartbeats > 0 {
+            s.push_str(&format!(
+                ", {} registrations, {} heartbeats",
+                self.registrations, self.heartbeats
+            ));
+        }
+        s
     }
 
     /// Serializes the log as a JSON document — events in stable `seq`
@@ -217,7 +252,13 @@ impl ExecutionLog {
                 },
             );
         }
-        out.push_str("\n  ],\n  \"resolutions\": [");
+        out.push_str("\n  ],\n  \"liveness\": ");
+        let _ = write!(
+            out,
+            "{{\"registrations\": {}, \"heartbeats\": {}}}",
+            self.registrations, self.heartbeats
+        );
+        out.push_str(",\n  \"resolutions\": [");
         for (i, r) in self.resolutions.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
             match r {
@@ -249,6 +290,8 @@ impl ExecutionLog {
         fsa_telemetry::counter("harness.attempts", self.total_attempts() as u64);
         fsa_telemetry::counter("harness.degraded", self.degraded() as u64);
         fsa_telemetry::counter("harness.faults", self.events.len() as u64);
+        fsa_telemetry::counter("harness.registrations", self.registrations);
+        fsa_telemetry::counter("harness.heartbeats", self.heartbeats);
         for e in &self.events {
             fsa_telemetry::counter(&format!("harness.faults.{}", e.kind), 1);
             let mut fields = vec![
@@ -310,6 +353,10 @@ pub struct ExecutorConfig {
     pub worker_args: Vec<String>,
     /// Fault plan applied to worker spawns; `None` runs clean.
     pub planner: Option<FaultPlanner>,
+    /// How jobs reach workers and results come back; defaults to
+    /// [`PipeTransport`]. Shared, not cloned — transports are
+    /// stateless policy objects.
+    pub transport: Arc<dyn Transport>,
 }
 
 impl ExecutorConfig {
@@ -329,6 +376,7 @@ impl ExecutorConfig {
             worker_program: std::env::current_exe().unwrap_or_else(|_| PathBuf::from("")),
             worker_args: vec![WORKER_FLAG.to_string()],
             planner: FaultPlanner::from_env(),
+            transport: Arc::new(PipeTransport),
         }
     }
 
@@ -363,6 +411,13 @@ impl ExecutorConfig {
     pub fn with_worker(mut self, program: PathBuf, args: Vec<String>) -> Self {
         self.worker_program = program;
         self.worker_args = args;
+        self
+    }
+
+    /// Replaces the worker transport (e.g.
+    /// [`crate::transport::SocketTransport`] for loopback TCP links).
+    pub fn with_transport(mut self, transport: Arc<dyn Transport>) -> Self {
+        self.transport = transport;
         self
     }
 }
@@ -443,7 +498,12 @@ impl<'a> ShardedCampaign<'a> {
         // One supervision thread per shard. Worker processes do the
         // actual compute, so these threads spend their lives blocked in
         // `wait`/`sleep` — the thread count is not a scheduler concern.
-        type ShardResult = (Vec<ScenarioOutcome>, Vec<FaultEvent>, ShardResolution);
+        type ShardResult = (
+            Vec<ScenarioOutcome>,
+            Vec<FaultEvent>,
+            ShardResolution,
+            AttemptStats,
+        );
         let mut results: Vec<Option<ShardResult>> = (0..ranges.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(ranges.len());
@@ -476,10 +536,12 @@ impl<'a> ShardedCampaign<'a> {
         let mut outcomes = Vec::with_capacity(n);
         let mut log = ExecutionLog::default();
         for r in results.into_iter().flatten() {
-            let (mut shard_outcomes, events, resolution) = r;
+            let (mut shard_outcomes, events, resolution, stats) = r;
             outcomes.append(&mut shard_outcomes);
             log.events.extend(events);
             log.resolutions.push(resolution);
+            log.heartbeats += stats.heartbeats;
+            log.registrations += stats.registrations;
         }
         // Shards merge in shard order and each shard records its faults
         // in attempt order, so numbering here gives every event a stable
@@ -513,15 +575,30 @@ impl<'a> ShardedCampaign<'a> {
         job: ShardJob,
         spec: &CampaignSpec,
         cfg: &ExecutorConfig,
-    ) -> (Vec<ScenarioOutcome>, Vec<FaultEvent>, ShardResolution) {
+    ) -> (
+        Vec<ScenarioOutcome>,
+        Vec<FaultEvent>,
+        ShardResolution,
+        AttemptStats,
+    ) {
         let job_bytes = job.encode();
         let mut events = Vec::new();
+        let mut stats = AttemptStats::default();
         for attempt in 0..=cfg.max_retries {
             let directive = cfg
                 .planner
                 .as_ref()
                 .and_then(|p| p.directive(shard, attempt, cfg.deadline, job.indices.len()));
-            match run_attempt(&job_bytes, &job.indices, directive, cfg) {
+            let ctx = AttemptContext {
+                shard,
+                job_bytes: &job_bytes,
+                indices: &job.indices,
+                directive,
+            };
+            let (result, attempt_stats) = cfg.transport.run_attempt(&ctx, cfg);
+            stats.heartbeats += attempt_stats.heartbeats;
+            stats.registrations += attempt_stats.registrations;
+            match result {
                 Ok(outcomes) => {
                     return (
                         outcomes,
@@ -530,6 +607,7 @@ impl<'a> ShardedCampaign<'a> {
                             shard,
                             attempts: attempt + 1,
                         },
+                        stats,
                     );
                 }
                 Err((kind, detail)) => {
@@ -571,98 +649,7 @@ impl<'a> ShardedCampaign<'a> {
         let method =
             crate::worker::method_from_name(&job.method).expect("method validated before sharding");
         let outcomes = campaign.run_indices(spec, method.as_ref(), &job.indices);
-        (outcomes, events, ShardResolution::Degraded { shard })
-    }
-}
-
-/// Spawns one worker attempt, feeds it the job, enforces the deadline,
-/// and validates its output. Returns the outcomes or a classified
-/// fault.
-fn run_attempt(
-    job_bytes: &[u8],
-    indices: &[usize],
-    directive: Option<FaultDirective>,
-    cfg: &ExecutorConfig,
-) -> Result<Vec<ScenarioOutcome>, (FaultKind, String)> {
-    let mut cmd = Command::new(&cfg.worker_program);
-    cmd.args(&cfg.worker_args)
-        .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::null());
-    match directive {
-        Some(d) => {
-            cmd.env(FAULT_ENV, d.to_env());
-        }
-        None => {
-            // Never let a directive leak from the supervisor's own
-            // environment into a spawn the planner wanted clean.
-            cmd.env_remove(FAULT_ENV);
-        }
-    }
-    let mut child = cmd
-        .spawn()
-        .map_err(|e| (FaultKind::Spawn, format!("spawn failed: {e}")))?;
-
-    // Writer thread: the job frame can exceed the pipe buffer, and the
-    // worker streams results concurrently — writing inline would
-    // deadlock once both pipes fill.
-    let mut stdin = child.stdin.take().expect("stdin piped");
-    let job_owned = job_bytes.to_vec();
-    let writer = std::thread::spawn(move || {
-        // EPIPE here just means the worker died early; the exit status
-        // carries the real story.
-        let _ = stdin.write_all(&job_owned);
-        drop(stdin);
-    });
-    let mut stdout = child.stdout.take().expect("stdout piped");
-    let reader = std::thread::spawn(move || {
-        let mut buf = Vec::new();
-        let _ = stdout.read_to_end(&mut buf);
-        buf
-    });
-
-    let status = wait_deadline(&mut child, cfg.deadline);
-    let _ = writer.join();
-    let output = reader.join().expect("reader thread panicked");
-
-    match status {
-        None => Err((
-            FaultKind::Hang,
-            format!("deadline {:?} expired; worker killed", cfg.deadline),
-        )),
-        Some(Err(e)) => Err((FaultKind::Spawn, format!("wait failed: {e}"))),
-        Some(Ok(st)) if !st.success() => Err((
-            FaultKind::Crash,
-            match st.code() {
-                Some(c) => format!("worker exited with code {c}"),
-                None => "worker killed by signal".to_string(),
-            },
-        )),
-        Some(Ok(_)) => parse_worker_stream(&output, indices)
-            .map_err(|e| (FaultKind::CorruptFrame, e.to_string())),
-    }
-}
-
-/// Polls the child until it exits or the deadline expires; on expiry
-/// kills it (and reaps it) and returns `None`.
-fn wait_deadline(
-    child: &mut Child,
-    deadline: Duration,
-) -> Option<std::io::Result<std::process::ExitStatus>> {
-    let start = Instant::now();
-    loop {
-        match child.try_wait() {
-            Ok(Some(status)) => return Some(Ok(status)),
-            Ok(None) => {
-                if start.elapsed() >= deadline {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                    return None;
-                }
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(e) => return Some(Err(e)),
-        }
+        (outcomes, events, ShardResolution::Degraded { shard }, stats)
     }
 }
 
@@ -729,6 +716,8 @@ mod tests {
                 },
                 ShardResolution::Degraded { shard: 1 },
             ],
+            heartbeats: 7,
+            registrations: 2,
         }
     }
 
@@ -752,6 +741,11 @@ mod tests {
         }
         // Same deterministic fields → equal, even on a later clock.
         assert_eq!(log, other);
+        // Liveness counters are wall-clock artifacts too: a run that
+        // fit more heartbeats into the window is still "the same run".
+        other.heartbeats += 99;
+        other.registrations += 1;
+        assert_eq!(log, other);
         other.events[0].attempt = 1;
         assert_ne!(log, other);
     }
@@ -765,6 +759,7 @@ mod tests {
         assert!(json.contains("\"backoff_ms\": null"));
         assert!(json.contains("\"t_wall_ms\": 1700000000000"));
         assert!(json.contains("\"outcome\": \"degraded\""));
+        assert!(json.contains("\"liveness\": {\"registrations\": 2, \"heartbeats\": 7}"));
         // The hang detail round-trips escaped, not raw.
         assert!(json.contains("quote \\\" and newline \\n"));
         assert_eq!(

@@ -1,0 +1,742 @@
+//! Transport layer: how a shard job reaches a worker and how its
+//! result stream comes back.
+//!
+//! PR 6's supervisor talked to workers over a stdin/stdout pipe pair,
+//! hard-wired into `run_attempt`. This module splits that seam into a
+//! [`Transport`] trait with two implementations:
+//!
+//! * [`PipeTransport`] — the original pipe pair, unchanged behaviour,
+//!   still the default. The job is written to the child's stdin, the
+//!   result stream is read to EOF from its stdout, and liveness is the
+//!   per-attempt deadline alone.
+//! * [`SocketTransport`] — the supervisor binds a loopback listener,
+//!   spawns the worker with the address in its environment
+//!   (`FSA_CONNECT`), and the worker connects back. The connection
+//!   starts with a versioned *hello* frame (worker id, protocol
+//!   version, capability word) the supervisor validates before
+//!   shipping the job, and the worker maintains a *heartbeat* on top
+//!   of the deadline: a link that goes silent for longer than the
+//!   [`SocketConfig`] window is declared dead without waiting out the
+//!   full deadline.
+//!
+//! Both transports classify failures into the same [`FaultKind`]s and
+//! feed the same seeded-backoff retry and in-process degraded fallback
+//! in the supervisor, so the merged campaign report is bit-identical
+//! no matter which transport — or which recovery path — produced each
+//! shard:
+//!
+//! * missed heartbeats / expired deadline → [`FaultKind::Hang`];
+//! * connection reset, premature EOF, or a non-zero exit →
+//!   [`FaultKind::Crash`];
+//! * a stream that fails frame, index, or count validation (including
+//!   a refused hello) → [`FaultKind::CorruptFrame`];
+//! * bind/spawn/accept host failures → [`FaultKind::Spawn`].
+//!
+//! The timing policy lives in [`HeartbeatMonitor`], a pure struct over
+//! caller-supplied millisecond clocks — unit tests drive it with a
+//! mock clock, and no wall-clock value it sees ever reaches a
+//! fingerprint or golden.
+
+use crate::injector::FAULT_ENV;
+use crate::proto::{StreamEvent, StreamParser};
+use crate::supervisor::{ExecutorConfig, FaultKind};
+use crate::worker::{CONNECT_ENV, HEARTBEAT_MS_ENV, WORKER_ID_ENV};
+use fsa_attack::campaign::wire::{self, FrameAccumulator};
+use fsa_attack::campaign::ScenarioOutcome;
+use std::fmt;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Everything one worker attempt needs, borrowed from the supervisor.
+#[derive(Debug, Clone, Copy)]
+pub struct AttemptContext<'a> {
+    /// Shard index (also the worker id the hello frame must carry).
+    pub shard: usize,
+    /// The encoded [`crate::proto::ShardJob`] frame to ship.
+    pub job_bytes: &'a [u8],
+    /// Scenario indices the result stream must cover, in order.
+    pub indices: &'a [usize],
+    /// Fault directive planted in the child's environment, if any.
+    pub directive: Option<crate::injector::FaultDirective>,
+}
+
+/// Liveness bookkeeping one attempt produced. Folded into
+/// [`crate::supervisor::ExecutionLog`] counters; wall-clock-dependent,
+/// so never part of any equality or fingerprint.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AttemptStats {
+    /// Heartbeat frames received over the link.
+    pub heartbeats: u64,
+    /// Hello frames accepted (0 or 1 per attempt).
+    pub registrations: u64,
+}
+
+/// How a shard job reaches a worker process and how its result stream
+/// comes back. Implementations must classify every failure into a
+/// [`FaultKind`] so the supervisor's retry/degrade policy stays
+/// transport-agnostic.
+pub trait Transport: fmt::Debug + Send + Sync {
+    /// Short name for logs and bench output (`"pipe"`, `"socket"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs one worker attempt to completion: spawn, deliver the job,
+    /// collect and validate the result stream, reap the child. Returns
+    /// the validated outcomes or a classified fault, plus the liveness
+    /// stats the attempt produced either way.
+    fn run_attempt(
+        &self,
+        ctx: &AttemptContext<'_>,
+        cfg: &ExecutorConfig,
+    ) -> (
+        Result<Vec<ScenarioOutcome>, (FaultKind, String)>,
+        AttemptStats,
+    );
+}
+
+// ─── pipe ────────────────────────────────────────────────────────────
+
+/// The original stdin/stdout pipe pair — the default transport.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipeTransport;
+
+impl Transport for PipeTransport {
+    fn name(&self) -> &'static str {
+        "pipe"
+    }
+
+    fn run_attempt(
+        &self,
+        ctx: &AttemptContext<'_>,
+        cfg: &ExecutorConfig,
+    ) -> (
+        Result<Vec<ScenarioOutcome>, (FaultKind, String)>,
+        AttemptStats,
+    ) {
+        (pipe_attempt(ctx, cfg), AttemptStats::default())
+    }
+}
+
+/// Spawns one pipe worker attempt, feeds it the job, enforces the
+/// deadline, and validates its output.
+fn pipe_attempt(
+    ctx: &AttemptContext<'_>,
+    cfg: &ExecutorConfig,
+) -> Result<Vec<ScenarioOutcome>, (FaultKind, String)> {
+    let mut cmd = Command::new(&cfg.worker_program);
+    cmd.args(&cfg.worker_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    // A pipe worker must never see a stale socket address.
+    cmd.env_remove(CONNECT_ENV);
+    set_fault_env(&mut cmd, ctx);
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| (FaultKind::Spawn, format!("spawn failed: {e}")))?;
+
+    // Writer thread: the job frame can exceed the pipe buffer, and the
+    // worker streams results concurrently — writing inline would
+    // deadlock once both pipes fill.
+    let mut stdin = child.stdin.take().expect("stdin piped");
+    let job_owned = ctx.job_bytes.to_vec();
+    let writer = std::thread::spawn(move || {
+        // EPIPE here just means the worker died early; the exit status
+        // carries the real story.
+        let _ = stdin.write_all(&job_owned);
+        drop(stdin);
+    });
+    let mut stdout = child.stdout.take().expect("stdout piped");
+    let reader = std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        let _ = stdout.read_to_end(&mut buf);
+        buf
+    });
+
+    let status = wait_deadline(&mut child, cfg.deadline);
+    let _ = writer.join();
+    let output = reader.join().expect("reader thread panicked");
+
+    match status {
+        None => Err((
+            FaultKind::Hang,
+            format!("deadline {:?} expired; worker killed", cfg.deadline),
+        )),
+        Some(Err(e)) => Err((FaultKind::Spawn, format!("wait failed: {e}"))),
+        Some(Ok(st)) if !st.success() => Err((
+            FaultKind::Crash,
+            match st.code() {
+                Some(c) => format!("worker exited with code {c}"),
+                None => "worker killed by signal".to_string(),
+            },
+        )),
+        Some(Ok(_)) => crate::proto::parse_worker_stream(&output, ctx.indices)
+            .map_err(|e| (FaultKind::CorruptFrame, e.to_string())),
+    }
+}
+
+// ─── socket ──────────────────────────────────────────────────────────
+
+/// Timing policy for the socket transport.
+#[derive(Debug, Clone, Copy)]
+pub struct SocketConfig {
+    /// Interval between worker heartbeat frames (milliseconds).
+    pub heartbeat_ms: u64,
+    /// Missed-beat multiplier: the link is declared dead after
+    /// `heartbeat_ms * miss_threshold` milliseconds with no frame of
+    /// any kind arriving.
+    pub miss_threshold: u32,
+    /// Read-poll granularity (the socket read timeout between liveness
+    /// checks).
+    pub poll: Duration,
+}
+
+impl Default for SocketConfig {
+    /// 100 ms beats, a 20-beat (2 s) silence window — wide enough that
+    /// scheduler jitter on a loaded host never trips it, since the
+    /// worker beats from a dedicated thread regardless of how long a
+    /// scenario computes — and a 10 ms read poll.
+    fn default() -> Self {
+        Self {
+            heartbeat_ms: 100,
+            miss_threshold: 20,
+            poll: Duration::from_millis(10),
+        }
+    }
+}
+
+impl SocketConfig {
+    /// The silence window (milliseconds) after which the link is dead.
+    pub fn window_ms(&self) -> u64 {
+        self.heartbeat_ms
+            .saturating_mul(u64::from(self.miss_threshold))
+            .max(1)
+    }
+}
+
+/// Pure missed-heartbeat policy over caller-supplied millisecond
+/// clocks: *any* completed frame counts as a beat (an outcome proves
+/// liveness as well as a heartbeat does), and silence longer than the
+/// window means the link is dead.
+///
+/// Taking `now_ms` as an argument instead of reading a clock keeps the
+/// threshold logic unit-testable on a mock clock and guarantees no
+/// wall-clock value is ever produced by this type.
+#[derive(Debug, Clone, Copy)]
+pub struct HeartbeatMonitor {
+    window_ms: u64,
+    last_ms: u64,
+}
+
+impl HeartbeatMonitor {
+    /// Starts the window at `now_ms` (connection establishment counts
+    /// as the first sign of life). A zero window is clamped to 1 ms so
+    /// `expired` can never trigger at the instant of a beat.
+    pub fn new(window_ms: u64, now_ms: u64) -> Self {
+        Self {
+            window_ms: window_ms.max(1),
+            last_ms: now_ms,
+        }
+    }
+
+    /// Records a sign of life at `now_ms`. Monotonic: a stale
+    /// timestamp never rewinds the window.
+    pub fn beat(&mut self, now_ms: u64) {
+        self.last_ms = self.last_ms.max(now_ms);
+    }
+
+    /// Whether the link has been silent for *longer than* the window
+    /// at `now_ms` — a beat landing exactly on the boundary is still
+    /// in time.
+    pub fn expired(&self, now_ms: u64) -> bool {
+        now_ms.saturating_sub(self.last_ms) > self.window_ms
+    }
+
+    /// Milliseconds of silence as of `now_ms`.
+    pub fn idle_ms(&self, now_ms: u64) -> u64 {
+        now_ms.saturating_sub(self.last_ms)
+    }
+
+    /// The configured silence window in milliseconds.
+    pub fn window_ms(&self) -> u64 {
+        self.window_ms
+    }
+}
+
+/// The loopback TCP transport: bind, spawn, accept, validate the
+/// hello, ship the job, stream results under heartbeat supervision.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SocketTransport {
+    /// Timing policy for registration, heartbeats, and read polls.
+    pub config: SocketConfig,
+}
+
+impl SocketTransport {
+    /// A socket transport with the given timing policy.
+    pub fn new(config: SocketConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl Transport for SocketTransport {
+    fn name(&self) -> &'static str {
+        "socket"
+    }
+
+    fn run_attempt(
+        &self,
+        ctx: &AttemptContext<'_>,
+        cfg: &ExecutorConfig,
+    ) -> (
+        Result<Vec<ScenarioOutcome>, (FaultKind, String)>,
+        AttemptStats,
+    ) {
+        let _span = fsa_telemetry::span("socket_attempt");
+        let mut stats = AttemptStats::default();
+        let result = socket_attempt(&self.config, ctx, cfg, &mut stats);
+        if fsa_telemetry::enabled() {
+            fsa_telemetry::counter("harness.socket.attempts", 1);
+            fsa_telemetry::counter("harness.socket.heartbeats", stats.heartbeats);
+            fsa_telemetry::counter("harness.socket.registrations", stats.registrations);
+        }
+        (result, stats)
+    }
+}
+
+/// Milliseconds elapsed since `start`, saturating.
+fn elapsed_ms(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX)
+}
+
+/// Applies the attempt's fault directive to the child's environment —
+/// and scrubs any directive leaking in from the supervisor's own
+/// environment when the planner wanted this spawn clean.
+fn set_fault_env(cmd: &mut Command, ctx: &AttemptContext<'_>) {
+    match ctx.directive {
+        Some(d) => {
+            cmd.env(FAULT_ENV, d.to_env());
+        }
+        None => {
+            cmd.env_remove(FAULT_ENV);
+        }
+    }
+}
+
+/// One socket worker attempt. The child is always reaped before this
+/// returns, on every path.
+fn socket_attempt(
+    sc: &SocketConfig,
+    ctx: &AttemptContext<'_>,
+    cfg: &ExecutorConfig,
+    stats: &mut AttemptStats,
+) -> Result<Vec<ScenarioOutcome>, (FaultKind, String)> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))
+        .map_err(|e| (FaultKind::Spawn, format!("bind failed: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| (FaultKind::Spawn, format!("local_addr failed: {e}")))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| (FaultKind::Spawn, format!("set_nonblocking failed: {e}")))?;
+
+    let mut cmd = Command::new(&cfg.worker_program);
+    cmd.args(&cfg.worker_args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .env(CONNECT_ENV, addr.to_string())
+        .env(WORKER_ID_ENV, ctx.shard.to_string())
+        .env(HEARTBEAT_MS_ENV, sc.heartbeat_ms.to_string());
+    set_fault_env(&mut cmd, ctx);
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| (FaultKind::Spawn, format!("spawn failed: {e}")))?;
+
+    let result = drive_connection(sc, ctx, cfg, stats, &listener, &mut child);
+    // Whatever path we took, the child never outlives the attempt.
+    // Both calls are harmless no-ops on an already-reaped child.
+    let _ = child.kill();
+    let _ = child.wait();
+    result
+}
+
+/// Accept → hello → job → supervised result stream → exit status.
+fn drive_connection(
+    sc: &SocketConfig,
+    ctx: &AttemptContext<'_>,
+    cfg: &ExecutorConfig,
+    stats: &mut AttemptStats,
+    listener: &TcpListener,
+    child: &mut Child,
+) -> Result<Vec<ScenarioOutcome>, (FaultKind, String)> {
+    let start = Instant::now();
+
+    // Accept, watching for the child dying before it ever connects and
+    // for the attempt deadline.
+    let mut stream = loop {
+        match listener.accept() {
+            Ok((s, _)) => break s,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                if let Ok(Some(st)) = child.try_wait() {
+                    return Err((
+                        FaultKind::Crash,
+                        match st.code() {
+                            Some(c) => format!("worker exited before connecting (code {c})"),
+                            None => "worker killed by signal before connecting".to_string(),
+                        },
+                    ));
+                }
+                if start.elapsed() >= cfg.deadline {
+                    return Err((
+                        FaultKind::Hang,
+                        format!(
+                            "deadline {:?} expired before worker connected",
+                            cfg.deadline
+                        ),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err((FaultKind::Spawn, format!("accept failed: {e}"))),
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    stream
+        .set_read_timeout(Some(sc.poll.max(Duration::from_millis(1))))
+        .map_err(|e| (FaultKind::Spawn, format!("set_read_timeout failed: {e}")))?;
+
+    // Registration: the first frame must be a valid hello naming this
+    // shard and the current protocol version. Silence here is bounded
+    // by the heartbeat window, not the full deadline — a connected
+    // worker that never registers is already dead.
+    let window_ms = sc.window_ms();
+    let mut acc = FrameAccumulator::new();
+    let mut buf = [0u8; 8192];
+    let hello_frame = loop {
+        if start.elapsed() >= cfg.deadline || elapsed_ms(start) > window_ms {
+            return Err((
+                FaultKind::Hang,
+                format!("worker connected but sent no hello within {window_ms} ms"),
+            ));
+        }
+        match read_some(&mut stream, &mut buf)? {
+            ReadStep::Eof => {
+                return Err(exit_fault(
+                    child,
+                    cfg,
+                    start,
+                    "connection closed before registration",
+                ));
+            }
+            ReadStep::Idle => continue,
+            ReadStep::Data(n) => {
+                acc.push(&buf[..n]);
+                match acc.next_frame() {
+                    Ok(Some(f)) => break f,
+                    Ok(None) => continue,
+                    Err(e) => return Err((FaultKind::CorruptFrame, format!("bad hello: {e}"))),
+                }
+            }
+        }
+    };
+    if &hello_frame.tag != wire::HELLO_TAG {
+        return Err((
+            FaultKind::CorruptFrame,
+            format!(
+                "expected hello frame, got tag {:?}",
+                String::from_utf8_lossy(&hello_frame.tag)
+            ),
+        ));
+    }
+    let hello = wire::decode_hello_payload(&hello_frame.payload)
+        .map_err(|e| (FaultKind::CorruptFrame, e.to_string()))?;
+    if hello.worker_id != ctx.shard as u64 {
+        return Err((
+            FaultKind::CorruptFrame,
+            format!(
+                "hello worker id {} does not match shard {}",
+                hello.worker_id, ctx.shard
+            ),
+        ));
+    }
+    let required = wire::CAP_HEARTBEAT | wire::CAP_SHARD_JOBS;
+    if hello.capabilities & required != required {
+        return Err((
+            FaultKind::CorruptFrame,
+            format!(
+                "hello capabilities {:#x} missing required {required:#x}",
+                hello.capabilities
+            ),
+        ));
+    }
+    stats.registrations += 1;
+    if fsa_telemetry::enabled() {
+        fsa_telemetry::event(
+            "harness.socket.registered",
+            vec![
+                (
+                    "shard".to_string(),
+                    fsa_telemetry::Value::U64(ctx.shard as u64),
+                ),
+                (
+                    "capabilities".to_string(),
+                    fsa_telemetry::Value::U64(hello.capabilities),
+                ),
+            ],
+        );
+    }
+
+    // Ship the job. A write failure means the link already died.
+    if let Err(e) = stream.write_all(ctx.job_bytes) {
+        return Err(exit_fault(
+            child,
+            cfg,
+            start,
+            &format!("job write failed: {e}"),
+        ));
+    }
+
+    // Result stream under heartbeat supervision. Any completed frame —
+    // outcome, heartbeat, or END — counts as a beat.
+    let mut parser = StreamParser::new(ctx.indices);
+    let mut monitor = HeartbeatMonitor::new(window_ms, elapsed_ms(start));
+    let residual = acc.take_residual();
+    if !residual.is_empty() {
+        track_events(
+            parser.push(&residual).map_err(corrupt)?,
+            &mut monitor,
+            stats,
+            elapsed_ms(start),
+        );
+    }
+    loop {
+        let now_ms = elapsed_ms(start);
+        if start.elapsed() >= cfg.deadline {
+            return Err((
+                FaultKind::Hang,
+                format!("deadline {:?} expired; worker killed", cfg.deadline),
+            ));
+        }
+        if monitor.expired(now_ms) {
+            return Err((
+                FaultKind::Hang,
+                format!(
+                    "heartbeat window expired: {} ms silent (window {} ms)",
+                    monitor.idle_ms(now_ms),
+                    monitor.window_ms()
+                ),
+            ));
+        }
+        match read_some(&mut stream, &mut buf)? {
+            ReadStep::Eof => break,
+            ReadStep::Idle => continue,
+            ReadStep::Data(n) => {
+                track_events(
+                    parser.push(&buf[..n]).map_err(corrupt)?,
+                    &mut monitor,
+                    stats,
+                    elapsed_ms(start),
+                );
+            }
+        }
+    }
+
+    // EOF: the worker should exit promptly; reap it within what's left
+    // of the deadline and let the exit status speak before the stream
+    // does — a partition mid-stream is a crash, not a corrupt frame.
+    let remaining = cfg.deadline.saturating_sub(start.elapsed());
+    match wait_deadline(child, remaining) {
+        None => Err((
+            FaultKind::Hang,
+            "worker closed its link but did not exit".to_string(),
+        )),
+        Some(Err(e)) => Err((FaultKind::Spawn, format!("wait failed: {e}"))),
+        Some(Ok(st)) if !st.success() => Err((
+            FaultKind::Crash,
+            match st.code() {
+                Some(c) => format!("worker exited with code {c}"),
+                None => "worker killed by signal".to_string(),
+            },
+        )),
+        Some(Ok(_)) => parser.finish().map_err(corrupt),
+    }
+}
+
+fn corrupt(e: crate::proto::ProtoError) -> (FaultKind, String) {
+    (FaultKind::CorruptFrame, e.to_string())
+}
+
+/// Folds a batch of stream events into the liveness state.
+fn track_events(
+    events: Vec<StreamEvent>,
+    monitor: &mut HeartbeatMonitor,
+    stats: &mut AttemptStats,
+    now_ms: u64,
+) {
+    if !events.is_empty() {
+        monitor.beat(now_ms);
+    }
+    stats.heartbeats += events
+        .iter()
+        .filter(|e| matches!(e, StreamEvent::Heartbeat(_)))
+        .count() as u64;
+}
+
+/// One poll-bounded socket read, with transient error kinds folded
+/// into an idle step and hard errors classified as a crash (connection
+/// reset — the peer vanished mid-stream).
+enum ReadStep {
+    Data(usize),
+    Idle,
+    Eof,
+}
+
+fn read_some(stream: &mut TcpStream, buf: &mut [u8]) -> Result<ReadStep, (FaultKind, String)> {
+    match stream.read(buf) {
+        Ok(0) => Ok(ReadStep::Eof),
+        Ok(n) => Ok(ReadStep::Data(n)),
+        Err(e)
+            if matches!(
+                e.kind(),
+                ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+            ) =>
+        {
+            Ok(ReadStep::Idle)
+        }
+        Err(e) => Err((FaultKind::Crash, format!("connection reset: {e}"))),
+    }
+}
+
+/// Classifies a link that died early by the child's exit status: a
+/// non-zero (or signalled) exit is the crash story, a clean exit with
+/// a dead link is protocol misbehaviour.
+fn exit_fault(
+    child: &mut Child,
+    cfg: &ExecutorConfig,
+    start: Instant,
+    what: &str,
+) -> (FaultKind, String) {
+    let remaining = cfg.deadline.saturating_sub(start.elapsed());
+    match wait_deadline(child, remaining) {
+        Some(Ok(st)) if !st.success() => (
+            FaultKind::Crash,
+            match st.code() {
+                Some(c) => format!("{what}; worker exited with code {c}"),
+                None => format!("{what}; worker killed by signal"),
+            },
+        ),
+        Some(Ok(_)) => (FaultKind::CorruptFrame, format!("{what}; worker exited 0")),
+        Some(Err(e)) => (FaultKind::Spawn, format!("{what}; wait failed: {e}")),
+        None => (FaultKind::Hang, format!("{what}; worker did not exit")),
+    }
+}
+
+/// Polls the child until it exits or the deadline expires; on expiry
+/// kills it (and reaps it) and returns `None`.
+pub(crate) fn wait_deadline(
+    child: &mut Child,
+    deadline: Duration,
+) -> Option<std::io::Result<std::process::ExitStatus>> {
+    let start = Instant::now();
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return Some(Ok(status)),
+            Ok(None) => {
+                if start.elapsed() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return None;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Some(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ── HeartbeatMonitor on a mock clock ─────────────────────────────
+
+    #[test]
+    fn silence_longer_than_the_window_expires() {
+        let m = HeartbeatMonitor::new(500, 1_000);
+        assert!(!m.expired(1_000));
+        assert!(!m.expired(1_400));
+        // Exactly on the boundary is still alive …
+        assert!(!m.expired(1_500));
+        // … one past it is dead.
+        assert!(m.expired(1_501));
+        assert_eq!(m.idle_ms(1_501), 501);
+    }
+
+    #[test]
+    fn a_beat_just_in_time_resets_the_window() {
+        let mut m = HeartbeatMonitor::new(500, 0);
+        // Beat exactly at the threshold: still in time, window restarts.
+        m.beat(500);
+        assert!(!m.expired(1_000));
+        assert!(m.expired(1_001));
+        // Another beat keeps it alive again.
+        m.beat(1_000);
+        assert!(!m.expired(1_500));
+    }
+
+    #[test]
+    fn crossing_the_threshold_is_detected_at_every_later_instant() {
+        let mut m = HeartbeatMonitor::new(100, 0);
+        m.beat(50);
+        for now in 151..200 {
+            assert!(m.expired(now), "silent {now} ms should be expired");
+        }
+    }
+
+    #[test]
+    fn stale_beats_never_rewind_the_window() {
+        let mut m = HeartbeatMonitor::new(100, 0);
+        m.beat(500);
+        // A reordered, older timestamp must not extend the deadline
+        // backwards.
+        m.beat(200);
+        assert!(!m.expired(600));
+        assert!(m.expired(601));
+    }
+
+    #[test]
+    fn zero_window_is_clamped() {
+        let m = HeartbeatMonitor::new(0, 10);
+        assert!(!m.expired(10));
+        assert!(m.expired(12));
+    }
+
+    #[test]
+    fn socket_config_window_is_beat_times_threshold() {
+        let sc = SocketConfig::default();
+        assert_eq!(
+            sc.window_ms(),
+            sc.heartbeat_ms * u64::from(sc.miss_threshold)
+        );
+        let tiny = SocketConfig {
+            heartbeat_ms: 0,
+            miss_threshold: 0,
+            poll: Duration::from_millis(1),
+        };
+        assert_eq!(tiny.window_ms(), 1);
+        let huge = SocketConfig {
+            heartbeat_ms: u64::MAX,
+            miss_threshold: 2,
+            poll: Duration::from_millis(1),
+        };
+        assert_eq!(huge.window_ms(), u64::MAX);
+    }
+
+    #[test]
+    fn transport_names_are_stable() {
+        // Bench output and CI matrix legs key on these strings.
+        assert_eq!(PipeTransport.name(), "pipe");
+        assert_eq!(SocketTransport::default().name(), "socket");
+    }
+}

@@ -3,17 +3,27 @@
 //! A worker is the *same binary* as the supervisor, re-spawned with a
 //! hidden [`WORKER_FLAG`] argument: bins call [`maybe_run_worker`] as
 //! their first statement, so in worker mode the process never reaches
-//! the bin's own logic. The worker reads one [`ShardJob`] frame from
-//! stdin, rebuilds the campaign locally, runs its assigned scenario
-//! indices one at a time through the *same* `Campaign::run_indices`
-//! path the single-process engine uses (this is what makes sharded
-//! output bit-identical), and streams one outcome frame per scenario to
-//! stdout, finishing with an END frame.
+//! the bin's own logic. Two link modes share one shard loop:
 //!
-//! If [`FAULT_ENV`] carries a
-//! [`FaultDirective`], the worker sabotages itself accordingly — the
-//! only component that ever *enacts* a fault is the worker, and only
-//! when the supervisor explicitly planted one in its environment.
+//! * **pipe** (default): the worker reads one
+//!   [`ShardJob`] frame from stdin, streams one outcome frame per
+//!   scenario to stdout, and finishes with an END frame.
+//! * **socket** (when [`CONNECT_ENV`] names a supervisor address): the
+//!   worker connects back, registers with a versioned hello frame
+//!   carrying its [`WORKER_ID_ENV`] identity and capability word,
+//!   receives the job over the same connection (accumulated
+//!   incrementally — a socket has no EOF to delimit it), and beats a
+//!   heartbeat every [`HEARTBEAT_MS_ENV`] milliseconds from a
+//!   dedicated thread while the shard computes.
+//!
+//! Either way the scenarios run one at a time through the *same*
+//! `Campaign::run_indices` path the single-process engine uses — this
+//! is what makes sharded output bit-identical.
+//!
+//! If [`FAULT_ENV`] carries a [`FaultDirective`], the worker sabotages
+//! itself accordingly — the only component that ever *enacts* a fault
+//! is the worker, and only when the supervisor explicitly planted one
+//! in its environment.
 
 use crate::injector::{FaultDirective, FAULT_ENV};
 use crate::proto::ShardJob;
@@ -22,7 +32,10 @@ use fsa_attack::{AttackMethod, Campaign, FsaMethod};
 use fsa_baselines::{GdaMethod, SbaMethod};
 use fsa_nn::feature_cache::FeatureCache;
 use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Hidden argv flag that switches a bin into worker mode.
 pub const WORKER_FLAG: &str = "--worker";
@@ -30,8 +43,25 @@ pub const WORKER_FLAG: &str = "--worker";
 /// Exit code for a job that could not be read or decoded.
 pub const EXIT_BAD_JOB: i32 = 2;
 
-/// Exit code used by the injected [`FaultDirective::KillAfter`] crash.
+/// Exit code used by the injected [`FaultDirective::KillAfter`] and
+/// [`FaultDirective::Partition`] crashes.
 pub const EXIT_INJECTED_KILL: i32 = 86;
+
+/// Environment variable carrying the supervisor's listener address
+/// (`host:port`). Present → the worker runs in socket mode.
+pub const CONNECT_ENV: &str = "FSA_CONNECT";
+
+/// Environment variable carrying the worker's shard identity; echoed
+/// back in the hello frame so the supervisor can verify it accepted
+/// the worker it spawned.
+pub const WORKER_ID_ENV: &str = "FSA_WORKER_ID";
+
+/// Environment variable carrying the heartbeat interval in
+/// milliseconds; [`DEFAULT_HEARTBEAT_MS`] when absent or garbled.
+pub const HEARTBEAT_MS_ENV: &str = "FSA_HEARTBEAT_MS";
+
+/// Heartbeat interval used when the supervisor didn't specify one.
+pub const DEFAULT_HEARTBEAT_MS: u64 = 100;
 
 /// Resolves a campaign method by its wire name.
 ///
@@ -75,12 +105,193 @@ fn corrupt_frame(frame: &mut [u8], byte: u32, bit: u8) {
 }
 
 /// Worker-mode entry point: read job, run shard, stream outcomes, exit.
+/// Dispatches to the socket link when [`CONNECT_ENV`] is set, the pipe
+/// link otherwise.
 ///
 /// Never returns. Exit codes: `0` on success (including an injected
 /// truncation, which is a *clean* exit with torn output),
 /// [`EXIT_BAD_JOB`] if the job cannot be read or decoded, and
-/// [`EXIT_INJECTED_KILL`] for an injected crash.
+/// [`EXIT_INJECTED_KILL`] for an injected crash or partition.
 pub fn worker_main() -> ! {
+    match std::env::var(CONNECT_ENV) {
+        Ok(addr) => socket_worker_main(&addr),
+        Err(_) => pipe_worker_main(),
+    }
+}
+
+/// Where a worker's frames go. One implementation per link mode; the
+/// shard loop in [`stream_shard`] is link-agnostic.
+trait FrameSink {
+    /// Writes raw bytes (a whole frame, or a deliberate fragment for
+    /// the truncation fault), applying any injected pacing first.
+    fn write_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()>;
+
+    /// Hard-drops the link for [`FaultDirective::Partition`]: sockets
+    /// shut the connection down, pipes have nothing to do beyond the
+    /// non-zero exit that follows.
+    fn abort_link(&mut self);
+
+    /// Writes the END frame (plus an optional trailing frame a reorder
+    /// fault held back) and exits 0, guaranteeing nothing else — in
+    /// particular no late heartbeat — lands on the link afterwards.
+    fn finish(&mut self, end_frame: &[u8], trailing: Option<&[u8]>) -> !;
+}
+
+/// Pipe sink: frames go to stdout, pacing is a plain sleep.
+struct StdoutSink {
+    out: std::io::Stdout,
+    pace_ms: Option<u64>,
+}
+
+impl FrameSink for StdoutSink {
+    fn write_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        if let Some(ms) = self.pace_ms {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        let mut out = self.out.lock();
+        out.write_all(bytes)?;
+        out.flush()
+    }
+
+    fn abort_link(&mut self) {}
+
+    fn finish(&mut self, end_frame: &[u8], trailing: Option<&[u8]>) -> ! {
+        let _ = self.write_bytes(end_frame);
+        if let Some(t) = trailing {
+            let _ = self.write_bytes(t);
+        }
+        exit(0)
+    }
+}
+
+/// Socket sink: frames go to the supervisor connection, shared with
+/// the heartbeat thread through a mutex so no two frames ever tear
+/// each other.
+struct SocketSink {
+    stream: Arc<Mutex<TcpStream>>,
+    /// Tells the heartbeat thread to stand down; checked under the
+    /// stream lock, so once `finish` holds the lock with this set, no
+    /// further heartbeat can ever be written.
+    stop_beats: Arc<AtomicBool>,
+    pace_ms: Option<u64>,
+}
+
+impl FrameSink for SocketSink {
+    fn write_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        if let Some(ms) = self.pace_ms {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+        let mut s = self.stream.lock().expect("stream lock poisoned");
+        s.write_all(bytes)?;
+        s.flush()
+    }
+
+    fn abort_link(&mut self) {
+        let s = self.stream.lock().expect("stream lock poisoned");
+        let _ = s.shutdown(Shutdown::Both);
+    }
+
+    fn finish(&mut self, end_frame: &[u8], trailing: Option<&[u8]>) -> ! {
+        // Order matters: raise the stop flag, then take the lock. The
+        // heartbeat thread checks the flag *inside* the lock, so from
+        // here on the link carries only what this method writes — a
+        // late heartbeat after END would read as trailing bytes.
+        self.stop_beats.store(true, Ordering::SeqCst);
+        let mut s = self.stream.lock().expect("stream lock poisoned");
+        let _ = s.write_all(end_frame);
+        if let Some(t) = trailing {
+            let _ = s.write_all(t);
+        }
+        let _ = s.flush();
+        exit(0)
+    }
+}
+
+/// The link-agnostic shard loop: enact the fault directive, run each
+/// scenario through `Campaign::run_indices`, stream the frames.
+/// Never returns.
+fn stream_shard(job: &ShardJob, directive: Option<FaultDirective>, sink: &mut dyn FrameSink) -> ! {
+    if let Some(FaultDirective::StallMs(ms)) = directive {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    let Some(method) = method_from_name(&job.method) else {
+        eprintln!("worker: unknown method {:?}", job.method);
+        exit(EXIT_BAD_JOB);
+    };
+    let cache = FeatureCache::from_features(job.features.clone());
+    let campaign = Campaign::new(&job.head, job.selection.clone(), cache, job.labels.clone());
+
+    // A reorder fault holds one frame back until the next one has gone
+    // out (or until after END, when it held the last).
+    let mut held: Option<Vec<u8>> = None;
+    for (pos, &idx) in job.indices.iter().enumerate() {
+        if let Some(FaultDirective::KillAfter(n)) = directive {
+            if pos as u32 == n {
+                exit(EXIT_INJECTED_KILL);
+            }
+        }
+        if let Some(FaultDirective::Partition(n)) = directive {
+            if pos as u32 == n {
+                // Drop the link mid-stream, then die non-zero: the
+                // supervisor sees the half-finished stream and the
+                // exit status, and classifies a crash.
+                sink.abort_link();
+                exit(EXIT_INJECTED_KILL);
+            }
+        }
+        // One scenario per frame: a crash mid-shard still leaves a
+        // decodable prefix, and the supervisor sees progress as it
+        // happens rather than all at once.
+        let outcomes = campaign.run_indices(&job.spec, method.as_ref(), &[idx]);
+        let mut frame = wire::encode_outcome_frame(&outcomes[0]);
+        match directive {
+            Some(FaultDirective::TruncateFrame(n)) if pos as u32 == n => {
+                let half = frame.len() / 2;
+                let _ = sink.write_bytes(&frame[..half]);
+                exit(0);
+            }
+            Some(FaultDirective::FlipBit {
+                frame: fi,
+                byte,
+                bit,
+            }) if pos as u32 == fi => {
+                corrupt_frame(&mut frame, byte, bit);
+            }
+            _ => {}
+        }
+        // Replay the link write: the same valid, checksummed frame
+        // lands twice. The normal write below emits the second copy;
+        // the stream-level duplicate-index check is the only layer
+        // that can catch this.
+        if directive == Some(FaultDirective::DuplicateFrame(pos as u32))
+            && sink.write_bytes(&frame).is_err()
+        {
+            exit(EXIT_BAD_JOB);
+        }
+        if matches!(directive, Some(FaultDirective::ReorderFrames(n)) if pos as u32 == n) {
+            held = Some(frame);
+            continue;
+        }
+        if sink.write_bytes(&frame).is_err() {
+            // Supervisor hung up (e.g. killed us between signals).
+            exit(EXIT_BAD_JOB);
+        }
+        if let Some(h) = held.take() {
+            // Deliver the held frame one slot late — individually
+            // valid, collectively out of order.
+            if sink.write_bytes(&h).is_err() {
+                exit(EXIT_BAD_JOB);
+            }
+        }
+    }
+    let end = wire::encode_end_frame(job.indices.len() as u64);
+    // A held *last* frame lands after END: bytes past END are exactly
+    // what the trailing-bytes check rejects.
+    sink.finish(&end, held.as_deref())
+}
+
+/// Pipe-mode entry: read the job from stdin to EOF, stream to stdout.
+fn pipe_worker_main() -> ! {
     let mut bytes = Vec::new();
     if std::io::stdin().read_to_end(&mut bytes).is_err() {
         exit(EXIT_BAD_JOB);
@@ -95,63 +306,129 @@ pub fn worker_main() -> ! {
     let directive = std::env::var(FAULT_ENV)
         .ok()
         .and_then(|s| FaultDirective::from_env_str(&s));
-    if let Some(FaultDirective::StallMs(ms)) = directive {
-        std::thread::sleep(std::time::Duration::from_millis(ms));
-    }
-    let Some(method) = method_from_name(&job.method) else {
-        eprintln!("worker: unknown method {:?}", job.method);
+    let mut sink = StdoutSink {
+        out: std::io::stdout(),
+        pace_ms: match directive {
+            Some(FaultDirective::SlowLinkMs(ms)) => Some(ms),
+            _ => None,
+        },
+    };
+    stream_shard(&job, directive, &mut sink)
+}
+
+/// Socket-mode entry: connect back to the supervisor, register with a
+/// hello frame, receive the job over the connection, heartbeat from a
+/// dedicated thread, stream the shard.
+fn socket_worker_main(addr: &str) -> ! {
+    let Ok(worker_id) = std::env::var(WORKER_ID_ENV)
+        .unwrap_or_default()
+        .trim()
+        .parse::<u64>()
+    else {
+        eprintln!("worker: missing or invalid {WORKER_ID_ENV}");
         exit(EXIT_BAD_JOB);
     };
-    let cache = FeatureCache::from_features(job.features.clone());
-    let campaign = Campaign::new(&job.head, job.selection.clone(), cache, job.labels.clone());
+    let heartbeat_ms = std::env::var(HEARTBEAT_MS_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .unwrap_or(DEFAULT_HEARTBEAT_MS)
+        .max(1);
+    let mut stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("worker: connect to {addr} failed: {e}");
+            exit(EXIT_BAD_JOB);
+        }
+    };
+    let _ = stream.set_nodelay(true);
 
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    for (pos, &idx) in job.indices.iter().enumerate() {
-        if let Some(FaultDirective::KillAfter(n)) = directive {
-            if pos as u32 == n {
-                exit(EXIT_INJECTED_KILL);
-            }
-        }
-        // One scenario per frame: a crash mid-shard still leaves a
-        // decodable prefix, and the supervisor sees progress as it
-        // happens rather than all at once.
-        let outcomes = campaign.run_indices(&job.spec, method.as_ref(), &[idx]);
-        let mut frame = wire::encode_outcome_frame(&outcomes[0]);
-        match directive {
-            Some(FaultDirective::TruncateFrame(n)) if pos as u32 == n => {
-                let half = frame.len() / 2;
-                let _ = out.write_all(&frame[..half]);
-                let _ = out.flush();
-                exit(0);
-            }
-            Some(FaultDirective::FlipBit {
-                frame: fi,
-                byte,
-                bit,
-            }) if pos as u32 == fi => {
-                corrupt_frame(&mut frame, byte, bit);
-            }
-            _ => {}
-        }
-        // Replay the pipe write: the same valid, checksummed frame
-        // lands twice. The normal write below emits the second copy;
-        // the stream-level duplicate-index check is the only layer
-        // that can catch this.
-        if directive == Some(FaultDirective::DuplicateFrame(pos as u32))
-            && out.write_all(&frame).is_err()
-        {
-            exit(EXIT_BAD_JOB);
-        }
-        if out.write_all(&frame).and_then(|()| out.flush()).is_err() {
-            // Supervisor hung up (e.g. killed us between signals).
-            exit(EXIT_BAD_JOB);
-        }
+    // Register before anything else: the supervisor refuses to ship a
+    // job to a link that hasn't proved its identity and version.
+    let hello = wire::encode_hello_frame(&wire::WorkerHello::current(worker_id));
+    if stream
+        .write_all(&hello)
+        .and_then(|()| stream.flush())
+        .is_err()
+    {
+        exit(EXIT_BAD_JOB);
     }
-    let end = wire::encode_end_frame(job.indices.len() as u64);
-    let _ = out.write_all(&end);
-    let _ = out.flush();
-    exit(0);
+
+    // The job arrives as one frame with no EOF to delimit it —
+    // accumulate across short reads until it completes.
+    let mut acc = wire::FrameAccumulator::new();
+    let mut buf = [0u8; 8192];
+    let job_frame = loop {
+        match stream.read(&mut buf) {
+            Ok(0) => exit(EXIT_BAD_JOB),
+            Ok(n) => {
+                acc.push(&buf[..n]);
+                match acc.next_frame() {
+                    Ok(Some(f)) => break f,
+                    Ok(None) => continue,
+                    Err(e) => {
+                        eprintln!("worker: bad job frame: {e}");
+                        exit(EXIT_BAD_JOB);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                eprintln!("worker: job read failed: {e}");
+                exit(EXIT_BAD_JOB);
+            }
+        }
+    };
+    let job = match ShardJob::from_frame(&job_frame) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("worker: bad job frame: {e}");
+            exit(EXIT_BAD_JOB);
+        }
+    };
+
+    let directive = std::env::var(FAULT_ENV)
+        .ok()
+        .and_then(|s| FaultDirective::from_env_str(&s));
+    let stream = Arc::new(Mutex::new(stream));
+    let stop_beats = Arc::new(AtomicBool::new(false));
+
+    // Heartbeat thread: proves liveness however long a scenario
+    // computes. A slow-link fault suppresses it — that's the point of
+    // the fault: silence that trips the window while every frame that
+    // does arrive stays checksum-clean.
+    let slow_link = matches!(directive, Some(FaultDirective::SlowLinkMs(_)));
+    if !slow_link {
+        let beat_stream = Arc::clone(&stream);
+        let beat_stop = Arc::clone(&stop_beats);
+        std::thread::spawn(move || {
+            let mut seq = 0u64;
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(heartbeat_ms));
+                let frame = wire::encode_heartbeat_frame(&wire::Heartbeat { worker_id, seq });
+                let mut s = beat_stream.lock().expect("stream lock poisoned");
+                // Checked under the lock: once the main thread raises
+                // the flag while holding the lock, no beat can follow
+                // the END frame.
+                if beat_stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if s.write_all(&frame).and_then(|()| s.flush()).is_err() {
+                    return;
+                }
+                seq += 1;
+            }
+        });
+    }
+
+    let mut sink = SocketSink {
+        stream,
+        stop_beats,
+        pace_ms: match directive {
+            Some(FaultDirective::SlowLinkMs(ms)) => Some(ms),
+            _ => None,
+        },
+    };
+    stream_shard(&job, directive, &mut sink)
 }
 
 #[cfg(test)]

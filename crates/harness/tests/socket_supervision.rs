@@ -1,0 +1,296 @@
+//! Socket-transport supervision battery: the loopback TCP link carries
+//! the same bits as the pipe pair and the single-process engine — on
+//! clean sweeps, under every network fault class, and under a seeded
+//! plan drawing from the full fault alphabet.
+//!
+//! Workers are real processes connecting back over 127.0.0.1: the full
+//! bind/spawn/accept/hello/heartbeat machinery is exercised, not a
+//! mock. Fault classification contract under test:
+//!
+//! | injected fault            | classification   |
+//! |---------------------------|------------------|
+//! | partition (link dropped)  | `Crash`          |
+//! | slow link (paced writes)  | `Hang`           |
+//! | duplicated frame delivery | `CorruptFrame`   |
+//! | reordered frame delivery  | `CorruptFrame`   |
+//!
+//! — each recovering to the reference fingerprint through the same
+//! seeded-backoff retry the pipe transport uses.
+
+use fsa_attack::campaign::{CampaignReport, CampaignSpec};
+use fsa_attack::solver::AttackConfig;
+use fsa_attack::{Campaign, FsaMethod, ParamSelection};
+use fsa_harness::injector::{FaultDirective, FaultPlanner};
+use fsa_harness::supervisor::{
+    ExecutionLog, ExecutorConfig, FaultKind, ShardResolution, ShardedCampaign,
+};
+use fsa_harness::transport::{SocketConfig, SocketTransport};
+use fsa_nn::feature_cache::FeatureCache;
+use fsa_nn::head::FcHead;
+use fsa_tensor::{Prng, Tensor};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Same victim as the pipe battery: cross-battery fingerprints must
+/// agree, so the fixtures must too.
+fn fixture() -> (FcHead, FeatureCache, Vec<usize>) {
+    let mut rng = Prng::new(41);
+    let head = FcHead::from_dims(&[8, 16, 4], &mut rng);
+    let pool = Tensor::randn(&[30, 8], 1.0, &mut rng);
+    let labels = head.predict(&pool);
+    (head, FeatureCache::from_features(pool), labels)
+}
+
+/// Six scenarios (S ∈ {1,2} × K ∈ {2,3,4}), short solves.
+fn spec() -> CampaignSpec {
+    CampaignSpec::grid(vec![1, 2], vec![2, 3, 4]).with_config(AttackConfig {
+        iterations: 25,
+        ..AttackConfig::default()
+    })
+}
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_shard_worker"))
+}
+
+/// Pipe-transport config (the cross-transport control).
+fn pipe_config(shards: usize) -> ExecutorConfig {
+    ExecutorConfig::new(shards)
+        .with_worker(worker_bin(), vec![])
+        .with_backoff(5, 3)
+        .with_planner(None)
+}
+
+/// Socket-transport config with the default timing policy.
+fn socket_config(shards: usize) -> ExecutorConfig {
+    pipe_config(shards).with_transport(Arc::new(SocketTransport::default()))
+}
+
+fn reference(spec: &CampaignSpec) -> CampaignReport {
+    let (head, cache, labels) = fixture();
+    let campaign = Campaign::new(&head, ParamSelection::last_layer(&head), cache, labels);
+    campaign.run_method(spec, &FsaMethod)
+}
+
+fn sharded(spec: &CampaignSpec, cfg: &ExecutorConfig) -> (CampaignReport, ExecutionLog) {
+    let (head, cache, labels) = fixture();
+    let campaign = ShardedCampaign::new(&head, ParamSelection::last_layer(&head), cache, labels);
+    let run = campaign.run(spec, "fsa", cfg);
+    (run.report, run.log)
+}
+
+#[test]
+fn clean_socket_sweep_matches_single_process_and_pipe_bit_for_bit() {
+    let spec = spec();
+    let reference = reference(&spec);
+    for shards in [1usize, 2, 3, 8] {
+        let (socket_report, socket_log) = sharded(&spec, &socket_config(shards));
+        let (pipe_report, _) = sharded(&spec, &pipe_config(shards));
+        assert_eq!(
+            socket_report, reference,
+            "{shards} shards over socket diverged from single-process"
+        );
+        assert_eq!(socket_report.fingerprint(), reference.fingerprint());
+        assert_eq!(
+            socket_report, pipe_report,
+            "{shards} shards: socket and pipe transports disagree"
+        );
+        assert!(
+            socket_log.events.is_empty(),
+            "clean socket run logged faults: {socket_log:?}"
+        );
+        let effective = shards.min(spec.len());
+        assert_eq!(socket_log.resolutions.len(), effective);
+        assert!(socket_log
+            .resolutions
+            .iter()
+            .all(|r| matches!(r, ShardResolution::Clean { attempts: 1, .. })));
+        // Every clean attempt registered exactly once over the link.
+        assert_eq!(
+            socket_log.registrations, effective as u64,
+            "{shards} shards: wrong registration count"
+        );
+    }
+}
+
+#[test]
+fn heartbeats_keep_a_slow_but_alive_worker_off_the_fault_log() {
+    // The worker stalls 600 ms before doing any work — far beyond the
+    // 300 ms silence window — but its heartbeat thread beats every
+    // 20 ms throughout, so the supervisor must NOT classify a hang.
+    // This is the non-vacuity proof that heartbeats actually flow and
+    // actually feed the liveness policy.
+    let spec = spec();
+    let reference = reference(&spec);
+    let transport = Arc::new(SocketTransport::new(SocketConfig {
+        heartbeat_ms: 20,
+        miss_threshold: 15, // 300 ms window
+        poll: Duration::from_millis(5),
+    }));
+    let cfg = pipe_config(2)
+        .with_transport(transport)
+        .with_deadline(Duration::from_secs(30))
+        .with_planner(Some(FaultPlanner::always(FaultDirective::StallMs(600), 1)));
+    let (report, log) = sharded(&spec, &cfg);
+    assert_eq!(report, reference);
+    assert!(
+        log.events.is_empty(),
+        "heartbeats failed to keep the stalled worker alive: {}",
+        log.summary()
+    );
+    // 600 ms of stall at a 20 ms beat: dozens of heartbeats per shard.
+    assert!(
+        log.heartbeats >= 20,
+        "implausibly few heartbeats for a 600 ms stall: {}",
+        log.heartbeats
+    );
+}
+
+#[test]
+fn partition_mid_stream_is_a_crash_and_retry_recovers_the_bits() {
+    let spec = spec();
+    let reference = reference(&spec);
+    let cfg =
+        socket_config(2).with_planner(Some(FaultPlanner::always(FaultDirective::Partition(1), 1)));
+    let (report, log) = sharded(&spec, &cfg);
+    assert_eq!(report, reference);
+    assert_eq!(report.fingerprint(), reference.fingerprint());
+    assert_eq!(log.count(FaultKind::Crash), 2, "{}", log.summary());
+    assert_eq!(log.count(FaultKind::Hang), 0);
+    assert_eq!(log.count(FaultKind::CorruptFrame), 0);
+    assert_eq!(log.degraded(), 0);
+    assert!(log
+        .resolutions
+        .iter()
+        .all(|r| matches!(r, ShardResolution::Clean { attempts: 2, .. })));
+}
+
+#[test]
+fn slow_link_trips_the_heartbeat_window_and_classifies_a_hang() {
+    let spec = spec();
+    let reference = reference(&spec);
+    // Paced writes far beyond the silence window, heartbeats
+    // suppressed: the link is healthy at the TCP level and every frame
+    // that ever lands is checksum-clean — only liveness fails.
+    let transport = Arc::new(SocketTransport::new(SocketConfig {
+        heartbeat_ms: 50,
+        miss_threshold: 6, // 300 ms window keeps the faulty attempts fast
+        poll: Duration::from_millis(5),
+    }));
+    let cfg = pipe_config(2)
+        .with_transport(transport)
+        .with_deadline(Duration::from_secs(30))
+        .with_planner(Some(FaultPlanner::always(
+            FaultDirective::SlowLinkMs(30_000),
+            1,
+        )));
+    let (report, log) = sharded(&spec, &cfg);
+    assert_eq!(report, reference);
+    assert_eq!(log.count(FaultKind::Hang), 2, "{}", log.summary());
+    assert_eq!(log.count(FaultKind::Crash), 0);
+    assert_eq!(log.degraded(), 0);
+    for e in &log.events {
+        assert!(
+            e.detail.contains("heartbeat window expired"),
+            "hang not attributed to the heartbeat window (deadline was 30 s): {e:?}"
+        );
+    }
+}
+
+#[test]
+fn duplicated_and_reordered_delivery_are_corrupt_frames_over_the_socket() {
+    let spec = spec();
+    let reference = reference(&spec);
+    for directive in [
+        // A replayed write: two byte-identical valid frames.
+        FaultDirective::DuplicateFrame(1),
+        // Frame 0 delivered after frame 1: out-of-order valid frames.
+        FaultDirective::ReorderFrames(0),
+        // The *last* frame (3-scenario shards) held past END: its END
+        // count can no longer match, and the late frame is trailing
+        // bytes.
+        FaultDirective::ReorderFrames(2),
+    ] {
+        let cfg = socket_config(2).with_planner(Some(FaultPlanner::always(directive, 1)));
+        let (report, log) = sharded(&spec, &cfg);
+        assert_eq!(report, reference, "under {directive:?}");
+        assert_eq!(report.fingerprint(), reference.fingerprint());
+        assert_eq!(
+            log.count(FaultKind::CorruptFrame),
+            2,
+            "under {directive:?}: {}",
+            log.summary()
+        );
+        assert_eq!(log.degraded(), 0, "under {directive:?}");
+        assert!(log
+            .resolutions
+            .iter()
+            .all(|r| matches!(r, ShardResolution::Clean { attempts: 2, .. })));
+    }
+}
+
+#[test]
+fn seeded_network_fault_plan_always_converges_to_the_reference_bits() {
+    let spec = spec();
+    let reference = reference(&spec);
+    for seed in [3u64, 0x50c7] {
+        // Short deadline bounds injected stalls; the 300 ms heartbeat
+        // window bounds slow-link attempts.
+        let transport = Arc::new(SocketTransport::new(SocketConfig {
+            heartbeat_ms: 50,
+            miss_threshold: 6,
+            poll: Duration::from_millis(5),
+        }));
+        let cfg = pipe_config(3)
+            .with_transport(transport)
+            .with_deadline(Duration::from_secs(2))
+            .with_planner(Some(FaultPlanner::seeded_network(seed)));
+        let (report, log) = sharded(&spec, &cfg);
+        assert_eq!(report, reference, "seed {seed} diverged");
+        assert_eq!(report.fingerprint(), reference.fingerprint());
+        // Network plans inject only on attempts 0–1; the default retry
+        // budget (2) guarantees a clean worker run for every shard.
+        assert_eq!(log.degraded(), 0, "seed {seed}: {}", log.summary());
+        // Replaying the seed replays the plan (equality ignores the
+        // wall-clock-dependent liveness counters by design).
+        let (report2, log2) = sharded(&spec, &cfg);
+        assert_eq!(report2, reference);
+        assert_eq!(log, log2, "seed {seed} fault plan not deterministic");
+    }
+}
+
+/// The PR 9 identity-only contract holds over the socket transport
+/// too: telemetry on vs off never changes the merged bits, and the
+/// drained snapshot carries the per-connection records (registration
+/// events, socket-attempt spans, heartbeat counters).
+#[test]
+fn socket_fingerprints_are_bit_identical_with_telemetry_on_or_off() {
+    let spec = spec();
+    let reference = reference(&spec);
+    let cfg = socket_config(3);
+
+    let (report_off, log_off) = sharded(&spec, &cfg);
+    assert_eq!(report_off, reference);
+
+    fsa_telemetry::set_enabled(true);
+    let (report_on, log_on) = sharded(&spec, &cfg);
+    fsa_telemetry::set_enabled(false);
+    let snap = fsa_telemetry::drain();
+
+    assert_eq!(report_on, reference, "telemetry perturbed the socket run");
+    assert_eq!(report_on.fingerprint(), reference.fingerprint());
+    assert_eq!(log_on, log_off, "telemetry perturbed the execution log");
+
+    assert!(
+        snap.spans.iter().any(|(p, _)| p.contains("socket_attempt")),
+        "no socket_attempt span in the drained snapshot"
+    );
+    assert!(
+        snap.counters
+            .iter()
+            .any(|(n, v)| n == "harness.registrations" && *v >= 3),
+        "registration counter missing or too small: {:?}",
+        snap.counters
+    );
+}

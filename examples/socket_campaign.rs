@@ -1,0 +1,94 @@
+//! Socket-transport campaign: the same sharded grid as
+//! `sharded_campaign`, but the supervisor and its workers talk over
+//! loopback TCP instead of a pipe pair — workers connect back to a
+//! listener, register with a versioned hello frame, and keep a
+//! heartbeat thread beating while they solve.
+//!
+//! This example *is* its own worker: the supervisor re-spawns this
+//! binary with a hidden `--worker` flag and hands it the listener
+//! address in `FSA_CONNECT`. The first line of `main` is the worker
+//! dispatch — in a worker process nothing below it ever runs.
+//!
+//! ```text
+//! cargo run --release --example socket_campaign
+//! ```
+
+use fault_sneaking::attack::campaign::CampaignSpec;
+use fault_sneaking::attack::{AttackConfig, Campaign, FsaMethod, ParamSelection};
+use fault_sneaking::harness::injector::{FaultDirective, FaultPlanner};
+use fault_sneaking::harness::supervisor::{ExecutorConfig, ShardedCampaign};
+use fault_sneaking::harness::transport::{SocketConfig, SocketTransport};
+use fault_sneaking::nn::feature_cache::FeatureCache;
+use fault_sneaking::nn::head::FcHead;
+use fault_sneaking::tensor::{Prng, Tensor};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // Worker dispatch: when re-spawned with `--worker`, connect back
+    // over `FSA_CONNECT`, register, and stream the shard — the
+    // supervisor code below never runs in a worker process.
+    fault_sneaking::harness::worker::maybe_run_worker();
+
+    // 1. A small victim and its pooled working set.
+    let mut rng = Prng::new(2026);
+    let head = FcHead::from_dims(&[10, 20, 4], &mut rng);
+    let pool = Tensor::randn(&[40, 10], 1.0, &mut rng);
+    let labels = head.predict(&pool);
+    let cache = FeatureCache::from_features(pool);
+
+    // 2. A Table-2-style grid: S ∈ {1,2} × K ∈ {2,6}, short solves.
+    let spec = CampaignSpec::grid(vec![1, 2], vec![2, 6]).with_config(AttackConfig {
+        iterations: 60,
+        ..AttackConfig::default()
+    });
+
+    // 3. Single-process reference.
+    let selection = ParamSelection::last_layer(&head);
+    let campaign = Campaign::new(&head, selection.clone(), cache.clone(), labels.clone());
+    let reference = campaign.run_method(&spec, &FsaMethod);
+    println!(
+        "single-process: {} scenarios, fingerprint {:#018x}",
+        reference.len(),
+        reference.fingerprint()
+    );
+
+    // 4. The same grid over loopback TCP: 100 ms heartbeats, a 2 s
+    //    silence window (20 missed beats), two worker processes.
+    let transport = Arc::new(SocketTransport::new(SocketConfig {
+        heartbeat_ms: 100,
+        miss_threshold: 20,
+        poll: Duration::from_millis(10),
+    }));
+    let socket_cfg = ExecutorConfig::new(2)
+        .with_transport(transport)
+        .with_planner(None);
+    let sharded = ShardedCampaign::new(&head, selection, cache, labels);
+    let clean = sharded.run(&spec, "fsa", &socket_cfg);
+    assert!(clean.report == reference, "socket transport changed bits");
+    println!(
+        "2 shards over TCP (clean): fingerprint {:#018x} — bit-identical ({})",
+        clean.report.fingerprint(),
+        clean.log.summary()
+    );
+
+    // 5. Same again, but every shard's first connection is partitioned
+    //    mid-stream. The supervisor classifies the dead links as
+    //    crashes, backs off, retries over fresh connections — and the
+    //    merged report is still the same bits.
+    let faulty_cfg =
+        socket_cfg.with_planner(Some(FaultPlanner::always(FaultDirective::Partition(1), 1)));
+    let recovered = sharded.run(&spec, "fsa", &faulty_cfg);
+    assert!(recovered.report == reference, "fault recovery changed bits");
+    println!(
+        "2 shards over TCP (links partitioned): fingerprint {:#018x} — bit-identical ({})",
+        recovered.report.fingerprint(),
+        recovered.log.summary()
+    );
+    for e in &recovered.log.events {
+        println!(
+            "  handled: shard {} attempt {} -> {} ({}), backoff {:?} ms",
+            e.shard, e.attempt, e.kind, e.detail, e.backoff_ms
+        );
+    }
+}

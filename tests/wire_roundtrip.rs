@@ -7,8 +7,9 @@
 
 use fault_sneaking::admm::IterStats;
 use fault_sneaking::attack::campaign::wire::{
-    decode_outcome_frame, decode_report_frame, decode_spec_frame, encode_outcome_frame,
-    encode_report_frame, encode_spec_frame,
+    decode_heartbeat_frame, decode_hello_frame, decode_outcome_frame, decode_report_frame,
+    decode_spec_frame, encode_heartbeat_frame, encode_hello_frame, encode_outcome_frame,
+    encode_report_frame, encode_spec_frame, Heartbeat, WireError, WorkerHello, HELLO_PROTO_VERSION,
 };
 use fault_sneaking::attack::campaign::{
     CampaignReport, CampaignSpec, Scenario, ScenarioOutcome, SparsityBudget,
@@ -232,6 +233,117 @@ fn every_truncation_of_a_report_frame_is_rejected() {
             "prefix of length {cut}/{} decoded",
             bytes.len()
         );
+    }
+}
+
+// ── wire v4: registration and liveness frames ───────────────────────
+
+fn random_hello(rng: &mut Prng) -> WorkerHello {
+    WorkerHello {
+        worker_id: rng.next_u64(),
+        proto_version: HELLO_PROTO_VERSION,
+        capabilities: rng.next_u64(),
+    }
+}
+
+fn random_heartbeat(rng: &mut Prng) -> Heartbeat {
+    Heartbeat {
+        worker_id: rng.next_u64(),
+        seq: rng.next_u64(),
+    }
+}
+
+#[test]
+fn hello_and_heartbeat_frames_roundtrip_over_seeded_shapes() {
+    let mut rng = Prng::new(0x4E11);
+    for _ in 0..100 {
+        let hello = random_hello(&mut rng);
+        let bytes = encode_hello_frame(&hello);
+        let back = decode_hello_frame(&bytes).expect("clean hello must decode");
+        assert_eq!(back, hello);
+        assert_eq!(encode_hello_frame(&back), bytes);
+
+        let beat = random_heartbeat(&mut rng);
+        let bytes = encode_heartbeat_frame(&beat);
+        let back = decode_heartbeat_frame(&bytes).expect("clean heartbeat must decode");
+        assert_eq!(back, beat);
+        assert_eq!(encode_heartbeat_frame(&back), bytes);
+    }
+}
+
+#[test]
+fn every_truncation_of_hello_and_heartbeat_frames_is_rejected() {
+    let mut rng = Prng::new(0x7A11);
+    let hello = encode_hello_frame(&random_hello(&mut rng));
+    for cut in 0..hello.len() {
+        assert!(
+            decode_hello_frame(&hello[..cut]).is_err(),
+            "hello prefix of length {cut}/{} decoded",
+            hello.len()
+        );
+    }
+    let beat = encode_heartbeat_frame(&random_heartbeat(&mut rng));
+    for cut in 0..beat.len() {
+        assert!(
+            decode_heartbeat_frame(&beat[..cut]).is_err(),
+            "heartbeat prefix of length {cut}/{} decoded",
+            beat.len()
+        );
+    }
+}
+
+#[test]
+fn seeded_bit_flips_in_hello_and_heartbeat_frames_are_rejected() {
+    let mut rng = Prng::new(0xB1F1);
+    for trial in 0..200 {
+        let bytes = if trial % 2 == 0 {
+            encode_hello_frame(&random_hello(&mut rng))
+        } else {
+            encode_heartbeat_frame(&random_heartbeat(&mut rng))
+        };
+        let mut corrupt = bytes.clone();
+        let byte = rng.below(corrupt.len());
+        let bit = rng.below(8) as u8;
+        corrupt[byte] ^= 1 << bit;
+        let rejected = if trial % 2 == 0 {
+            decode_hello_frame(&corrupt).is_err()
+        } else {
+            decode_heartbeat_frame(&corrupt).is_err()
+        };
+        assert!(
+            rejected,
+            "flip of bit {bit} in byte {byte}/{} went undetected",
+            corrupt.len()
+        );
+    }
+}
+
+#[test]
+fn wrong_protocol_version_hello_is_refused_with_a_classified_error() {
+    let mut rng = Prng::new(0x0BAD);
+    for _ in 0..20 {
+        let mut hello = random_hello(&mut rng);
+        hello.proto_version = loop {
+            let v = rng.next_u64() as u32;
+            if v != HELLO_PROTO_VERSION {
+                break v;
+            }
+        };
+        // The frame itself is well-formed and checksum-clean — the
+        // refusal must come from the registration layer, classified as
+        // WireError::Hello carrying the offered version, not as a
+        // generic decode failure.
+        match decode_hello_frame(&encode_hello_frame(&hello)) {
+            Err(WireError::Hello(v)) => {
+                assert_eq!(v, hello.proto_version);
+                let msg = WireError::Hello(v).to_string();
+                assert!(
+                    msg.contains("registration refused"),
+                    "refusal message lost its classification: {msg}"
+                );
+            }
+            other => panic!("expected a classified hello refusal, got {other:?}"),
+        }
     }
 }
 
